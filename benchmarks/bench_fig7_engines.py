@@ -1,0 +1,148 @@
+"""Figure 7 — the headline grid: engines x devices x networks x backends.
+
+Simulated inference times for MobileNet-v1, SqueezeNet-v1.1 and ResNet-18
+on iPhoneX/iPhone8/Mate20/MI6 at CPU 2/4 threads and on each GPU backend.
+The asserted shape (the paper's observations 1-4):
+
+1. MNN wins (or ties within 5%) against every engine in every CPU cell,
+   generally by ~20-40%.
+2. On Android GPUs, every competitor has a blind spot somewhere, while MNN
+   stays competitive on all three standards.
+3. On iOS Metal, CoreML is allowed to win (Apple's own stack); MNN stays
+   within ~1.35x.
+4. MNN's multi-threaded CPU is competitive with GPU backends on the
+   Apple-silicon devices.
+"""
+
+import pytest
+
+from repro.baselines import ENGINES
+from repro.devices import get_device
+from repro.sim import estimate_latency
+
+NETWORKS = ["mobilenet_v1", "squeezenet_v1.1", "resnet18"]
+DEVICES = ["iPhoneX", "iPhone8", "Mate20", "MI6"]
+
+#: Paper Figure 7 CPU-4-thread values (ms) for the MNN-vs-NCNN headline.
+PAPER_CPU4 = {
+    ("mobilenet_v1", "Mate20"): {"NCNN": 28, "MNN": 21},
+    ("mobilenet_v1", "MI6"): {"NCNN": 66, "MNN": 58},
+    ("resnet18", "Mate20"): {"NCNN": 76, "MNN": 69},
+    ("resnet18", "MI6"): {"NCNN": 218, "MNN": 208},
+}
+
+
+def _cpu_grid(graph, threads):
+    grid = {}
+    for device_name in DEVICES:
+        device = get_device(device_name)
+        for engine_name, profile in ENGINES.items():
+            if engine_name in ("TVM", "CoreML"):
+                continue  # TVM is Figure 9; CoreML has no CPU path in Fig. 7
+            if not profile.supports_os(device.os):
+                continue
+            est = estimate_latency(graph, profile, device, "cpu", threads)
+            grid[(device_name, engine_name)] = est.total_ms
+    return grid
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("threads", [2, 4])
+def test_fig7_cpu(network, threads, model, report_table, benchmark):
+    graph = model(network)
+    benchmark(lambda: estimate_latency(graph, ENGINES["MNN"], get_device("Mate20"),
+                                       "cpu", threads))
+    grid = _cpu_grid(graph, threads)
+    engines = ["NCNN", "MACE", "TF-Lite", "MNN"]
+    rows = []
+    for device in DEVICES:
+        rows.append(
+            [device]
+            + [round(grid.get((device, e), float("nan")), 1)
+               if (device, e) in grid else "-" for e in engines]
+        )
+    report_table(
+        f"Figure 7 — {network}, CPU {threads} threads (ms)",
+        ["device"] + engines,
+        rows,
+    )
+    # Observation 1: MNN best (or within 5%) everywhere it competes.
+    for device in DEVICES:
+        mnn = grid[(device, "MNN")]
+        rivals = [v for (d, e), v in grid.items() if d == device and e != "MNN"]
+        assert mnn <= min(rivals) * 1.05, (network, threads, device)
+
+
+def test_fig7_cpu4_margins_match_paper(model, report_table, benchmark):
+    """The 20-40% headline: sim NCNN/MNN ratios near the paper's."""
+    rows = []
+    benchmark(lambda: None)
+    for (network, device_name), paper in PAPER_CPU4.items():
+        graph = model(network)
+        device = get_device(device_name)
+        mnn = estimate_latency(graph, ENGINES["MNN"], device, "cpu", 4).total_ms
+        ncnn = estimate_latency(graph, ENGINES["NCNN"], device, "cpu", 4).total_ms
+        rows.append(
+            [f"{network}@{device_name}", f"{ncnn / mnn:.2f}x",
+             f"{paper['NCNN'] / paper['MNN']:.2f}x"]
+        )
+        assert 1.0 < ncnn / mnn < 2.0
+    report_table(
+        "Figure 7 — NCNN/MNN speed ratio, CPU 4 threads",
+        ["setting", "sim ratio", "paper ratio"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_fig7_gpu(network, model, report_table, benchmark):
+    graph = model(network)
+    benchmark(lambda: estimate_latency(graph, ENGINES["MNN"], get_device("MI6"), "vulkan"))
+    rows = []
+    results = {}
+    columns = [
+        ("iPhoneX", "metal", "CoreML"), ("iPhoneX", "metal", "TF-Lite"),
+        ("iPhoneX", "metal", "MNN"),
+        ("Mate20", "vulkan", "NCNN"), ("Mate20", "opencl", "MACE"),
+        ("Mate20", "opengl", "TF-Lite"), ("Mate20", "opencl", "MNN"),
+        ("Mate20", "opengl", "MNN"), ("Mate20", "vulkan", "MNN"),
+        ("MI6", "vulkan", "NCNN"), ("MI6", "opencl", "MACE"),
+        ("MI6", "opengl", "TF-Lite"), ("MI6", "opencl", "MNN"),
+        ("MI6", "opengl", "MNN"), ("MI6", "vulkan", "MNN"),
+    ]
+    for device_name, api, engine in columns:
+        est = estimate_latency(graph, ENGINES[engine], get_device(device_name), api)
+        results[(device_name, api, engine)] = est.total_ms
+        rows.append([device_name, api, engine, round(est.total_ms, 1)])
+    report_table(f"Figure 7 — {network}, GPU backends (ms)",
+                 ["device", "API", "engine", "sim ms"], rows)
+
+    # Observation 3a: CoreML may beat MNN on Metal, but only moderately.
+    metal_ratio = results[("iPhoneX", "metal", "MNN")] / results[("iPhoneX", "metal", "CoreML")]
+    assert metal_ratio < 1.35
+    # Observation 3b: on each Android GPU standard, MNN beats the rival
+    # engine that uses the same standard.
+    for device in ("Mate20", "MI6"):
+        assert results[(device, "vulkan", "MNN")] < results[(device, "vulkan", "NCNN")]
+        assert results[(device, "opencl", "MNN")] < results[(device, "opencl", "MACE")]
+        assert results[(device, "opengl", "MNN")] < results[(device, "opengl", "TF-Lite")]
+    # Observation 3c: MNN is consistent across the three standards (no
+    # blind spot): worst/best across APIs stays < 2x on each device.
+    for device in ("Mate20", "MI6"):
+        mnn_apis = [results[(device, api, "MNN")] for api in ("opencl", "opengl", "vulkan")]
+        assert max(mnn_apis) / min(mnn_apis) < 2.0
+
+
+def test_fig7_cpu_competitive_with_gpu_on_apple(model, report_table, benchmark):
+    """Observation 4: on iPhones, MNN CPU x4 rivals its own GPU backend."""
+    graph = model("mobilenet_v1")
+    device = get_device("iPhoneX")
+    benchmark(lambda: estimate_latency(graph, ENGINES["MNN"], device, "cpu", 4))
+    cpu4 = estimate_latency(graph, ENGINES["MNN"], device, "cpu", 4).total_ms
+    metal = estimate_latency(graph, ENGINES["MNN"], device, "metal").total_ms
+    report_table(
+        "Figure 7 — MNN iPhoneX: CPU vs GPU (ms)",
+        ["backend", "sim ms", "paper ms"],
+        [["CPU 4 threads", round(cpu4, 1), 15], ["Metal GPU", round(metal, 1), 27]],
+    )
+    assert cpu4 < metal * 1.5  # competitive, as the paper observes

@@ -1,0 +1,154 @@
+"""Table 1 — computation scheme selection vs. fixed conv schemes.
+
+Two views of the paper's three convolution settings (kernel, ic, oc, size)
+= (2,3,16,224), (2,512,512,16), (3,64,64,112):
+
+* **modeled cost** (the Eq. 2/3 metric the selector minimizes) — this is
+  where the paper's shape must reproduce exactly: each fixed scheme wins
+  one column and loses another; "Ours" tracks the per-column best.
+* **measured wall time** of this repo's kernels.  One documented substrate
+  caveat (EXPERIMENTS.md): our "sliding window" is im2col + one OpenBLAS
+  GEMM, which on a desktop CPU has far higher per-FLOP throughput than the
+  einsum-based Winograd path, so sliding wins wall-clock across the board
+  here — unlike ARM, where both schemes share hand-written NEON kernels.
+  What *does* transfer is the within-Winograd ranking: the selector's tile
+  size n must beat the wrong fixed tile (WinoMin on big maps, WinoMax on
+  small maps), and that is asserted below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import time_callable
+from repro.core import SchemeConfig, select_conv_scheme
+from repro.core.schemes import winograd_plane_cost
+from repro.kernels import conv2d
+
+CASES = [
+    (2, 3, 16, 224),
+    (2, 512, 512, 16),
+    (3, 64, 64, 112),
+]
+#: Paper Table 1 (ms): sliding, WinoMin, WinoMax, Ours.
+PAPER = {
+    (2, 3, 16, 224): (32.1, 42.2, 57.3, 32.7),
+    (2, 512, 512, 16): (895.1, 287.7, 539.3, 286.0),
+    (3, 64, 64, 112): (895.1, 389.8, 237.4, 236.4),
+}
+
+RNG = np.random.default_rng(0)
+CFG = SchemeConfig()
+
+
+def _make_case(k, ic, oc, size):
+    x = RNG.standard_normal((1, ic, size, size)).astype(np.float32)
+    w = RNG.standard_normal((oc, ic, k, k)).astype(np.float32)
+    return x, w
+
+
+def _max_legal_n(k):
+    return max(n for n in CFG.winograd_candidates if n > 1 and n + k - 1 <= CFG.max_tile)
+
+
+def _modeled_costs(k, ic, oc, size):
+    out_hw = (size - k + 1, size - k + 1)
+    decision = select_conv_scheme((k, k), ic, oc, out_hw, config=CFG)
+    sliding = out_hw[0] * out_hw[1] * ic * k * k * oc
+    return {
+        "Sliding": float(sliding),
+        "WinoMin": winograd_plane_cost(2, k, ic, oc, out_hw, CFG),
+        "WinoMax": winograd_plane_cost(_max_legal_n(k), k, ic, oc, out_hw, CFG),
+        "Ours": float(decision.cost),
+    }, decision
+
+
+def _measured_times(k, ic, oc, size, decision, repeats=5):
+    x, w = _make_case(k, ic, oc, size)
+    exec_scheme = decision.kind if decision.kind != "gemm1x1" else "sliding"
+    runs = {
+        "Sliding": lambda: conv2d(x, w, scheme="sliding"),
+        "WinoMin": lambda: conv2d(x, w, scheme="winograd", winograd_n=2),
+        "WinoMax": lambda: conv2d(x, w, scheme="winograd", winograd_n=_max_legal_n(k)),
+        "Ours": lambda: conv2d(x, w, scheme=exec_scheme, winograd_n=decision.winograd_n),
+    }
+    return {name: time_callable(fn, repeats=repeats).median_ms for name, fn in runs.items()}
+
+
+@pytest.mark.parametrize("case", CASES, ids=[str(c) for c in CASES])
+def test_table1_per_setting(case, report_table, benchmark):
+    k, ic, oc, size = case
+    modeled, decision = _modeled_costs(k, ic, oc, size)
+    measured = _measured_times(k, ic, oc, size, decision)
+    x, w = _make_case(k, ic, oc, size)
+    exec_scheme = decision.kind if decision.kind != "gemm1x1" else "sliding"
+    benchmark(lambda: conv2d(x, w, scheme=exec_scheme, winograd_n=decision.winograd_n))
+
+    paper = PAPER[case]
+    report_table(
+        f"Table 1 — setting (k,ic,oc,size)={case}; selected: "
+        f"{decision.kind} n={decision.winograd_n}",
+        ["scheme", "modeled cost (M weighted MULs)", "measured ms", "paper ms"],
+        [
+            [name, modeled[name] / 1e6, measured[name], paper[i]]
+            for i, name in enumerate(("Sliding", "WinoMin", "WinoMax", "Ours"))
+        ],
+    )
+    # Shape claim 1: "Ours" is the modeled best, by construction and in fact.
+    assert modeled["Ours"] <= min(modeled.values()) * 1.0001
+    # Shape claim 2 (transfers to wall clock): within the Winograd family,
+    # the searched tile size beats or matches the wrong fixed tile.
+    if decision.kind == "winograd":
+        assert measured["Ours"] <= min(measured["WinoMin"], measured["WinoMax"]) * 1.25
+
+
+def test_table1_no_fixed_scheme_wins_everywhere(report_table, benchmark):
+    """Paper's point: every fixed scheme has a losing column (modeled)."""
+    x, w = _make_case(*CASES[0])
+    benchmark(lambda: conv2d(x, w, scheme="sliding"))
+    losses = {"Sliding": 0, "WinoMin": 0, "WinoMax": 0}
+    rows = []
+    for case in CASES:
+        modeled, _ = _modeled_costs(*case)
+        best = min(modeled[s] for s in losses)
+        for scheme in losses:
+            if modeled[scheme] > best * 1.3:
+                losses[scheme] += 1
+        rows.append([str(case)] + [round(modeled[s] / best, 2) for s in losses])
+    report_table(
+        "Table 1 — modeled cost relative to per-setting best",
+        ["setting", "Sliding", "WinoMin", "WinoMax"],
+        rows,
+    )
+    assert all(count >= 1 for count in losses.values())
+
+
+def test_table1_winograd_tile_ranking_transfers(report_table, benchmark):
+    """Within-Winograd wall-clock ranking matches the paper's Min/Max rows:
+    small maps favor small tiles, big maps favor big tiles."""
+    x_small, w_small = _make_case(2, 512, 512, 16)
+    x_big, w_big = _make_case(3, 64, 64, 112)
+    benchmark(lambda: conv2d(x_small, w_small, scheme="winograd", winograd_n=2))
+    t_small = {
+        n: time_callable(
+            lambda n=n: conv2d(x_small, w_small, scheme="winograd", winograd_n=n),
+            repeats=3,
+        ).median_ms
+        for n in (2, 8)
+    }
+    t_big = {
+        n: time_callable(
+            lambda n=n: conv2d(x_big, w_big, scheme="winograd", winograd_n=n),
+            repeats=3,
+        ).median_ms
+        for n in (2, 8)
+    }
+    report_table(
+        "Table 1 — Winograd tile ranking (measured ms)",
+        ["setting", "n=2", "n=8", "paper says"],
+        [
+            ["(2,512,512,16)", t_small[2], t_small[8], "small tile wins (288 vs 539)"],
+            ["(3,64,64,112)", t_big[2], t_big[8], "big tile wins (237 vs 390)"],
+        ],
+    )
+    assert t_small[2] < t_small[8]
+    assert t_big[8] < t_big[2]

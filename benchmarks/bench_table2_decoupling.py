@@ -1,0 +1,123 @@
+"""Table 2 — preparation/execution decoupling (Figure 3's payoff).
+
+MobileNet-v1-class workload on the paper's devices (MI6, P10), CPU
+4-thread and GPU Vulkan, with and without decoupling.  Times come from the
+simulated backends' virtual clock, which prices exactly the two mechanisms
+the paper describes: interleaved buffer management on the CPU and per-run
+command-buffer rebuilding on the GPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.converter import optimize
+from repro.core import Session, SessionConfig
+from repro.devices import get_device
+from repro.models import mobilenet_v1
+
+#: Paper Table 2 (ms): (device, backend) -> (w/o, w/).
+PAPER = {
+    ("MI6", "sim_cpu"): (30.9, 28.9),
+    ("MI6", "vulkan"): (63.6, 15.8),
+    ("P10", "sim_cpu"): (29.0, 26.8),
+    ("P10", "vulkan"): (41.0, 20.7),
+}
+
+RNG = np.random.default_rng(3)
+SIZE = 128  # keeps real NumPy execution quick; virtual timing is size-faithful
+
+
+@pytest.fixture(scope="module")
+def net():
+    graph = mobilenet_v1(input_size=SIZE)
+    return optimize(graph)
+
+
+def _virtual_ms(graph, device_name, backend, decouple):
+    session = Session(
+        graph,
+        SessionConfig(
+            backend=backend,
+            device=get_device(device_name),
+            threads=4,
+            decouple=decouple,
+        ),
+    )
+    feed = {"data": RNG.standard_normal((1, 3, SIZE, SIZE)).astype(np.float32)}
+    session.run(feed)  # warm-up
+    before = session.clock.now_ms
+    session.run(feed)
+    return session.clock.now_ms - before
+
+
+def test_table2_decoupling(net, report_table, benchmark):
+    rows = []
+    results = {}
+    for (device, backend), (paper_wo, paper_w) in PAPER.items():
+        wo = _virtual_ms(net, device, backend, decouple=False)
+        w = _virtual_ms(net, device, backend, decouple=True)
+        results[(device, backend)] = (wo, w)
+        label = "CPU (4 threads)" if backend == "sim_cpu" else "GPU (Vulkan)"
+        rows.append(
+            [f"{device} {label}", wo, w, f"{(1 - w / wo) * 100:.1f}%",
+             paper_wo, paper_w, f"{(1 - paper_w / paper_wo) * 100:.1f}%"]
+        )
+    report_table(
+        "Table 2 — inference time without/with preparation-execution decoupling",
+        ["setting", "sim w/o", "sim w/", "sim drop",
+         "paper w/o", "paper w/", "paper drop"],
+        rows,
+    )
+
+    session = Session(
+        net, SessionConfig(backend="sim_cpu", device=get_device("MI6"), threads=4)
+    )
+    feed = {"data": RNG.standard_normal((1, 3, SIZE, SIZE)).astype(np.float32)}
+    benchmark(lambda: session.run(feed))
+
+    for (device, backend), (wo, w) in results.items():
+        drop = 1 - w / wo
+        if backend == "sim_cpu":
+            # paper: ~7-8% CPU improvement; accept a generous band
+            assert 0.01 < drop < 0.35, (device, backend, drop)
+        else:
+            # paper: 50-75% GPU improvement
+            assert 0.40 < drop < 0.90, (device, backend, drop)
+
+
+def test_table2_cpu_wall_clock_direction(net, report_table, benchmark):
+    """On the real CPU backend, decoupling must not be slower (and the
+    memory pool must genuinely pre-plan the arena).
+
+    Measured as *interleaved pairs* (w/, w/o, w/, w/o, ...) so thermal and
+    cache drift on a shared host hits both modes equally.
+    """
+    import time
+
+    feed = {"data": RNG.standard_normal((1, 3, SIZE, SIZE)).astype(np.float32)}
+    decoupled = Session(net, SessionConfig(backend="cpu", decouple=True))
+    interleaved = Session(net, SessionConfig(backend="cpu", decouple=False))
+    benchmark(lambda: decoupled.run(feed))
+    decoupled.run(feed)
+    interleaved.run(feed)
+    t_dec, t_int = [], []
+    for _ in range(9):
+        start = time.perf_counter()
+        decoupled.run(feed)
+        t_dec.append((time.perf_counter() - start) * 1000.0)
+        start = time.perf_counter()
+        interleaved.run(feed)
+        t_int.append((time.perf_counter() - start) * 1000.0)
+    med_dec = float(np.median(t_dec))
+    med_int = float(np.median(t_int))
+    report_table(
+        "Table 2 (host CPU, wall clock) — decoupling direction check",
+        ["mode", "ms (median of 9 paired runs)"],
+        [["interleaved alloc (w/o)", med_int], ["pre-planned (w/)", med_dec]],
+    )
+    assert decoupled.memory_plan is not None
+    assert decoupled.memory_plan.reuse_ratio > 1.5
+    # Direction check with host-noise slack: the manager-call overhead our
+    # substrate can actually remove is small (numpy kernels still allocate
+    # internally), so "not meaningfully slower" is the testable claim.
+    assert med_dec <= med_int * 1.20

@@ -1,0 +1,64 @@
+"""Table 4 — backend/operator coverage comparison.
+
+The paper's Table 4 counts operators per backend per engine; MNN supports
+the most backends and the broadest GPU coverage.  Here we count this
+reproduction's actual registries: the CPU backend supports every
+registered op, each simulated GPU API a curated subset (proportioned to
+the paper's MNN row), and the baseline engines the API sets their profiles
+declare.  The asserted shape: CPU > Metal > Vulkan >= OpenCL > OpenGL, and
+MNN covers all four GPU APIs while every baseline covers at most one.
+"""
+
+import pytest
+
+from repro.backends import CPUBackend, GPU_OP_COVERAGE
+from repro.baselines import ENGINES
+from repro.devices import GpuApi
+
+#: Paper Table 4 operator counts for MNN.
+PAPER_MNN = {"cpu": 94, "metal": 55, "opengl": 15, "opencl": 33, "vulkan": 35}
+
+
+def test_table4_mnn_backend_coverage(report_table, benchmark):
+    cpu_ops = benchmark(lambda: len(CPUBackend().supported_ops()))
+    counts = {"cpu": cpu_ops}
+    for api in GpuApi.ALL:
+        counts[api] = len(GPU_OP_COVERAGE[api])
+    rows = [
+        [backend, counts[backend], PAPER_MNN[backend],
+         f"{counts[backend] / counts['cpu']:.2f}",
+         f"{PAPER_MNN[backend] / PAPER_MNN['cpu']:.2f}"]
+        for backend in ("cpu", "metal", "vulkan", "opencl", "opengl")
+    ]
+    report_table(
+        "Table 4 — MNN operator counts per backend (repro registry vs paper)",
+        ["backend", "#ops (repro)", "#ops (paper)", "share (repro)", "share (paper)"],
+        rows,
+    )
+    assert counts["cpu"] > counts["metal"] > counts["vulkan"]
+    assert counts["vulkan"] >= counts["opencl"] > counts["opengl"]
+    # proportionality to the paper's row, within a loose band
+    for api in GpuApi.ALL:
+        repro_share = counts[api] / counts["cpu"]
+        paper_share = PAPER_MNN[api] / PAPER_MNN["cpu"]
+        assert abs(repro_share - paper_share) < 0.25, api
+
+
+def test_table4_engine_gpu_api_breadth(report_table, benchmark):
+    """MNN is the only engine covering all GPU standards (paper's claim)."""
+    benchmark(lambda: {name: len(p.gpu_efficiency) for name, p in ENGINES.items()})
+    rows = []
+    for name, profile in sorted(ENGINES.items()):
+        apis = sorted(profile.gpu_efficiency)
+        rows.append([name, ", ".join(apis) or "-", ", ".join(profile.os_support)])
+    report_table(
+        "Table 4 — GPU API coverage per engine",
+        ["engine", "GPU APIs", "OS support"],
+        rows,
+    )
+    assert set(ENGINES["MNN"].gpu_efficiency) == {"metal", "opencl", "opengl", "vulkan"}
+    for name, profile in ENGINES.items():
+        if name != "MNN":
+            assert len(profile.gpu_efficiency) <= 2
+    # only MNN + the libraries ship on both OSes with GPU support everywhere
+    assert ENGINES["MNN"].supports_os("ios") and ENGINES["MNN"].supports_os("android")

@@ -1,0 +1,58 @@
+"""Table 5 — auto-tuning and compiling cost of the automated-search paradigm.
+
+ResNet-18 deployed with the TVM-style engine on a Galaxy-S8-class device at
+1/10/30 trials per workload.  The model's scaling law (linear in trials x
+unique conv workloads) is fitted to the paper's published triple and then
+exercised: the same law must extrapolate across trials and across models.
+"""
+
+import pytest
+
+from repro.baselines import AutoSearchEngine, TuningCostModel, unique_conv_workloads
+
+#: Paper Table 5: trials -> (auto-tuning s, compiling s).
+PAPER = {1: (355, 40), 10: (1477, 41), 30: (4583, 41)}
+
+
+def test_table5_tuning_cost(model, report_table, benchmark):
+    g = model("resnet18")
+    cost = TuningCostModel()
+    benchmark(lambda: cost.tuning_seconds(g, 30))
+    rows = []
+    for trials, (paper_tune, paper_compile) in PAPER.items():
+        tune = cost.tuning_seconds(g, trials)
+        compile_s = cost.compile_seconds(g, trials)
+        rows.append([trials, round(tune), round(compile_s), paper_tune, paper_compile])
+        assert tune == pytest.approx(paper_tune, rel=0.15)
+        assert compile_s == pytest.approx(paper_compile, rel=0.10)
+    report_table(
+        "Table 5 — TVM-style deployment cost for ResNet-18 (seconds)",
+        ["#Trial", "auto-tuning (sim)", "compiling (sim)",
+         "auto-tuning (paper)", "compiling (paper)"],
+        rows,
+    )
+
+
+def test_table5_cost_multiplies_across_fleet(model, report_table, benchmark):
+    """The paper's deployment argument: M models x D devices tuning runs,
+    invalidated on every model update — while MNN tunes at runtime for free."""
+    engine = AutoSearchEngine()
+    nets = [model("resnet18"), model("squeezenet_v1.1"), model("mobilenet_v1")]
+    devices = ["GalaxyS8", "MI6", "Mate20", "P20"]
+    benchmark(lambda: unique_conv_workloads(nets[0]))
+    for net in nets:
+        for device in devices:
+            engine.deploy(net, device, trials=10)
+    total_hours = engine.total_tuning_seconds / 3600
+    rows = [[net.name, len(unique_conv_workloads(net))] for net in nets]
+    rows.append(["TOTAL fleet tuning (3 models x 4 devices, 10 trials)",
+                 f"{total_hours:.1f} h"])
+    report_table(
+        "Table 5 — fleet deployment cost blow-up",
+        ["item", "value"],
+        rows,
+    )
+    assert len(engine.artifacts) == 12
+    assert total_hours > 3  # hours of server time for a tiny fleet
+    # one model update throws away a quarter of the artifacts
+    assert engine.invalidate_model(nets[0].name) == 4

@@ -1,0 +1,82 @@
+"""Table 6 — the production case study: stable latency across top-5 devices.
+
+The paper's E-commerce detection service reports ~84-95 ms average
+inference time (AIT) across wildly different phones, because MNN's backend
+selection picks the best backend per device.  We model the detection
+backbone as MobileNet-v1 at 320x320 (a standard SSD-class configuration),
+let Eq. 4 pick CPU vs. each available GPU API per device, and check the
+paper's stability claim: max/min AIT spread across devices stays small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ENGINES
+from repro.devices import get_device
+from repro.sim import estimate_latency
+
+#: Paper Table 6: device -> average inference time (ms).
+PAPER_AIT = {
+    "EML-AL00": 87.9,
+    "PBEM00": 84.5,
+    "PACM00": 92.0,
+    "COL-AL10": 95.1,
+    "OPPO R11": 91.4,
+}
+
+
+def _best_backend_ms(graph, device):
+    """Eq. 4 over {cpu4} + the device's GPU APIs with MNN's profile."""
+    mnn = ENGINES["MNN"]
+    candidates = {"cpu": estimate_latency(graph, mnn, device, "cpu", 4).total_ms}
+    for api in device.gpu_apis:
+        if api in mnn.gpu_efficiency:
+            candidates[api] = estimate_latency(graph, mnn, device, api).total_ms
+    best = min(candidates, key=candidates.get)
+    return best, candidates[best], candidates
+
+
+def test_table6_stable_ait_across_devices(model, report_table, benchmark):
+    backbone = model("mobilenet_v1", input_size=320)
+    rows, aits = [], {}
+    for name, paper_ait in PAPER_AIT.items():
+        device = get_device(name)
+        backend, ait, _ = _best_backend_ms(backbone, device)
+        aits[name] = ait
+        rows.append([name, device.soc, device.gpu, backend, ait, paper_ait])
+    benchmark(lambda: _best_backend_ms(backbone, get_device("EML-AL00")))
+    mean_ait = float(np.mean(list(aits.values())))
+    rows.append(["MEAN", "", "", "", mean_ait, 90.2])
+    report_table(
+        "Table 6 — top-5 production devices, average inference time (ms)",
+        ["device", "CPU", "GPU", "chosen backend", "sim AIT", "paper AIT"],
+        rows,
+    )
+    # stability claim: across very different SoCs, spread stays bounded
+    spread = max(aits.values()) / min(aits.values())
+    assert spread < 2.0, aits
+    # and the mean lands in the paper's regime (tens of ms, not seconds)
+    assert 20 < mean_ait < 300
+
+
+def test_table6_backend_selection_adapts(model, report_table, benchmark):
+    """Devices with strong GPUs offload; weak-GPU devices stay on CPU —
+    that adaptivity is what flattens the AIT curve."""
+    backbone = model("mobilenet_v1", input_size=320)
+    strong = get_device("EML-AL00")   # Mali-G72: 31.61 GFLOPS
+    weak = get_device("OPPO R11")     # Adreno 512: 14.23 GFLOPS
+    benchmark(lambda: _best_backend_ms(backbone, strong))
+    _, _, strong_c = _best_backend_ms(backbone, strong)
+    _, _, weak_c = _best_backend_ms(backbone, weak)
+    report_table(
+        "Table 6 — per-device backend candidates (ms)",
+        ["device"] + sorted(strong_c),
+        [
+            ["EML-AL00"] + [round(strong_c[k], 1) for k in sorted(strong_c)],
+            ["OPPO R11"] + [round(weak_c[k], 1) for k in sorted(weak_c)],
+        ],
+    )
+    # the strong GPU must beat its own CPU by more than the weak one does
+    strong_gain = strong_c["cpu"] / min(v for k, v in strong_c.items() if k != "cpu")
+    weak_gain = weak_c["cpu"] / min(v for k, v in weak_c.items() if k != "cpu")
+    assert strong_gain > weak_gain

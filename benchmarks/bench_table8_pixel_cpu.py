@@ -1,0 +1,67 @@
+"""Table 8 / Appendix B — Inception-v3 on Pixel CPUs, TF-Lite vs. MNN.
+
+Simulated latencies at 1 and 4 threads.  The asserted shape: MNN beats
+TF-Lite in every cell, 4 threads beat 1 thread for both engines, and
+Pixel 3 beats Pixel 2.  (Note recorded in EXPERIMENTS.md: the paper's own
+TF-Lite/MNN gap differs between Figure 7 (~3x) and Table 8 (~1.5x); our
+single globally-calibrated TF-Lite profile lands between the two.)
+"""
+
+import pytest
+
+from repro.baselines import ENGINES
+from repro.devices import get_device
+from repro.sim import estimate_latency
+
+#: Paper Table 8: (phone, threads) -> (TF-Lite ms, MNN ms).
+PAPER = {
+    ("Pixel2", 1): (974, 664),
+    ("Pixel2", 4): (310, 214),
+    ("Pixel3", 1): (873, 593),
+    ("Pixel3", 4): (239, 160),
+}
+
+
+def test_table8_pixel_inception(model, report_table, benchmark):
+    inception = model("inception_v3")
+    benchmark(
+        lambda: estimate_latency(
+            inception, ENGINES["MNN"], get_device("Pixel3"), "cpu", 4
+        )
+    )
+    rows, sims = [], {}
+    for (phone, threads), (paper_tfl, paper_mnn) in PAPER.items():
+        device = get_device(phone)
+        tfl = estimate_latency(inception, ENGINES["TF-Lite"], device, "cpu", threads).total_ms
+        mnn = estimate_latency(inception, ENGINES["MNN"], device, "cpu", threads).total_ms
+        sims[(phone, threads)] = (tfl, mnn)
+        rows.append([phone, threads, round(tfl), round(mnn), paper_tfl, paper_mnn])
+    report_table(
+        "Table 8 — Inception-v3 CPU inference (ms)",
+        ["phone", "#threads", "TF-Lite (sim)", "MNN (sim)",
+         "TF-Lite (paper)", "MNN (paper)"],
+        rows,
+    )
+    for key, (tfl, mnn) in sims.items():
+        assert mnn < tfl, key                      # MNN consistently faster
+    for phone in ("Pixel2", "Pixel3"):
+        assert sims[(phone, 4)][1] < sims[(phone, 1)][1]   # threads help
+    for threads in (1, 4):
+        assert sims[("Pixel3", threads)][1] < sims[("Pixel2", threads)][1]
+
+
+def test_table8_thread_scaling_band(model, report_table, benchmark):
+    """Paper's implied 1->4 thread speedup is ~3.1-3.7x (frequency-sum
+    scaling minus the serial memory-bound tail); ours must land nearby."""
+    inception = model("inception_v3")
+    device = get_device("Pixel3")
+    benchmark(lambda: estimate_latency(inception, ENGINES["MNN"], device, "cpu", 1))
+    t1 = estimate_latency(inception, ENGINES["MNN"], device, "cpu", 1).total_ms
+    t4 = estimate_latency(inception, ENGINES["MNN"], device, "cpu", 4).total_ms
+    speedup = t1 / t4
+    report_table(
+        "Table 8 — MNN thread scaling on Pixel 3",
+        ["threads", "sim ms", "paper ms"],
+        [[1, round(t1), 593], [4, round(t4), 160], ["speedup", f"{speedup:.2f}x", "3.71x"]],
+    )
+    assert 2.0 < speedup < 4.2

@@ -1,0 +1,49 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench records its paper-style result table through ``report_table``;
+the tables are printed in the terminal summary (visible even under pytest's
+output capture) so `pytest benchmarks/ --benchmark-only | tee` preserves
+them.
+"""
+
+import pytest
+
+from repro.models import build_model
+
+_TABLES = []
+_MODEL_CACHE = {}
+
+
+@pytest.fixture
+def report_table():
+    """Record a (title, headers, rows) table for the terminal summary."""
+
+    def _record(title, headers, rows):
+        _TABLES.append((title, headers, [list(r) for r in rows]))
+
+    return _record
+
+
+@pytest.fixture
+def model(request):
+    """Cached model builder: ``model("mobilenet_v1", input_size=224)``."""
+
+    def _get(name, **kwargs):
+        key = (name, tuple(sorted(kwargs.items())))
+        if key not in _MODEL_CACHE:
+            _MODEL_CACHE[key] = build_model(name, **kwargs)
+        return _MODEL_CACHE[key]
+
+    return _get
+
+
+def pytest_terminal_summary(terminalreporter):
+    from repro.bench import format_table
+
+    if not _TABLES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for title, headers, rows in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(format_table(headers, rows, title))
+    _TABLES.clear()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Model conversion from external formats (paper Figure 2, left half).
+
+Builds the same small network in an ONNX-style dict and a Caffe-style
+layer list, converts both through the respective frontends, runs the
+offline optimizer, and verifies the engines agree numerically.
+
+Run:  python examples/convert_model.py
+"""
+
+import numpy as np
+
+from repro import Session
+from repro.converter import convert_caffe_like, convert_onnx_like, optimize
+from repro.ir import dumps
+
+RNG = np.random.default_rng(13)
+
+W1 = RNG.standard_normal((8, 3, 3, 3)).astype(np.float32) * 0.2
+B1 = RNG.standard_normal(8).astype(np.float32) * 0.02
+FC_W = RNG.standard_normal((10, 8)).astype(np.float32) * 0.3
+
+
+def onnx_style_model():
+    return {
+        "name": "onnx_net",
+        "inputs": [{"name": "x", "shape": [1, 3, 24, 24]}],
+        "outputs": ["prob"],
+        "initializers": {"w1": W1, "b1": B1, "fc_w": FC_W},
+        "nodes": [
+            {"op_type": "Conv", "inputs": ["x", "w1", "b1"], "outputs": ["c1"],
+             "attrs": {"kernel_shape": [3, 3], "pads": [1, 1, 1, 1]}},
+            {"op_type": "Relu", "inputs": ["c1"], "outputs": ["r1"]},
+            {"op_type": "GlobalAveragePool", "inputs": ["r1"], "outputs": ["g"]},
+            {"op_type": "Flatten", "inputs": ["g"], "outputs": ["f"]},
+            {"op_type": "Gemm", "inputs": ["f", "fc_w"], "outputs": ["fc"]},
+            {"op_type": "Softmax", "inputs": ["fc"], "outputs": ["prob"]},
+        ],
+    }
+
+
+def caffe_style_model():
+    return {
+        "name": "caffe_net",
+        "inputs": [{"name": "x", "shape": [1, 3, 24, 24]}],
+        "layers": [
+            {"name": "conv1", "type": "Convolution", "bottom": ["x"],
+             "top": ["c1"], "kernel_size": 3, "pad": 1},
+            {"name": "relu1", "type": "ReLU", "bottom": ["c1"], "top": ["r1"]},
+            {"name": "gap", "type": "Pooling", "bottom": ["r1"], "top": ["g"],
+             "pool": "AVE", "global_pooling": True},
+            {"name": "fc", "type": "InnerProduct", "bottom": ["g"], "top": ["fc"]},
+            {"name": "prob", "type": "Softmax", "bottom": ["fc"], "top": ["prob"]},
+        ],
+        "blobs": {"conv1": [W1, B1], "fc": [FC_W]},
+    }
+
+
+def main():
+    onnx_graph = convert_onnx_like(onnx_style_model())
+    caffe_graph = convert_caffe_like(caffe_style_model())
+    print(f"ONNX-style frontend:  {len(onnx_graph.nodes)} ops")
+    print(f"Caffe-style frontend: {len(caffe_graph.nodes)} ops")
+
+    for graph in (onnx_graph, caffe_graph):
+        before = len(graph.nodes)
+        optimize(graph)
+        print(f"  optimizer on {graph.name!r}: {before} -> {len(graph.nodes)} ops")
+
+    feed = {"x": RNG.standard_normal((1, 3, 24, 24)).astype(np.float32)}
+    out_onnx = Session(onnx_graph).run(feed)["prob"]
+    out_caffe = Session(caffe_graph).run(feed)["prob"]
+    print(f"max |onnx - caffe| output delta: {np.abs(out_onnx - out_caffe).max():.2e}")
+
+    blob = dumps(onnx_graph)
+    print(f"serialized optimized model: {len(blob) / 1024:.1f} KiB (.rmnn)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Backend abstraction module (paper Section 3.4)."""
+
+from .base import Backend, BackendError, Execution, StorageType
+from .cpu import CPUBackend
+from .op_runners import OpRunner, build_runner
+from .simulated import (
+    GPU_OP_COVERAGE,
+    SimulatedCPUBackend,
+    SimulatedGPUBackend,
+    T_ALLOC_MS,
+    T_SETUP_MS,
+)
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "Execution",
+    "StorageType",
+    "CPUBackend",
+    "OpRunner",
+    "build_runner",
+    "GPU_OP_COVERAGE",
+    "SimulatedCPUBackend",
+    "SimulatedGPUBackend",
+    "T_ALLOC_MS",
+    "T_SETUP_MS",
+]

@@ -1,0 +1,56 @@
+"""The real CPU backend: executes kernels on the host, measured in wall time."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from ..ir.ops import Op, all_op_types
+from .base import Backend, BackendError, Execution
+from .op_runners import OpRunner, build_runner
+
+__all__ = ["CPUBackend", "CpuExecution"]
+
+#: Op types with no runner on any backend (graph-structural pseudo-ops).
+_STRUCTURAL = {Op.INPUT, Op.CONSTANT}
+
+
+class CpuExecution(Execution):
+    """Executes one node via the shared NumPy kernel dispatch."""
+
+    def __init__(self, backend: "CPUBackend", node: Node, runner: OpRunner) -> None:
+        super().__init__(backend, node)
+        self.runner = runner
+
+    def run(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        return self.runner.fn(inputs)
+
+
+class CPUBackend(Backend):
+    """Host-CPU backend.
+
+    ``threads`` only feeds the cost model used during backend selection
+    (NumPy's own threading is what actually executes); all registered
+    operators are supported, mirroring MNN's CPU backend being the
+    universal fallback (Table 4's largest op count).
+    """
+
+    forward_type = "cpu"
+
+    def __init__(self, threads: int = 4, use_strassen: bool = True) -> None:
+        super().__init__()
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self.use_strassen = use_strassen
+
+    def supports(self, op_type: str) -> bool:
+        return op_type in set(all_op_types()) - _STRUCTURAL
+
+    def on_create(self, node: Node, graph: Graph, scheme=None) -> Execution:
+        if not self.supports(node.op_type):
+            raise BackendError(f"cpu: unsupported op {node.op_type!r}")
+        runner = build_runner(node, graph, scheme, self.use_strassen)
+        return CpuExecution(self, node, runner)

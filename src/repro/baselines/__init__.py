@@ -1,0 +1,22 @@
+"""Baseline engines: the design paradigms the paper compares against."""
+
+from .profiles import SIMD_LANES, ConvPattern, ENGINES, EngineProfile, get_engine
+from .casebycase import CoverageReport, analyze_kernel_coverage
+from .tvm_like import (
+    AutoSearchEngine,
+    TuningCostModel,
+    unique_conv_workloads,
+)
+
+__all__ = [
+    "SIMD_LANES",
+    "ConvPattern",
+    "ENGINES",
+    "EngineProfile",
+    "get_engine",
+    "CoverageReport",
+    "analyze_kernel_coverage",
+    "AutoSearchEngine",
+    "TuningCostModel",
+    "unique_conv_workloads",
+]

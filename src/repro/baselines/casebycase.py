@@ -1,0 +1,64 @@
+"""Manual-search (NCNN/MACE-style) engine: kernel-table coverage analysis.
+
+The paper's Figure 8 shows the failure mode of case-by-case optimization:
+Inception-v3's 1x7 and 7x1 convolutions have no hand-written kernel in
+NCNN, fall back to a naive path, and dominate the runtime.  This module
+makes that analysis a first-class object: which ops hit the fast table,
+which fall through, and what share of compute the fallbacks carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.cost import node_muls
+from ..ir.graph import Graph, Node
+from ..ir.ops import Op
+from .profiles import EngineProfile
+
+__all__ = ["CoverageReport", "analyze_kernel_coverage"]
+
+
+@dataclass
+class CoverageReport:
+    """How a manual engine's kernel table covers one graph."""
+
+    engine: str
+    optimized_convs: List[str] = field(default_factory=list)
+    fallback_convs: List[str] = field(default_factory=list)
+    optimized_muls: int = 0
+    fallback_muls: int = 0
+    fallback_kernels: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of convolutions with a hand-written kernel."""
+        total = len(self.optimized_convs) + len(self.fallback_convs)
+        return len(self.optimized_convs) / total if total else 1.0
+
+    @property
+    def fallback_mul_share(self) -> float:
+        """Fraction of conv compute stuck on the naive path."""
+        total = self.optimized_muls + self.fallback_muls
+        return self.fallback_muls / total if total else 0.0
+
+
+def analyze_kernel_coverage(graph: Graph, profile: EngineProfile) -> CoverageReport:
+    """Classify every convolution by whether ``profile`` hand-optimizes it."""
+    report = CoverageReport(engine=profile.name)
+    for node in graph.nodes:
+        if node.op_type != Op.CONV2D:
+            continue
+        kernel = tuple(node.attrs["kernel"])
+        muls = node_muls(node, graph)
+        if profile.conv_is_optimized(
+            kernel, tuple(node.attrs["stride"]), tuple(node.attrs["dilation"])
+        ):
+            report.optimized_convs.append(node.name)
+            report.optimized_muls += muls
+        else:
+            report.fallback_convs.append(node.name)
+            report.fallback_muls += muls
+            report.fallback_kernels[kernel] = report.fallback_kernels.get(kernel, 0) + 1
+    return report

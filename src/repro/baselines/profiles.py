@@ -1,0 +1,203 @@
+"""Engine profiles: the design paradigms the paper compares (Figure 6).
+
+Each competitor is modeled by *how it decides what code runs* — that is the
+paper's actual comparison axis — rather than by hard-coding its published
+numbers:
+
+* **manual search** (NCNN, MACE): a fixed table of hand-written kernels for
+  common conv configurations; anything outside the table hits a naive
+  fallback that is two orders of magnitude slower (Figure 8's bottleneck).
+* **library** (TF-Lite, CoreML): general BLAS-style kernels; every op runs,
+  none at hand-tuned efficiency, plus per-op framework dispatch overhead.
+* **automated search** (TVM): near-hand-tuned efficiency on every op, but
+  only after a per-model tuning+compile step (Table 5's deployment cost).
+* **semi-automated search** (MNN): runtime scheme selection over the shared
+  micro-kernel — this profile's algorithm choice is delegated to the real
+  :mod:`repro.core.schemes` selector.
+
+``simd_lanes`` converts the paper's frequency-sum FLOPS index into MACs
+(one NEON FMA retires 4 MACs/cycle); ``*_efficiency`` is the fraction of
+that peak an engine's kernels achieve.  Efficiencies are calibrated once,
+globally (EXPERIMENTS.md) — per-network numbers then *emerge* from each
+graph's op mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..ir.ops import Op
+
+__all__ = ["ConvPattern", "EngineProfile", "ENGINES", "get_engine"]
+
+#: MACs retired per cycle per "frequency unit" (128-bit NEON FMA).
+SIMD_LANES = 4
+
+
+@dataclass(frozen=True)
+class ConvPattern:
+    """A convolution configuration a manual engine hand-optimizes.
+
+    ``kernel`` is (kh, kw); ``stride``/``dilation`` of ``None`` match any.
+    """
+
+    kernel: Tuple[int, int]
+    stride: Optional[Tuple[int, int]] = None
+    dilation: Tuple[int, int] = (1, 1)
+
+    def matches(self, kernel, stride, dilation) -> bool:
+        if tuple(kernel) != self.kernel:
+            return False
+        if self.stride is not None and tuple(stride) != self.stride:
+            return False
+        return tuple(dilation) == self.dilation
+
+
+#: The kernel tables real manual-search engines ship (case-by-case ARM
+#: assembly): 1x1, 3x3 (s1/s2), 5x5, 7x7 — but NOT 1x7/7x1 or dilated
+#: convolutions, which is what Figure 8 exploits.
+_MANUAL_KERNEL_TABLE = frozenset(
+    [
+        ConvPattern((1, 1)),
+        ConvPattern((3, 3), (1, 1)),
+        ConvPattern((3, 3), (2, 2)),
+        ConvPattern((5, 5), (1, 1)),
+        ConvPattern((5, 5), (2, 2)),
+        ConvPattern((7, 7), (2, 2)),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Performance model of one inference engine.
+
+    Attributes:
+        name: display name.
+        paradigm: ``manual`` | ``library`` | ``auto`` | ``semi-auto``.
+        cpu_efficiency: fraction of peak (FLOPS x SIMD_LANES) achieved by
+            the engine's optimized CPU kernels.
+        fallback_efficiency: efficiency of the naive path taken when a
+            manual engine lacks a kernel (irrelevant for other paradigms).
+        gpu_efficiency: achieved fraction of the Appendix-C GPU FLOPS,
+            per API; an API missing here is unsupported by the engine.
+        kernel_table: conv configs with hand-written kernels (manual only;
+            ``None`` = every config is optimized).
+        scheme_search: delegate algorithm choice to MNN's pre-inference
+            selector (the semi-automated paradigm).
+        winograd_fixed_n: engines with a hard-coded Winograd (e.g. NCNN's
+            F(4x4, 3x3)) get its MUL reduction on matching convs only.
+        uses_strassen: large-GEMM Strassen acceleration (MNN only, 3.3.2).
+        fuses_elementwise: BN/activation fused into convs (skips their
+            memory pass).
+        per_op_overhead_ms: framework dispatch cost per operator.
+        os_support: which OSes the engine ships on.
+    """
+
+    name: str
+    paradigm: str
+    cpu_efficiency: float
+    fallback_efficiency: float = 0.015
+    gpu_efficiency: Dict[str, float] = field(default_factory=dict)
+    kernel_table: Optional[FrozenSet[ConvPattern]] = None
+    scheme_search: bool = False
+    winograd_fixed_n: Optional[int] = None
+    uses_strassen: bool = False
+    fuses_elementwise: bool = True
+    per_op_overhead_ms: float = 0.0
+    os_support: Tuple[str, ...] = ("ios", "android")
+    #: per-OS overrides of cpu_efficiency (e.g. 2019-era TF-Lite shipped
+    #: well-tuned iOS kernels but slow generic Android ones).
+    cpu_efficiency_by_os: Dict[str, float] = field(default_factory=dict)
+    #: efficiency of the engine's depthwise-conv kernels when they differ
+    #: from the dense ones (TF-Lite's Android depthwise path was notorious).
+    depthwise_efficiency_by_os: Dict[str, float] = field(default_factory=dict)
+
+    def conv_is_optimized(self, kernel, stride, dilation) -> bool:
+        """Whether a conv config has a fast path in this engine."""
+        if self.kernel_table is None:
+            return True
+        return any(p.matches(kernel, stride, dilation) for p in self.kernel_table)
+
+    def cpu_eff(self, os: str) -> float:
+        return self.cpu_efficiency_by_os.get(os, self.cpu_efficiency)
+
+    def depthwise_eff(self, os: str) -> float:
+        return self.depthwise_efficiency_by_os.get(os, self.cpu_eff(os))
+
+    def supports_os(self, os: str) -> bool:
+        return os in self.os_support
+
+
+ENGINES: Dict[str, EngineProfile] = {
+    "MNN": EngineProfile(
+        name="MNN",
+        paradigm="semi-auto",
+        cpu_efficiency=0.60,
+        gpu_efficiency={"metal": 0.50, "opencl": 0.42, "opengl": 0.40, "vulkan": 0.45},
+        scheme_search=True,
+        uses_strassen=True,
+        fuses_elementwise=True,
+    ),
+    "NCNN": EngineProfile(
+        name="NCNN",
+        paradigm="manual",
+        cpu_efficiency=0.50,
+        fallback_efficiency=0.012,  # scalar naive loop (Figure 8's cliff)
+        gpu_efficiency={"vulkan": 0.28},
+        kernel_table=_MANUAL_KERNEL_TABLE,
+        winograd_fixed_n=4,  # NCNN hardcodes F(4x4, 3x3) transforms
+        fuses_elementwise=True,
+    ),
+    "MACE": EngineProfile(
+        name="MACE",
+        paradigm="manual",
+        cpu_efficiency=0.48,
+        fallback_efficiency=0.10,  # generic (vectorized but untuned) fallback
+        gpu_efficiency={"opencl": 0.36},
+        kernel_table=_MANUAL_KERNEL_TABLE,
+        winograd_fixed_n=2,
+        fuses_elementwise=True,
+        os_support=("android",),
+    ),
+    "TF-Lite": EngineProfile(
+        name="TF-Lite",
+        paradigm="library",
+        cpu_efficiency=0.42,
+        cpu_efficiency_by_os={"ios": 0.55, "android": 0.22},
+        depthwise_efficiency_by_os={"android": 0.06},  # pre-XNNPACK dw path
+        gpu_efficiency={"metal": 0.30, "opengl": 0.18},
+        fuses_elementwise=False,  # interpreter executes BN/ReLU as ops
+        per_op_overhead_ms=0.01,
+    ),
+    "CoreML": EngineProfile(
+        name="CoreML",
+        paradigm="library",
+        cpu_efficiency=0.55,
+        gpu_efficiency={"metal": 0.55},  # Apple's own Metal stack wins on iOS
+        fuses_elementwise=True,
+        per_op_overhead_ms=0.005,
+        os_support=("ios",),
+    ),
+    "TVM": EngineProfile(
+        name="TVM",
+        paradigm="auto",
+        cpu_efficiency=0.52,  # auto-tuned: close to, not quite, hand-tuned
+        gpu_efficiency={"opencl": 0.40},
+        winograd_fixed_n=2,
+        fuses_elementwise=True,
+    ),
+}
+
+
+def get_engine(name: str) -> EngineProfile:
+    """Look up an engine profile by name.
+
+    Raises:
+        KeyError: listing known engines.
+    """
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise KeyError(f"unknown engine {name!r}; known: {sorted(ENGINES)}") from None

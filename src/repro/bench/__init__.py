@@ -1,0 +1,13 @@
+"""Benchmark harness: timing helpers, tables, MLPerf-style loadgen."""
+
+from .harness import TimingResult, format_table, print_table, time_callable
+from .loadgen import LoadgenReport, run_single_stream
+
+__all__ = [
+    "TimingResult",
+    "format_table",
+    "print_table",
+    "time_callable",
+    "LoadgenReport",
+    "run_single_stream",
+]

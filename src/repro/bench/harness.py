@@ -1,0 +1,79 @@
+"""Benchmark harness utilities: wall-clock timing and paper-style tables."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TimingResult", "time_callable", "format_table", "print_table"]
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock statistics over repeated runs, in milliseconds."""
+
+    times_ms: List[float]
+
+    @property
+    def mean_ms(self) -> float:
+        return float(np.mean(self.times_ms))
+
+    @property
+    def median_ms(self) -> float:
+        return float(np.median(self.times_ms))
+
+    @property
+    def min_ms(self) -> float:
+        return float(np.min(self.times_ms))
+
+    @property
+    def std_ms(self) -> float:
+        return float(np.std(self.times_ms))
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 10, warmup: int = 1) -> TimingResult:
+    """Time ``fn`` with the paper's protocol: warm-up runs, then averaging.
+
+    (Section 4.1: "one warm-up inference is conducted", results "averaged
+    by 10 runs".)
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - start) * 1000.0)
+    return TimingResult(times)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table like the paper's result tables."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def print_table(headers, rows, title=None) -> None:
+    print("\n" + format_table(headers, rows, title) + "\n")

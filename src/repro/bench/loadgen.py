@@ -1,0 +1,88 @@
+"""A minimal MLPerf-style load generator (paper Table 7 / Appendix A).
+
+Implements the single-stream scenario: queries are issued back-to-back,
+each query's latency is recorded, and the report mirrors the MLPerf fields
+the paper lists — QPS with/without loadgen overhead, min/max/mean latency
+and percentiles in nanoseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = ["LoadgenReport", "run_single_stream"]
+
+
+@dataclass
+class LoadgenReport:
+    """MLPerf single-stream statistics (latencies in nanoseconds)."""
+
+    query_count: int
+    qps_with_overhead: float
+    qps_without_overhead: float
+    min_latency_ns: int
+    max_latency_ns: int
+    mean_latency_ns: int
+    p50_latency_ns: int
+    p90_latency_ns: int
+
+    def rows(self) -> List[tuple]:
+        """Rows matching the paper's Table 7 items."""
+        return [
+            ("query_count", self.query_count),
+            ("QPS w/ loadgen overhead", round(self.qps_with_overhead, 2)),
+            ("QPS w/o loadgen overhead", round(self.qps_without_overhead, 2)),
+            ("Min latency (ns)", self.min_latency_ns),
+            ("Max latency (ns)", self.max_latency_ns),
+            ("Mean latency (ns)", self.mean_latency_ns),
+            ("50.00 percentile latency (ns)", self.p50_latency_ns),
+            ("90.00 percentile latency (ns)", self.p90_latency_ns),
+        ]
+
+
+def run_single_stream(
+    issue_query: Callable[[], object],
+    min_query_count: int = 64,
+    min_duration_s: float = 0.0,
+    warmup: int = 1,
+) -> LoadgenReport:
+    """Run the single-stream scenario against ``issue_query``.
+
+    Queries are issued sequentially until both ``min_query_count`` and
+    ``min_duration_s`` are satisfied (MLPerf semantics).
+
+    Raises:
+        ValueError: if ``min_query_count`` < 1.
+    """
+    if min_query_count < 1:
+        raise ValueError("min_query_count must be >= 1")
+    for _ in range(warmup):
+        issue_query()
+
+    latencies_ns: List[int] = []
+    bench_start = time.perf_counter()
+    while (
+        len(latencies_ns) < min_query_count
+        or (time.perf_counter() - bench_start) < min_duration_s
+    ):
+        start = time.perf_counter_ns()
+        issue_query()
+        latencies_ns.append(time.perf_counter_ns() - start)
+    total_wall_s = time.perf_counter() - bench_start
+
+    arr = np.asarray(latencies_ns, dtype=np.int64)
+    pure_s = float(arr.sum()) / 1e9
+    return LoadgenReport(
+        query_count=len(latencies_ns),
+        qps_with_overhead=len(latencies_ns) / total_wall_s,
+        qps_without_overhead=len(latencies_ns) / pure_s if pure_s > 0 else float("inf"),
+        min_latency_ns=int(arr.min()),
+        max_latency_ns=int(arr.max()),
+        mean_latency_ns=int(arr.mean()),
+        p50_latency_ns=int(np.percentile(arr, 50)),
+        p90_latency_ns=int(np.percentile(arr, 90)),
+    )

@@ -1,0 +1,46 @@
+"""Float16 weight compression.
+
+Stores all floating-point constants as fp16 (halving the model file) while
+computing in fp32: the runner path upcasts on first touch.  This is the
+"fp16 model" option every mobile engine (MNN included) ships.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.ops import Op
+from ..ir.serialization import dumps, loads
+from ..ir.tensor import DataType, TensorDesc
+
+__all__ = ["convert_to_fp16", "fp16_savings"]
+
+
+def convert_to_fp16(graph: Graph) -> Graph:
+    """Return a copy of ``graph`` with float32 constants stored as fp16.
+
+    Constants feeding ``BatchNorm`` keep fp32 (variance epsilon arithmetic
+    is precision-sensitive); everything else is halved.
+    """
+    converted = loads(dumps(graph))
+    keep_fp32 = set()
+    for node in converted.nodes:
+        if node.op_type == Op.BATCH_NORM:
+            keep_fp32.update(node.inputs[1:])
+    for name, value in converted.constants.items():
+        if name in keep_fp32 or value.dtype != np.float32:
+            continue
+        half = value.astype(np.float16)
+        converted.constants[name] = half
+        converted.tensor_descs[name] = TensorDesc(name, value.shape, DataType.FLOAT16)
+    return converted
+
+
+def fp16_savings(graph: Graph, converted: Graph) -> Tuple[int, int]:
+    """(original bytes, fp16 bytes) over all constants."""
+    before = sum(v.nbytes for v in graph.constants.values())
+    after = sum(v.nbytes for v in converted.constants.values())
+    return before, after

@@ -1,0 +1,12 @@
+"""Model-format frontends for the offline converter."""
+
+from .onnx_like import ConversionError, convert_onnx_like
+from .caffe_like import convert_caffe_like
+from .tflite_like import convert_tflite_like
+
+__all__ = [
+    "ConversionError",
+    "convert_onnx_like",
+    "convert_caffe_like",
+    "convert_tflite_like",
+]

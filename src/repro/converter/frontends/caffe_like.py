@@ -1,0 +1,199 @@
+"""Frontend for a Caffe-style model description.
+
+Caffe models are a layer list with ``bottom``/``top`` tensor wiring and a
+separate weight store.  This frontend accepts the equivalent dict form::
+
+    {
+      "name": str,
+      "inputs": [{"name": str, "shape": [..]}],
+      "layers": [{"name": str, "type": "Convolution", "bottom": [..],
+                  "top": [..], ...layer params...}],
+      "blobs": {layer_name: [np.ndarray, ...]},   # weights, then bias
+    }
+
+Layer types mirror Caffe: Convolution, InnerProduct, Pooling (MAX/AVE with
+``global_pooling``), ReLU, BatchNorm, Scale, Eltwise (SUM/PROD/MAX),
+Concat, Softmax, Dropout, Deconvolution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from ...ir.graph import Graph, GraphError
+from ...ir.ops import Op
+from ...ir.shape_inference import infer_shapes
+from .onnx_like import ConversionError
+
+__all__ = ["convert_caffe_like"]
+
+
+def _pair(layer: Mapping[str, Any], base: str, default: int) -> tuple:
+    """Caffe convention: `pad` or `pad_h`/`pad_w`."""
+    if f"{base}_h" in layer or f"{base}_w" in layer:
+        return (int(layer.get(f"{base}_h", default)), int(layer.get(f"{base}_w", default)))
+    v = layer.get(base, default)
+    return (int(v), int(v))
+
+
+def convert_caffe_like(model: Mapping[str, Any]) -> Graph:
+    """Convert a Caffe-style dict model to an IR graph.
+
+    Raises:
+        ConversionError: on unknown layer types or missing blobs.
+    """
+    graph = Graph(model.get("name", "caffe_model"))
+    for spec in model.get("inputs", ()):
+        graph.add_input(spec["name"], tuple(spec["shape"]))
+    blobs: Mapping[str, List[np.ndarray]] = model.get("blobs", {})
+
+    last_top: str = model["inputs"][0]["name"] if model.get("inputs") else ""
+    for layer in model.get("layers", ()):
+        ltype = layer["type"]
+        name = layer["name"]
+        bottoms = list(layer.get("bottom", [last_top]))
+        tops = list(layer.get("top", [name]))
+        params = blobs.get(name, [])
+        try:
+            _convert_layer(graph, ltype, name, bottoms, tops, layer, params)
+        except (KeyError, GraphError, ValueError, IndexError) as exc:
+            raise ConversionError(f"layer {name!r} ({ltype}): {exc}") from exc
+        last_top = tops[0]
+
+    outputs = model.get("outputs")
+    if not outputs:
+        # Caffe convention: tensors never consumed are the net outputs.
+        consumed = {b for layer in model.get("layers", ()) for b in layer.get("bottom", [])}
+        outputs = [
+            top
+            for layer in model.get("layers", ())
+            for top in layer.get("top", [layer["name"]])
+            if top not in consumed
+        ]
+    for out in outputs:
+        graph.mark_output(out)
+    graph.validate()
+    infer_shapes(graph)
+    return graph
+
+
+def _convert_layer(graph: Graph, ltype: str, name: str, bottoms: List[str],
+                   tops: List[str], layer: Mapping[str, Any],
+                   params: List[np.ndarray]) -> None:
+    if ltype in ("Convolution", "Deconvolution"):
+        if not params:
+            raise ConversionError("missing weight blob")
+        weights = np.asarray(params[0])
+        w_name = graph.add_constant(f"{name}_weight", weights)
+        inputs = bottoms[:1] + [w_name]
+        has_bias = len(params) > 1
+        if has_bias:
+            inputs.append(graph.add_constant(f"{name}_bias", np.asarray(params[1])))
+        group = int(layer.get("group", 1))
+        kernel = _pair(layer, "kernel_size", weights.shape[-1])
+        attrs = {
+            "kernel": kernel,
+            "stride": _pair(layer, "stride", 1),
+            "dilation": _pair(layer, "dilation", 1),
+            "pad": (*_pair(layer, "pad", 0), *_pair(layer, "pad", 0))[:4]
+            if "pad_h" not in layer
+            else (layer.get("pad_h", 0), layer.get("pad_h", 0),
+                  layer.get("pad_w", 0), layer.get("pad_w", 0)),
+            "pad_mode": "explicit",
+            "groups": group,
+            "has_bias": has_bias,
+        }
+        # normalize symmetric caffe pad (pad, pad) -> (t, b, l, r)
+        ph, pw = _pair(layer, "pad", 0)
+        attrs["pad"] = (ph, ph, pw, pw)
+        if ltype == "Deconvolution":
+            attrs["output_padding"] = (0, 0)
+            graph.add_node(Op.CONV_TRANSPOSE2D, inputs, tops, attrs, name=name)
+        else:
+            depthwise = group > 1 and weights.shape[1] == 1 and weights.shape[0] == group
+            graph.add_node(
+                Op.DEPTHWISE_CONV2D if depthwise else Op.CONV2D,
+                inputs, tops, attrs, name=name,
+            )
+    elif ltype == "InnerProduct":
+        weights = np.asarray(params[0])
+        w_name = graph.add_constant(f"{name}_weight", weights)
+        inputs = bottoms[:1] + [w_name]
+        if len(params) > 1:
+            inputs.append(graph.add_constant(f"{name}_bias", np.asarray(params[1])))
+        graph.add_node(Op.FULLY_CONNECTED, inputs, tops,
+                       {"units": weights.shape[0]}, name=name)
+    elif ltype == "Pooling":
+        if layer.get("global_pooling"):
+            if layer.get("pool", "MAX") != "AVE":
+                raise ConversionError("global pooling only supported for AVE")
+            graph.add_node(Op.GLOBAL_AVG_POOL, bottoms, tops, {}, name=name)
+            return
+        pool = layer.get("pool", "MAX")
+        kernel = _pair(layer, "kernel_size", 2)
+        ph, pw = _pair(layer, "pad", 0)
+        attrs = {
+            "kernel": kernel,
+            "stride": _pair(layer, "stride", kernel[0]),
+            "pad": (ph, ph, pw, pw),
+            "pad_mode": "explicit",
+            "ceil_mode": bool(layer.get("ceil_mode", True)),  # Caffe default
+        }
+        if pool == "MAX":
+            graph.add_node(Op.MAX_POOL, bottoms, tops, attrs, name=name)
+        elif pool == "AVE":
+            attrs["count_include_pad"] = True  # Caffe semantics
+            graph.add_node(Op.AVG_POOL, bottoms, tops, attrs, name=name)
+        else:
+            raise ConversionError(f"unknown pool kind {pool!r}")
+    elif ltype == "ReLU":
+        graph.add_node(Op.RELU, bottoms, tops, {}, name=name)
+    elif ltype == "ReLU6":
+        graph.add_node(Op.RELU6, bottoms, tops, {}, name=name)
+    elif ltype == "Sigmoid":
+        graph.add_node(Op.SIGMOID, bottoms, tops, {}, name=name)
+    elif ltype == "TanH":
+        graph.add_node(Op.TANH, bottoms, tops, {}, name=name)
+    elif ltype == "BatchNorm":
+        mean = np.asarray(params[0])
+        var = np.asarray(params[1])
+        scale = float(params[2]) if len(params) > 2 else 1.0
+        if scale not in (0.0, 1.0):
+            mean = mean / scale
+            var = var / scale
+        c = mean.shape[0]
+        inputs = bottoms[:1] + [
+            graph.add_constant(f"{name}_gamma", np.ones(c, np.float32)),
+            graph.add_constant(f"{name}_beta", np.zeros(c, np.float32)),
+            graph.add_constant(f"{name}_mean", mean.astype(np.float32)),
+            graph.add_constant(f"{name}_var", var.astype(np.float32)),
+        ]
+        graph.add_node(Op.BATCH_NORM, inputs, tops,
+                       {"epsilon": float(layer.get("eps", 1e-5))}, name=name)
+    elif ltype == "Scale":
+        inputs = bottoms[:1] + [graph.add_constant(f"{name}_scale", np.asarray(params[0]))]
+        if len(params) > 1:
+            inputs.append(graph.add_constant(f"{name}_shift", np.asarray(params[1])))
+        graph.add_node(Op.SCALE, inputs, tops, {}, name=name)
+    elif ltype == "Eltwise":
+        operation = layer.get("operation", "SUM")
+        mapped = {"SUM": Op.ADD, "PROD": Op.MUL, "MAX": Op.ELTWISE_MAX}.get(operation)
+        if mapped is None:
+            raise ConversionError(f"unknown eltwise operation {operation!r}")
+        graph.add_node(mapped, bottoms, tops, {}, name=name)
+    elif ltype == "Concat":
+        graph.add_node(Op.CONCAT, bottoms, tops,
+                       {"axis": int(layer.get("axis", 1))}, name=name)
+    elif ltype == "Softmax":
+        graph.add_node(Op.SOFTMAX, bottoms, tops,
+                       {"axis": int(layer.get("axis", 1))}, name=name)
+    elif ltype == "Dropout":
+        graph.add_node(Op.DROPOUT, bottoms, tops,
+                       {"ratio": float(layer.get("dropout_ratio", 0.5))}, name=name)
+    elif ltype == "Flatten":
+        graph.add_node(Op.FLATTEN, bottoms, tops,
+                       {"axis": int(layer.get("axis", 1))}, name=name)
+    else:
+        raise ConversionError(f"unsupported Caffe layer type {ltype!r}")

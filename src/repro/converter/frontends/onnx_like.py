@@ -1,0 +1,211 @@
+"""Frontend for an ONNX-style model description.
+
+The paper's converter ingests TensorFlow/Caffe/ONNX models.  With no
+network access, we define the closest synthetic equivalent: a dict-based
+model whose node vocabulary and attribute conventions mirror ONNX
+(``Conv`` with ``group``/``pads``/``strides``, ``Gemm``, ``Clip`` for
+ReLU6, ``BatchNormalization`` ...).  ``convert_onnx_like`` maps it onto the
+repro IR, exercising the same normalization work a real ONNX importer
+does: attribute translation, depthwise detection, op-name mapping.
+
+Model schema::
+
+    {
+      "name": str,
+      "inputs":  [{"name": str, "shape": [..]}],
+      "outputs": [str],
+      "initializers": {name: np.ndarray},
+      "nodes": [{"op_type": str, "inputs": [..], "outputs": [..],
+                 "attrs": {..}}],
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from ...ir.graph import Graph, GraphError
+from ...ir.ops import Op
+from ...ir.shape_inference import infer_shapes
+
+__all__ = ["convert_onnx_like", "ConversionError"]
+
+
+class ConversionError(ValueError):
+    """Raised when an external model cannot be mapped to the IR."""
+
+
+def _pair(value, default) -> tuple:
+    if value is None:
+        return (default, default)
+    if isinstance(value, (int, float)):
+        return (int(value), int(value))
+    return (int(value[0]), int(value[1]))
+
+
+def _onnx_pads(pads) -> tuple:
+    """ONNX pads are (top, left, bottom, right); IR wants (t, b, l, r)."""
+    if pads is None:
+        return (0, 0, 0, 0)
+    t, l, b, r = (int(p) for p in pads)
+    return (t, b, l, r)
+
+
+def convert_onnx_like(model: Mapping[str, Any]) -> Graph:
+    """Convert an ONNX-style dict model to an IR graph.
+
+    Raises:
+        ConversionError: on unknown op types or malformed attributes.
+    """
+    graph = Graph(model.get("name", "onnx_model"))
+    for spec in model.get("inputs", ()):
+        graph.add_input(spec["name"], tuple(spec["shape"]))
+    for name, value in model.get("initializers", {}).items():
+        graph.add_constant(name, np.asarray(value))
+
+    for i, node in enumerate(model.get("nodes", ())):
+        op = node["op_type"]
+        inputs = list(node["inputs"])
+        outputs = list(node["outputs"])
+        attrs = dict(node.get("attrs", {}))
+        name = node.get("name", outputs[0] if outputs else f"node_{i}")
+        try:
+            _convert_node(graph, op, inputs, outputs, attrs, name)
+        except (KeyError, GraphError, ValueError) as exc:
+            raise ConversionError(f"node {name!r} ({op}): {exc}") from exc
+
+    for out in model.get("outputs", ()):
+        graph.mark_output(out)
+    graph.validate()
+    infer_shapes(graph)
+    return graph
+
+
+def _convert_node(graph: Graph, op: str, inputs: List[str], outputs: List[str],
+                  attrs: Dict[str, Any], name: str) -> None:
+    if op == "Conv":
+        weights = graph.constants.get(inputs[1])
+        if weights is None:
+            raise ConversionError("Conv weights must be an initializer")
+        group = int(attrs.get("group", 1))
+        ic_total = weights.shape[1] * group
+        kernel = tuple(attrs.get("kernel_shape", weights.shape[2:]))
+        conv_attrs = {
+            "kernel": kernel,
+            "stride": _pair(attrs.get("strides"), 1),
+            "dilation": _pair(attrs.get("dilations"), 1),
+            "pad": _onnx_pads(attrs.get("pads")),
+            "pad_mode": "same" if attrs.get("auto_pad") == "SAME_UPPER" else "explicit",
+            "groups": group,
+            "has_bias": len(inputs) > 2,
+        }
+        depthwise = group > 1 and weights.shape[1] == 1 and weights.shape[0] == ic_total
+        graph.add_node(
+            Op.DEPTHWISE_CONV2D if depthwise else Op.CONV2D,
+            inputs, outputs, conv_attrs, name=name,
+        )
+    elif op == "ConvTranspose":
+        weights = graph.constants[inputs[1]]
+        graph.add_node(
+            Op.CONV_TRANSPOSE2D, inputs, outputs,
+            {
+                "kernel": tuple(attrs.get("kernel_shape", weights.shape[2:])),
+                "stride": _pair(attrs.get("strides"), 1),
+                "dilation": _pair(attrs.get("dilations"), 1),
+                "pad": _onnx_pads(attrs.get("pads")),
+                "pad_mode": "explicit",
+                "has_bias": len(inputs) > 2,
+                "output_padding": _pair(attrs.get("output_padding"), 0),
+            },
+            name=name,
+        )
+    elif op == "Gemm":
+        weights = graph.constants.get(inputs[1])
+        if weights is None or not attrs.get("transB", 1):
+            raise ConversionError("Gemm requires transB=1 with constant weights")
+        graph.add_node(Op.FULLY_CONNECTED, inputs, outputs,
+                       {"units": weights.shape[0]}, name=name)
+    elif op == "MatMul":
+        graph.add_node(Op.MATMUL, inputs, outputs, {}, name=name)
+    elif op == "BatchNormalization":
+        graph.add_node(Op.BATCH_NORM, inputs, outputs,
+                       {"epsilon": float(attrs.get("epsilon", 1e-5))}, name=name)
+    elif op == "Relu":
+        graph.add_node(Op.RELU, inputs, outputs, {}, name=name)
+    elif op == "Clip":
+        lo = float(attrs.get("min", 0.0))
+        hi = float(attrs.get("max", 6.0))
+        if (lo, hi) != (0.0, 6.0):
+            raise ConversionError(f"Clip({lo}, {hi}) is not a ReLU6")
+        graph.add_node(Op.RELU6, inputs, outputs, {}, name=name)
+    elif op == "Sigmoid":
+        graph.add_node(Op.SIGMOID, inputs, outputs, {}, name=name)
+    elif op == "Tanh":
+        graph.add_node(Op.TANH, inputs, outputs, {}, name=name)
+    elif op == "PRelu":
+        graph.add_node(Op.PRELU, inputs, outputs, {}, name=name)
+    elif op == "Softmax":
+        graph.add_node(Op.SOFTMAX, inputs, outputs,
+                       {"axis": int(attrs.get("axis", 1))}, name=name)
+    elif op in ("MaxPool", "AveragePool"):
+        pool_attrs = {
+            "kernel": tuple(attrs["kernel_shape"]),
+            "stride": _pair(attrs.get("strides"), 1),
+            "pad": _onnx_pads(attrs.get("pads")),
+            "pad_mode": "explicit",
+            "ceil_mode": bool(attrs.get("ceil_mode", False)),
+        }
+        if op == "AveragePool":
+            pool_attrs["count_include_pad"] = bool(attrs.get("count_include_pad", False))
+        graph.add_node(Op.MAX_POOL if op == "MaxPool" else Op.AVG_POOL,
+                       inputs, outputs, pool_attrs, name=name)
+    elif op == "GlobalAveragePool":
+        graph.add_node(Op.GLOBAL_AVG_POOL, inputs, outputs, {}, name=name)
+    elif op in ("Add", "Sub", "Mul", "Max"):
+        mapped = {"Add": Op.ADD, "Sub": Op.SUB, "Mul": Op.MUL, "Max": Op.ELTWISE_MAX}[op]
+        graph.add_node(mapped, inputs, outputs, {}, name=name)
+    elif op == "Split":
+        sizes = attrs.get("split")
+        if sizes is None:
+            raise ConversionError("Split requires explicit 'split' sizes")
+        graph.add_node(Op.SPLIT, inputs, outputs,
+                       {"axis": int(attrs.get("axis", 0)),
+                        "sizes": tuple(int(s) for s in sizes)}, name=name)
+    elif op == "Concat":
+        graph.add_node(Op.CONCAT, inputs, outputs,
+                       {"axis": int(attrs.get("axis", 1))}, name=name)
+    elif op == "Reshape":
+        shape = attrs.get("shape")
+        if shape is None and len(inputs) > 1:
+            shape = graph.constants[inputs[1]].tolist()
+            inputs = inputs[:1]
+        graph.add_node(Op.RESHAPE, inputs, outputs, {"shape": tuple(shape)}, name=name)
+    elif op == "Flatten":
+        graph.add_node(Op.FLATTEN, inputs, outputs,
+                       {"axis": int(attrs.get("axis", 1))}, name=name)
+    elif op == "Pad":
+        pads = attrs["pads"]
+        rank = len(pads) // 2
+        interleaved = []
+        for axis in range(rank):  # ONNX: all befores then all afters
+            interleaved += [int(pads[axis]), int(pads[axis + rank])]
+        graph.add_node(Op.PAD, inputs, outputs,
+                       {"pads": tuple(interleaved),
+                        "value": float(attrs.get("value", 0.0))}, name=name)
+    elif op in ("Upsample", "Resize"):
+        graph.add_node(Op.RESIZE, inputs, outputs,
+                       {"scale": _pair(attrs.get("scales"), 2),
+                        "mode": attrs.get("mode", "nearest")}, name=name)
+    elif op == "ReduceMean":
+        graph.add_node(Op.REDUCE_MEAN, inputs, outputs,
+                       {"axes": tuple(attrs["axes"]),
+                        "keepdims": bool(attrs.get("keepdims", 1))}, name=name)
+    elif op == "Dropout":
+        graph.add_node(Op.DROPOUT, inputs, outputs,
+                       {"ratio": float(attrs.get("ratio", 0.5))}, name=name)
+    elif op == "Identity":
+        graph.add_node(Op.IDENTITY, inputs, outputs, {}, name=name)
+    else:
+        raise ConversionError(f"unsupported ONNX op type {op!r}")

@@ -1,0 +1,170 @@
+"""Frontend for a TFLite-style model description.
+
+TFLite models are flatbuffers with an explicit tensor table and operators
+referring to tensors *by index*; activations default to NHWC and conv
+weights to OHWI.  This frontend accepts the equivalent dict form and
+performs the layout normalization a real TFLite importer must do
+(NHWC -> NCHW shapes, OHWI -> OIHW kernels, fused activation attributes).
+
+Model schema::
+
+    {
+      "name": str,
+      "tensors": [{"name": str, "shape": [..(NHWC)..],
+                   "data": np.ndarray | None}, ...],
+      "inputs":  [tensor indices],
+      "outputs": [tensor indices],
+      "operators": [{"opcode": "CONV_2D", "inputs": [idx..],
+                     "outputs": [idx..], "options": {..}}],
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+import numpy as np
+
+from ...ir.graph import Graph
+from ...ir.ops import Op
+from ...ir.shape_inference import infer_shapes
+from .onnx_like import ConversionError
+
+__all__ = ["convert_tflite_like"]
+
+_FUSED = {"NONE": None, "RELU": "relu", "RELU6": "relu6"}
+
+
+def _nhwc_to_nchw(shape) -> tuple:
+    if len(shape) == 4:
+        n, h, w, c = shape
+        return (n, c, h, w)
+    return tuple(shape)
+
+
+def _padding(options, in_hw, kernel, stride) -> dict:
+    mode = options.get("padding", "SAME")
+    if mode == "SAME":
+        return {"pad_mode": "same"}
+    if mode == "VALID":
+        return {"pad_mode": "valid"}
+    raise ConversionError(f"unknown padding {mode!r}")
+
+
+def convert_tflite_like(model: Mapping[str, Any]) -> Graph:
+    """Convert a TFLite-style dict model to an IR graph (NCHW).
+
+    Raises:
+        ConversionError: on unknown opcodes or malformed tensors.
+    """
+    graph = Graph(model.get("name", "tflite_model"))
+    tensors: List[Mapping[str, Any]] = list(model.get("tensors", ()))
+    names: List[str] = []
+    for i, spec in enumerate(tensors):
+        names.append(spec.get("name") or f"t{i}")
+
+    input_ids = set(model.get("inputs", ()))
+    for i in sorted(input_ids):
+        graph.add_input(names[i], _nhwc_to_nchw(tensors[i]["shape"]))
+
+    def tensor_data(i: int) -> np.ndarray:
+        data = tensors[i].get("data")
+        if data is None:
+            raise ConversionError(f"tensor {names[i]!r} has no constant data")
+        return np.asarray(data)
+
+    for op_index, operator in enumerate(model.get("operators", ())):
+        opcode = operator["opcode"]
+        op_inputs = list(operator["inputs"])
+        op_outputs = list(operator["outputs"])
+        options = dict(operator.get("options", {}))
+        out_name = names[op_outputs[0]]
+        try:
+            _convert(graph, opcode, op_inputs, op_outputs, options, names,
+                     tensor_data, out_name)
+        except (KeyError, ValueError, IndexError) as exc:
+            raise ConversionError(f"operator #{op_index} ({opcode}): {exc}") from exc
+
+    for i in model.get("outputs", ()):
+        graph.mark_output(names[i])
+    graph.validate()
+    infer_shapes(graph)
+    return graph
+
+
+def _convert(graph, opcode, op_inputs, op_outputs, options, names,
+             tensor_data, out_name) -> None:
+    if opcode in ("CONV_2D", "DEPTHWISE_CONV_2D"):
+        depthwise = opcode == "DEPTHWISE_CONV_2D"
+        weights = tensor_data(op_inputs[1])
+        if depthwise:
+            # TFLite DW kernels: (1, kh, kw, C) -> (C, 1, kh, kw)
+            _, kh, kw, c = weights.shape
+            w = np.ascontiguousarray(weights.transpose(3, 0, 1, 2))
+        else:
+            # OHWI -> OIHW
+            oc, kh, kw, ic = weights.shape
+            w = np.ascontiguousarray(weights.transpose(0, 3, 1, 2))
+        w_name = graph.add_constant(f"{out_name}_weight", w)
+        inputs = [names[op_inputs[0]], w_name]
+        if len(op_inputs) > 2:
+            inputs.append(graph.add_constant(f"{out_name}_bias", tensor_data(op_inputs[2])))
+        fused = _FUSED.get(options.get("fused_activation", "NONE"), None)
+        attrs = {
+            "kernel": (kh, kw),
+            "stride": (int(options.get("stride_h", 1)), int(options.get("stride_w", 1))),
+            "dilation": (int(options.get("dilation_h", 1)), int(options.get("dilation_w", 1))),
+            "has_bias": len(op_inputs) > 2,
+            "activation": fused,
+            **_padding(options, None, None, None),
+        }
+        if depthwise:
+            attrs["groups"] = w.shape[0]
+            graph.add_node(Op.DEPTHWISE_CONV2D, inputs, [out_name], attrs)
+        else:
+            graph.add_node(Op.CONV2D, inputs, [out_name], attrs)
+    elif opcode == "FULLY_CONNECTED":
+        weights = tensor_data(op_inputs[1])  # (units, in_features) already
+        w_name = graph.add_constant(f"{out_name}_weight", weights)
+        inputs = [names[op_inputs[0]], w_name]
+        if len(op_inputs) > 2:
+            inputs.append(graph.add_constant(f"{out_name}_bias", tensor_data(op_inputs[2])))
+        graph.add_node(Op.FULLY_CONNECTED, inputs, [out_name],
+                       {"units": weights.shape[0]})
+    elif opcode in ("MAX_POOL_2D", "AVERAGE_POOL_2D"):
+        attrs = {
+            "kernel": (int(options.get("filter_h", 2)), int(options.get("filter_w", 2))),
+            "stride": (int(options.get("stride_h", 2)), int(options.get("stride_w", 2))),
+            **_padding(options, None, None, None),
+        }
+        mapped = Op.MAX_POOL if opcode == "MAX_POOL_2D" else Op.AVG_POOL
+        graph.add_node(mapped, [names[op_inputs[0]]], [out_name], attrs)
+    elif opcode == "MEAN":
+        # TFLite's global-average-pool idiom: MEAN over the spatial axes.
+        axes = tuple(options.get("axes", (1, 2)))
+        if set(axes) != {1, 2}:
+            raise ConversionError(f"MEAN axes {axes} is not spatial pooling")
+        graph.add_node(Op.GLOBAL_AVG_POOL, [names[op_inputs[0]]], [out_name], {})
+    elif opcode in ("RELU", "RELU6", "LOGISTIC", "TANH", "SOFTMAX"):
+        mapped = {"RELU": Op.RELU, "RELU6": Op.RELU6, "LOGISTIC": Op.SIGMOID,
+                  "TANH": Op.TANH, "SOFTMAX": Op.SOFTMAX}[opcode]
+        attrs = {"axis": 1} if opcode == "SOFTMAX" else {}
+        graph.add_node(mapped, [names[op_inputs[0]]], [out_name], attrs)
+    elif opcode == "ADD":
+        graph.add_node(Op.ADD, [names[i] for i in op_inputs], [out_name], {})
+    elif opcode == "MUL":
+        graph.add_node(Op.MUL, [names[i] for i in op_inputs], [out_name], {})
+    elif opcode == "CONCATENATION":
+        axis = int(options.get("axis", 3))
+        # NHWC channel axis 3 -> NCHW axis 1
+        nchw_axis = {0: 0, 1: 2, 2: 3, 3: 1}.get(axis, axis)
+        graph.add_node(Op.CONCAT, [names[i] for i in op_inputs], [out_name],
+                       {"axis": nchw_axis})
+    elif opcode == "RESHAPE":
+        shape = options.get("new_shape")
+        if shape is None:
+            shape = tensor_data(op_inputs[1]).tolist()
+        graph.add_node(Op.RESHAPE, [names[op_inputs[0]]], [out_name],
+                       {"shape": tuple(int(s) for s in shape)})
+    else:
+        raise ConversionError(f"unsupported TFLite opcode {opcode!r}")

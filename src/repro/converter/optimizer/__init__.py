@@ -1,0 +1,27 @@
+"""Graph optimization passes for the offline converter."""
+
+from .passes import (
+    FoldConstants,
+    FuseConvActivation,
+    FuseConvBatchNorm,
+    Pass,
+    PassManager,
+    PassResult,
+    RemoveIdentity,
+    ReplaceOps,
+    default_passes,
+    optimize,
+)
+
+__all__ = [
+    "FoldConstants",
+    "FuseConvActivation",
+    "FuseConvBatchNorm",
+    "Pass",
+    "PassManager",
+    "PassResult",
+    "RemoveIdentity",
+    "ReplaceOps",
+    "default_passes",
+    "optimize",
+]

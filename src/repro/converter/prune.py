@@ -1,0 +1,116 @@
+"""Magnitude pruning — the paper's future work item 2 ("integrating model
+compression tools (e.g. pruning) to slim the model on the fly").
+
+Unstructured global magnitude pruning of conv/FC weights to a target
+sparsity, plus a sparsity report and a compressed-size estimate (sparse
+tensors stored as value+index pairs, the standard CSR-style accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.ops import Op
+from ..ir.serialization import dumps, loads
+
+__all__ = ["PruneReport", "prune_model", "sparsity_report"]
+
+#: Ops whose weight input (index 1) participates in pruning.
+_PRUNABLE_OPS = (Op.CONV2D, Op.FULLY_CONNECTED)
+
+
+@dataclass
+class PruneReport:
+    """What pruning did to a model.
+
+    Attributes:
+        target_sparsity: requested global fraction of zeroed weights.
+        achieved_sparsity: actual fraction over prunable weights.
+        per_tensor: tensor name -> sparsity.
+        dense_bytes: weight bytes stored densely.
+        sparse_bytes: estimated bytes under value+int32-index storage.
+    """
+
+    target_sparsity: float
+    achieved_sparsity: float
+    per_tensor: Dict[str, float] = field(default_factory=dict)
+    dense_bytes: int = 0
+    sparse_bytes: int = 0
+
+    @property
+    def compression(self) -> float:
+        return self.dense_bytes / self.sparse_bytes if self.sparse_bytes else 1.0
+
+
+def _prunable_weights(graph: Graph) -> Dict[str, np.ndarray]:
+    names = {}
+    for node in graph.nodes:
+        if node.op_type in _PRUNABLE_OPS and len(node.inputs) > 1:
+            weights = graph.constants.get(node.inputs[1])
+            if weights is not None and np.issubdtype(weights.dtype, np.floating):
+                names[node.inputs[1]] = weights
+    return names
+
+
+def prune_model(
+    graph: Graph,
+    sparsity: float,
+    protect: Sequence[str] = (),
+) -> tuple[Graph, PruneReport]:
+    """Globally magnitude-prune conv/FC weights to ``sparsity``.
+
+    The threshold is one global magnitude quantile over all prunable
+    weights, so easy (low-magnitude-heavy) layers absorb more of the
+    budget — standard global pruning behaviour.
+
+    Args:
+        graph: source graph (untouched; a pruned copy is returned).
+        sparsity: fraction of prunable weights to zero, in [0, 1).
+        protect: weight tensor names excluded from pruning (e.g. the
+            first conv, which is classically sensitive).
+
+    Raises:
+        ValueError: for sparsity outside [0, 1) or no prunable weights.
+    """
+    if not (0.0 <= sparsity < 1.0):
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    pruned = loads(dumps(graph))
+    weights = {
+        name: w for name, w in _prunable_weights(pruned).items() if name not in protect
+    }
+    if not weights:
+        raise ValueError("graph has no prunable conv/FC weights")
+
+    all_magnitudes = np.concatenate([np.abs(w).ravel() for w in weights.values()])
+    if sparsity == 0.0:
+        threshold = -1.0
+    else:
+        threshold = float(np.quantile(all_magnitudes, sparsity))
+
+    report = PruneReport(target_sparsity=sparsity, achieved_sparsity=0.0)
+    zeroed = 0
+    total = 0
+    for name, w in weights.items():
+        mask = np.abs(w) > threshold
+        pruned.constants[name] = (w * mask).astype(w.dtype)
+        layer_sparsity = 1.0 - mask.mean()
+        report.per_tensor[name] = float(layer_sparsity)
+        zeroed += int((~mask).sum())
+        total += w.size
+    report.achieved_sparsity = zeroed / total
+
+    report.dense_bytes = sum(w.nbytes for w in weights.values())
+    nnz = total - zeroed
+    report.sparse_bytes = nnz * (4 + 4)  # float32 value + int32 index
+    return pruned, report
+
+
+def sparsity_report(graph: Graph) -> Dict[str, float]:
+    """Per-weight-tensor sparsity of an existing model."""
+    return {
+        name: float((w == 0).mean()) for name, w in _prunable_weights(graph).items()
+    }

@@ -1,0 +1,37 @@
+"""Core engine: pre-inference, cost model, memory planning, sessions."""
+
+from .cost import BackendCostModel, node_muls, strassen_mul_factor, winograd_tile_cost
+from .memory import Arena, MemoryPlan, TensorLifetime, compute_lifetimes, plan_memory
+from .autotune import TuneReport, autotune_schemes
+from .schemes import (
+    SchemeConfig,
+    SchemeDecision,
+    select_conv_scheme,
+    select_graph_schemes,
+    winograd_plane_cost,
+)
+from .session import OpProfile, RunStats, Session, SessionConfig, choose_backend
+
+__all__ = [
+    "BackendCostModel",
+    "node_muls",
+    "strassen_mul_factor",
+    "winograd_tile_cost",
+    "Arena",
+    "MemoryPlan",
+    "TensorLifetime",
+    "compute_lifetimes",
+    "plan_memory",
+    "SchemeConfig",
+    "SchemeDecision",
+    "select_conv_scheme",
+    "select_graph_schemes",
+    "winograd_plane_cost",
+    "TuneReport",
+    "autotune_schemes",
+    "OpProfile",
+    "RunStats",
+    "Session",
+    "SessionConfig",
+    "choose_backend",
+]

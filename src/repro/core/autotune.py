@@ -1,0 +1,170 @@
+"""Measurement-based scheme auto-tuning (the paper's future work item 1:
+"applying auto-tuning during backend evaluation").
+
+Where pre-inference *predicts* the best convolution scheme from the Eq. 2
+cost model, the auto-tuner *measures* every legal candidate on the actual
+kernels with the layer's true shapes and picks the empirical winner.  This
+recovers TVM-style measured quality while staying on-device and taking
+milliseconds-to-seconds, not hours, because the candidate pool per layer
+is the small scheme pool rather than an open schedule space.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from ..ir.ops import Op
+from ..ir.shape_inference import resolve_padding
+from ..kernels.conv import conv2d
+from .schemes import SchemeConfig, SchemeDecision, select_conv_scheme
+
+__all__ = ["TuneReport", "autotune_schemes"]
+
+
+@dataclass
+class TuneReport:
+    """Result of auto-tuning one graph.
+
+    Attributes:
+        decisions: per-conv measured-best scheme (Session-compatible).
+        measurements: per-conv candidate timings in ms.
+        model_decisions: what the Eq. 2 cost model would have picked.
+        tuning_ms: total wall time spent measuring.
+    """
+
+    decisions: Dict[str, SchemeDecision] = field(default_factory=dict)
+    measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    model_decisions: Dict[str, SchemeDecision] = field(default_factory=dict)
+    tuning_ms: float = 0.0
+
+    def agreement_with_model(self) -> float:
+        """Fraction of convs where measurement confirms the cost model."""
+        if not self.decisions:
+            return 1.0
+        same = sum(
+            1
+            for name, d in self.decisions.items()
+            if (d.kind, d.winograd_n)
+            == (self.model_decisions[name].kind, self.model_decisions[name].winograd_n)
+        )
+        return same / len(self.decisions)
+
+
+def _candidate_schemes(
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+    groups: int,
+    config: SchemeConfig,
+) -> List[Tuple[str, int, Tuple[int, int]]]:
+    """The legal (kind, winograd_n, winograd_n_hw) candidates for one conv."""
+    kh, kw = kernel
+    if kh == 1 and kw == 1 and dilation == (1, 1) and groups == 1:
+        return [("gemm1x1", 1, (1, 1)), ("sliding", 1, (1, 1))]
+    candidates: List[Tuple[str, int, Tuple[int, int]]] = [("sliding", 1, (1, 1))]
+    plain = stride == (1, 1) and dilation == (1, 1) and groups == 1
+    if kh == kw and kh > 1 and plain:
+        for n in config.winograd_candidates:
+            if n > 1 and n + kh - 1 <= config.max_tile:
+                candidates.append(("winograd", n, (n, n)))
+    elif kh != kw and plain:
+        h_opts = [n for n in config.winograd_candidates
+                  if n + kh - 1 <= config.max_tile and (n > 1 or kh == 1)] or [1]
+        w_opts = [n for n in config.winograd_candidates
+                  if n + kw - 1 <= config.max_tile and (n > 1 or kw == 1)] or [1]
+        for nh in h_opts:
+            for nw in w_opts:
+                if (nh, nw) != (1, 1):
+                    candidates.append(("winograd_rect", 1, (nh, nw)))
+    return candidates
+
+
+def _measure(fn, repeats: int) -> float:
+    fn()  # warm-up (also builds Winograd transforms once)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def autotune_schemes(
+    graph: Graph,
+    repeats: int = 2,
+    config: Optional[SchemeConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TuneReport:
+    """Measure every conv layer's scheme candidates and pick the fastest.
+
+    Args:
+        graph: shape-inferred graph (weights are used as-is).
+        repeats: timing repeats per candidate (min is kept).
+
+    Returns:
+        a :class:`TuneReport`; pass ``report.decisions`` to
+        ``SessionConfig(scheme_overrides=...)``.
+    """
+    cfg = config or SchemeConfig()
+    rng = rng or np.random.default_rng(0)
+    report = TuneReport()
+    start_all = time.perf_counter()
+
+    for node in graph.nodes:
+        if node.op_type != Op.CONV2D:
+            continue
+        x_desc = graph.desc(node.inputs[0])
+        y_desc = graph.desc(node.outputs[0])
+        weights = graph.constants.get(node.inputs[1])
+        if weights is None or weights.dtype == np.int8:
+            continue
+        kernel = tuple(node.attrs["kernel"])
+        stride = tuple(node.attrs["stride"])
+        dilation = tuple(node.attrs["dilation"])
+        groups = int(node.attrs["groups"])
+        pads = resolve_padding(
+            node.attrs["pad_mode"], node.attrs["pad"], x_desc.shape[2:],
+            kernel, stride, dilation,
+        )
+        x = rng.standard_normal(x_desc.shape).astype(np.float32)
+
+        timings: Dict[str, float] = {}
+        labels: Dict[str, Tuple[str, int, Tuple[int, int]]] = {}
+        for kind, n, n_hw in _candidate_schemes(kernel, stride, dilation, groups, cfg):
+            if kind == "winograd":
+                label = f"winograd_n{n}"
+            elif kind == "winograd_rect":
+                label = f"winograd_rect_n{n_hw[0]}x{n_hw[1]}"
+            else:
+                label = kind
+            labels[label] = (kind, n, n_hw)
+            try:
+                timings[label] = _measure(
+                    lambda k=kind, wn=n, whw=n_hw: conv2d(
+                        x, weights, None, stride, pads, dilation, groups,
+                        scheme=k, winograd_n=wn, winograd_n_hw=whw,
+                    ),
+                    repeats,
+                )
+            except (ValueError, MemoryError):
+                continue
+        if not timings:
+            continue
+        best_label = min(timings, key=timings.get)
+        kind, n, n_hw = labels[best_label]
+        best = SchemeDecision(kind, n, timings[best_label], timings,
+                              winograd_n_hw=n_hw)
+        report.decisions[node.name] = best
+        report.measurements[node.name] = timings
+        report.model_decisions[node.name] = select_conv_scheme(
+            kernel, x_desc.shape[1], y_desc.shape[1], y_desc.shape[2:],
+            stride, dilation, groups, cfg,
+        )
+
+    report.tuning_ms = (time.perf_counter() - start_all) * 1000.0
+    return report

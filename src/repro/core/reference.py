@@ -1,0 +1,41 @@
+"""Reference graph executor: every intermediate tensor, no optimization.
+
+Used by constant folding, quantization calibration and tests.  This is the
+"gold standard" executor in the sense of the project's performance guide:
+simple, allocation-happy, obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..backends.op_runners import build_runner
+from ..ir.graph import Graph, GraphError
+from ..ir.ops import Op
+
+__all__ = ["execute_reference"]
+
+
+def execute_reference(graph: Graph, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Run ``graph`` on the CPU and return *all* intermediate tensors.
+
+    Args:
+        feeds: graph input name -> array.
+
+    Returns:
+        tensor name -> array for every produced tensor (inputs included).
+    """
+    env: Dict[str, np.ndarray] = dict(feeds)
+    for name in graph.inputs:
+        if name not in env:
+            raise GraphError(f"missing input {name!r}")
+    for node in graph.toposort():
+        if node.op_type in (Op.INPUT, Op.CONSTANT):
+            continue
+        runner = build_runner(node, graph)
+        inputs = [env[name] for name in runner.dynamic_inputs]
+        for name, value in zip(node.outputs, runner.fn(inputs)):
+            env[name] = value
+    return env

@@ -1,0 +1,524 @@
+"""Inference sessions: pre-inference once, run many times (paper Section 3.2).
+
+``Session`` performs the paper's full pre-inference pipeline at creation:
+
+1. **Scheme selection** — every convolution gets its optimal algorithm from
+   the scheme pool via the Eq. 2/3 cost search.
+2. **Backend selection & hybrid placement** — the primary backend is chosen
+   (optionally automatically, by minimizing Eq. 4 total cost); ops the
+   primary backend does not support are placed on the CPU fallback, with
+   inter-backend copies inserted automatically.
+3. **Preparation/execution decoupling** — executions are created and
+   prepared (Winograd kernels pre-transformed, GPU command buffers
+   pre-recorded), and the memory planner lays every activation into one
+   pre-allocated arena (Figure 3).
+
+``run`` is then pure compute: no scheme search, no allocation, no command
+recording.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..backends.base import Backend, BackendError, StorageType
+from ..backends.cpu import CPUBackend
+from ..devices.specs import DeviceSpec, GpuApi
+from ..ir.graph import Graph, GraphError, Node
+from ..ir.ops import Op
+from ..sim.clock import VirtualClock
+from .cost import BackendCostModel, node_muls
+from .memory import Arena, MemoryPlan, plan_memory
+from .schemes import SchemeConfig, SchemeDecision, select_graph_schemes
+
+__all__ = ["SessionConfig", "RunStats", "OpProfile", "Session", "choose_backend"]
+
+
+@dataclass
+class SessionConfig:
+    """Session creation options.
+
+    Attributes:
+        backend: ``"cpu"`` (real host execution), ``"sim_cpu"`` (modeled
+            phone CPU), a GPU API name (``"metal"``/``"opencl"``/
+            ``"opengl"``/``"vulkan"``, all simulated), or a user-provided
+            :class:`~repro.backends.Backend` *instance* — the extension
+            point for NPU/FPGA-style accelerators; unsupported ops fall
+            back to the CPU automatically.
+        device: capability model; required for simulated backends.
+        threads: CPU thread count for the cost model.
+        decouple: enable preparation/execution decoupling (Figure 3).
+            Disabling reproduces the "w/o" rows of Table 2.
+        use_strassen: allow Strassen for large GEMMs.
+        auto_backend: pick the cheapest backend by Eq. 4 among
+            ``candidate_backends`` instead of ``backend``.
+        candidate_backends: pool for auto selection.
+        scheme_config: conv scheme-search tunables.
+        scheme_overrides: per-conv-node scheme decisions that take
+            precedence over the cost-model search — typically the output
+            of :func:`repro.core.autotune.autotune_schemes`.
+        parallel_branches: execute independent graph branches concurrently
+            on a thread pool (real CPU backend only; NumPy's BLAS releases
+            the GIL, so Inception-style parallel branches genuinely
+            overlap).  Ignored for simulated backends, whose virtual
+            clock is inherently sequential.
+        arena_execution: land every activation in its planned arena slot
+            at run time, making the memory plan load-bearing end-to-end.
+            Off by default: MNN's kernels write into pre-allocated outputs
+            for free, but NumPy kernels allocate internally, so landing
+            costs one extra memcpy per op on this substrate (the plan is
+            still built, validated, and used for Table 2's accounting).
+    """
+
+    backend: Union[str, Backend] = "cpu"
+    device: Optional[DeviceSpec] = None
+    threads: int = 4
+    decouple: bool = True
+    use_strassen: bool = True
+    auto_backend: bool = False
+    candidate_backends: Tuple[str, ...] = ()
+    scheme_config: SchemeConfig = field(default_factory=SchemeConfig)
+    scheme_overrides: Optional[Dict[str, SchemeDecision]] = None
+    parallel_branches: bool = False
+    arena_execution: bool = False
+
+
+@dataclass
+class RunStats:
+    """Timing of one inference run."""
+
+    wall_ms: float
+    virtual_ms: float
+    copies: int
+    copy_bytes: int
+
+
+@dataclass
+class OpProfile:
+    """Per-operator timing from :meth:`Session.run_profiled`."""
+
+    node: str
+    op_type: str
+    backend: str
+    wall_ms: float
+    virtual_ms: float
+
+
+def choose_backend(
+    graph: Graph,
+    device: DeviceSpec,
+    threads: int,
+    candidates: Sequence[str],
+) -> str:
+    """Eq. 4 backend selection: pick the candidate with minimal total cost.
+
+    Ops unsupported on a GPU candidate are costed on the CPU (the paper's
+    fallback rule), so a GPU with poor coverage is penalized naturally.
+    """
+    from ..backends.simulated import GPU_OP_COVERAGE
+
+    model = BackendCostModel(device, threads)
+    best, best_cost = None, float("inf")
+    for kind in candidates:
+        if kind in ("cpu", "sim_cpu"):
+            cost = model.graph_cost_ms(graph, "cpu")
+        else:
+            if not device.supports_api(kind):
+                continue
+            coverage = GPU_OP_COVERAGE[kind]
+            cost = model.graph_cost_ms(graph, kind, supports=lambda op: op in coverage)
+        if cost < best_cost:
+            best, best_cost = kind, cost
+    if best is None:
+        raise BackendError(f"no viable backend among {list(candidates)} on {device.name}")
+    return best
+
+
+class Session:
+    """A prepared inference instance over one graph (see module docstring)."""
+
+    def __init__(self, graph: Graph, config: Optional[SessionConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or SessionConfig()
+        self.clock = VirtualClock()
+        self._order: List[Node] = []
+        self._executions = {}
+        self._placement: Dict[str, Backend] = {}
+        self.schemes: Dict[str, SchemeDecision] = {}
+        self.memory_plan: Optional[MemoryPlan] = None
+        self._arena: Optional[Arena] = None
+        self.prepare_wall_ms = 0.0
+        self.last_run: Optional[RunStats] = None
+        self._prepare()
+
+    # -- pre-inference -----------------------------------------------------
+    def _make_backend(self, kind: str) -> Backend:
+        # Imported here: backends.simulated pulls in repro.sim, whose
+        # latency module needs repro.core — a cycle at import time.
+        from ..backends.simulated import SimulatedCPUBackend, SimulatedGPUBackend
+
+        cfg = self.config
+        if kind == "cpu":
+            return CPUBackend(cfg.threads, cfg.use_strassen)
+        if cfg.device is None:
+            raise BackendError(f"backend {kind!r} needs a DeviceSpec in the config")
+        if kind == "sim_cpu":
+            return SimulatedCPUBackend(
+                cfg.device, cfg.threads, clock=self.clock,
+                decouple=cfg.decouple, use_strassen=cfg.use_strassen,
+            )
+        if kind in GpuApi.ALL:
+            return SimulatedGPUBackend(
+                cfg.device, kind, clock=self.clock,
+                decouple=cfg.decouple, use_strassen=cfg.use_strassen,
+            )
+        raise BackendError(f"unknown backend kind {kind!r}")
+
+    def _prepare(self) -> None:
+        start = time.perf_counter()
+        cfg = self.config
+        self.graph.validate()
+        self._order = [
+            n for n in self.graph.toposort() if n.op_type not in (Op.INPUT, Op.CONSTANT)
+        ]
+
+        # (1) computation scheme selection (auto-tuned overrides win)
+        self.schemes = select_graph_schemes(self.graph, cfg.scheme_config)
+        if cfg.scheme_overrides:
+            self.schemes.update(cfg.scheme_overrides)
+
+        # (2) backend selection + hybrid placement
+        if isinstance(cfg.backend, Backend):
+            # user-supplied backend instance (NPU/FPGA extension point)
+            self.primary = cfg.backend
+            self.fallback = (
+                self._make_backend("sim_cpu") if cfg.device is not None
+                else self._make_backend("cpu")
+            )
+        else:
+            primary_kind = cfg.backend
+            if cfg.auto_backend:
+                if cfg.device is None:
+                    raise BackendError("auto_backend requires a DeviceSpec")
+                candidates = cfg.candidate_backends or ("sim_cpu",) + cfg.device.gpu_apis
+                primary_kind = choose_backend(
+                    self.graph, cfg.device, cfg.threads, candidates
+                )
+            self.primary = self._make_backend(primary_kind)
+            if primary_kind in ("cpu", "sim_cpu"):
+                self.fallback = self.primary
+            elif cfg.device is not None:
+                self.fallback = self._make_backend("sim_cpu")
+            else:
+                self.fallback = self._make_backend("cpu")
+
+        for node in self._order:
+            backend = self.primary if self.primary.supports(node.op_type) else self.fallback
+            if not backend.supports(node.op_type):
+                raise BackendError(
+                    f"op {node.op_type!r} ({node.name!r}) unsupported on every backend"
+                )
+            self._placement[node.name] = backend
+            scheme = self.schemes.get(node.name)
+            self._executions[node.name] = backend.on_create(node, self.graph, scheme)
+
+        # (3) decoupling: prepare executions + plan memory up front
+        if cfg.decouple:
+            for node in self._order:
+                self._executions[node.name].prepare(self.graph)
+            self.memory_plan = plan_memory(self.graph, self._order)
+            self._arena = Arena(self.memory_plan)
+        self.prepare_wall_ms = (time.perf_counter() - start) * 1000.0
+
+    # -- resizing ----------------------------------------------------------------
+    def resize(self, input_shapes: Dict[str, Sequence[int]]) -> None:
+        """Change input shapes and re-run pre-inference (MNN's resizeSession).
+
+        The paper's pre-inference relies on fixed input sizes; when the
+        application *does* change them (e.g. a different camera aspect),
+        the whole pipeline — shape inference, scheme selection, memory
+        plan, command buffers — is recomputed once here, keeping ``run``
+        pure compute afterwards.
+
+        Raises:
+            GraphError: for unknown inputs or shapes the graph cannot take.
+        """
+        from ..ir.shape_inference import infer_shapes
+        from ..ir.tensor import TensorDesc
+
+        for name, shape in input_shapes.items():
+            if name not in self.graph.inputs:
+                raise GraphError(f"{name!r} is not a graph input")
+        # Drop every derived descriptor, keep inputs (updated) + constants.
+        graph = self.graph
+        kept = {}
+        for name in graph.inputs:
+            old = graph.desc(name)
+            shape = tuple(input_shapes.get(name, old.shape))
+            kept[name] = TensorDesc(name, shape, old.dtype)
+        for name in graph.constants:
+            kept[name] = graph.tensor_descs[name]
+        graph.tensor_descs = kept
+        infer_shapes(graph)
+        self._placement.clear()
+        self._executions.clear()
+        self.clock.reset()
+        self._prepare()
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def backend_kind(self) -> str:
+        return self.primary.forward_type
+
+    def placement_summary(self) -> Dict[str, int]:
+        """Count of ops per backend kind (hybrid scheduling report)."""
+        counts: Dict[str, int] = {}
+        for backend in self._placement.values():
+            counts[backend.forward_type] = counts.get(backend.forward_type, 0) + 1
+        return counts
+
+    def scheme_summary(self) -> Dict[str, int]:
+        """Count of convolutions per chosen scheme kind."""
+        counts: Dict[str, int] = {}
+        for decision in self.schemes.values():
+            counts[decision.kind] = counts.get(decision.kind, 0) + 1
+        return counts
+
+    def modeled_cost_ms(self) -> float:
+        """Eq. 4 total cost of this session's placement (modeled, not run)."""
+        if self.config.device is None:
+            raise BackendError("modeled cost needs a DeviceSpec")
+        model = BackendCostModel(self.config.device, self.config.threads)
+        total = 0.0
+        for node in self._order:
+            runner = getattr(self._executions[node.name], "runner", None)
+            muls = runner.muls if runner is not None else node_muls(node, self.graph)
+            backend = self._placement[node.name]
+            kind = "cpu" if backend.forward_type in ("cpu", "sim_cpu") else backend.forward_type
+            total += model.op_cost_ms(muls, kind)
+        return total
+
+    # -- inference --------------------------------------------------------------
+    def run(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute one inference.
+
+        Args:
+            feeds: input name -> array, matching the graph input descriptors.
+
+        Returns:
+            output name -> array.
+
+        Raises:
+            GraphError: on missing inputs or shape/dtype mismatches.
+        """
+        if (
+            self.config.parallel_branches
+            and self.primary.forward_type == "cpu"
+            and self.config.decouple
+        ):
+            return self._execute_parallel(feeds)
+        return self._execute(feeds, profile=None)
+
+    def _execute_parallel(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Dataflow execution on a thread pool (independent branches overlap)."""
+        import concurrent.futures
+        import threading
+
+        graph = self.graph
+        for name in graph.inputs:
+            if name not in feeds:
+                raise GraphError(f"missing input {name!r}")
+            if tuple(feeds[name].shape) != graph.desc(name).shape:
+                raise GraphError(
+                    f"input {name!r}: expected shape {graph.desc(name).shape}, "
+                    f"got {feeds[name].shape}"
+                )
+        start_wall = time.perf_counter()
+        env: Dict[str, np.ndarray] = dict(feeds)
+        lock = threading.Lock()
+        producers = graph.producer_map()
+        pending: Dict[str, int] = {}
+        dependents: Dict[str, List[Node]] = {}
+        for node in self._order:
+            deps = {
+                inp for inp in node.inputs
+                if inp in producers and inp not in graph.constants
+            }
+            pending[node.name] = len(deps)
+            for dep in deps:
+                dependents.setdefault(dep, []).append(node)
+
+        errors: List[BaseException] = []
+        done = threading.Event()
+        remaining = [len(self._order)]
+
+        def run_node(node: Node, pool) -> None:
+            try:
+                execution = self._executions[node.name]
+                inputs = [env[name] for name in execution.runner.dynamic_inputs]
+                outputs = execution.run(inputs)
+                ready: List[Node] = []
+                with lock:
+                    for name, value in zip(node.outputs, outputs):
+                        env[name] = value
+                        for consumer in dependents.get(name, ()):  # unlock consumers
+                            pending[consumer.name] -= 1
+                            if pending[consumer.name] == 0:
+                                ready.append(consumer)
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done.set()
+                for consumer in ready:
+                    pool.submit(run_node, consumer, pool)
+            except BaseException as exc:  # propagate to the caller
+                errors.append(exc)
+                done.set()
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.config.threads) as pool:
+            initial = [n for n in self._order if pending[n.name] == 0]
+            if not initial and self._order:
+                raise GraphError("no runnable node; graph inputs unresolved")
+            for node in initial:
+                pool.submit(run_node, node, pool)
+            done.wait()
+        if errors:
+            raise errors[0]
+        self.last_run = RunStats(
+            wall_ms=(time.perf_counter() - start_wall) * 1000.0,
+            virtual_ms=0.0,
+            copies=0,
+            copy_bytes=0,
+        )
+        missing = [name for name in graph.outputs if name not in env]
+        if missing:
+            raise GraphError(f"outputs never produced: {missing}")
+        return {name: env[name] for name in graph.outputs}
+
+    def run_profiled(
+        self, feeds: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], List["OpProfile"]]:
+        """Like :meth:`run` but also returns a per-operator time profile."""
+        profile: List[OpProfile] = []
+        outputs = self._execute(feeds, profile=profile)
+        return outputs, profile
+
+    def _execute(
+        self, feeds: Dict[str, np.ndarray], profile: Optional[List["OpProfile"]]
+    ) -> Dict[str, np.ndarray]:
+        graph = self.graph
+        for name in graph.inputs:
+            if name not in feeds:
+                raise GraphError(f"missing input {name!r}")
+            desc = graph.desc(name)
+            if tuple(feeds[name].shape) != desc.shape:
+                raise GraphError(
+                    f"input {name!r}: expected shape {desc.shape}, got {feeds[name].shape}"
+                )
+
+        start_wall = time.perf_counter()
+        start_virtual = self.clock.now_ms
+        copies = 0
+        copy_bytes = 0
+        decouple = self.config.decouple
+
+        env: Dict[str, np.ndarray] = dict(feeds)
+        location: Dict[str, Backend] = {}
+        remaining_uses: Dict[str, int] = {}
+        for node in self._order:
+            for name in node.inputs:
+                if name not in graph.constants:
+                    remaining_uses[name] = remaining_uses.get(name, 0) + 1
+
+        for backend in {id(b): b for b in self._placement.values()}.values():
+            backend.on_execute_begin()
+
+        for node in self._order:
+            backend = self._placement[node.name]
+            execution = self._executions[node.name]
+            runner = execution.runner
+            inputs = []
+            for name in runner.dynamic_inputs:
+                array = env[name]
+                producer = location.get(name)
+                if producer is not None and producer is not backend:
+                    array = producer.on_copy_buffer(array, backend)
+                    copies += 1
+                    copy_bytes += array.nbytes
+                inputs.append(array)
+            if not decouple:
+                # Interleaved memory management (left-hand side of Figure 3).
+                for out in node.outputs:
+                    backend.on_acquire_buffer(graph.desc(out), StorageType.DYNAMIC)
+            if profile is not None:
+                op_wall = time.perf_counter()
+                op_virtual = self.clock.now_ms
+                outputs = execution.run(inputs)
+                profile.append(
+                    OpProfile(
+                        node=node.name,
+                        op_type=node.op_type,
+                        backend=backend.forward_type,
+                        wall_ms=(time.perf_counter() - op_wall) * 1000.0,
+                        virtual_ms=self.clock.now_ms - op_virtual,
+                    )
+                )
+            else:
+                outputs = execution.run(inputs)
+            for name, value in zip(node.outputs, outputs):
+                if (
+                    self.config.arena_execution
+                    and self._arena is not None
+                    and name in self._arena.plan.offsets
+                ):
+                    # Land the activation in its planned arena slot: the
+                    # memory plan is load-bearing, not just accounting.
+                    # Lifetime soundness (plan.validate) guarantees the slot
+                    # is not aliased by any still-live tensor.
+                    desc = graph.desc(name)
+                    if (
+                        value.shape == desc.shape
+                        and value.dtype == desc.dtype.np_dtype
+                    ):
+                        slot = self._arena.view(desc)
+                        if np.may_share_memory(slot, value):
+                            # view-producing op (reshape/slice/...) whose
+                            # input's now-dead slot overlaps the destination
+                            value = value.copy()
+                        np.copyto(slot, value)
+                        value = slot
+                env[name] = value
+                location[name] = backend
+            if not decouple:
+                for name in node.inputs:
+                    if name in remaining_uses:
+                        remaining_uses[name] -= 1
+                        if remaining_uses[name] == 0 and name not in graph.inputs:
+                            backend.on_release_buffer(graph.desc(name), StorageType.DYNAMIC)
+
+        for backend in {id(b): b for b in self._placement.values()}.values():
+            backend.on_execute_end()
+
+        self.last_run = RunStats(
+            wall_ms=(time.perf_counter() - start_wall) * 1000.0,
+            virtual_ms=self.clock.now_ms - start_virtual,
+            copies=copies,
+            copy_bytes=copy_bytes,
+        )
+        missing = [name for name in graph.outputs if name not in env]
+        if missing:
+            raise GraphError(f"outputs never produced: {missing}")
+        results = {}
+        for name in graph.outputs:
+            value = env[name]
+            if (
+                self.config.arena_execution
+                and self._arena is not None
+                and name in self._arena.plan.offsets
+            ):
+                value = value.copy()  # detach from the arena: the next run reuses it
+            results[name] = value
+        return results

@@ -1,0 +1,22 @@
+"""Device capability catalog (paper Appendix C constants)."""
+
+from .specs import (
+    DEFAULT_CPU_FLOPS,
+    DEFAULT_GPU_FLOPS,
+    GPU_FLOPS_TABLE,
+    T_SCHEDULE_MS,
+    DeviceSpec,
+    GpuApi,
+)
+from .catalog import DEVICES, get_device
+
+__all__ = [
+    "DEFAULT_CPU_FLOPS",
+    "DEFAULT_GPU_FLOPS",
+    "GPU_FLOPS_TABLE",
+    "T_SCHEDULE_MS",
+    "DeviceSpec",
+    "GpuApi",
+    "DEVICES",
+    "get_device",
+]

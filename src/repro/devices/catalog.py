@@ -1,0 +1,171 @@
+"""Catalog of the devices used throughout the paper's evaluation.
+
+CPU core frequencies come from public SoC spec sheets; GPU FLOPS come from
+the paper's own Appendix C table via :mod:`repro.devices.specs`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .specs import DeviceSpec, GpuApi
+
+__all__ = ["DEVICES", "get_device"]
+
+_ANDROID_APIS = (GpuApi.OPENCL, GpuApi.OPENGL, GpuApi.VULKAN)
+
+DEVICES: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- Figure 7 devices -------------------------------------------------
+        DeviceSpec(
+            name="iPhoneX",
+            cpu_ipc=2.2,
+            soc="Apple A11 Bionic",
+            cpu_core_ghz=(2.39, 2.39, 1.42, 1.42, 1.42, 1.42),
+            gpu="Apple A11 GPU",
+            gpu_apis=(GpuApi.METAL,),
+            os="ios",
+        ),
+        DeviceSpec(
+            name="iPhone8",
+            cpu_ipc=2.2,
+            soc="Apple A11 Bionic",
+            cpu_core_ghz=(2.39, 2.39, 1.42, 1.42, 1.42, 1.42),
+            gpu="Apple A11 GPU",
+            gpu_apis=(GpuApi.METAL,),
+            os="ios",
+        ),
+        DeviceSpec(
+            name="MI6",
+            cpu_ipc=0.55,
+            soc="Snapdragon 835",
+            cpu_core_ghz=(2.45, 2.45, 2.45, 2.45, 1.9, 1.9, 1.9, 1.9),
+            gpu="Adreno 540",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="Mate20",
+            cpu_ipc=1.6,
+            soc="Kirin 980",
+            cpu_core_ghz=(2.6, 2.6, 1.92, 1.92, 1.8, 1.8, 1.8, 1.8),
+            gpu="Mali-G76",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        # --- Table 2 -----------------------------------------------------------
+        DeviceSpec(
+            name="P10",
+            cpu_ipc=0.9,
+            soc="Kirin 960",
+            cpu_core_ghz=(2.4, 2.4, 2.4, 2.4, 1.8, 1.8, 1.8, 1.8),
+            gpu="Mali-G71",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        # --- Figures 8/9 -------------------------------------------------------
+        DeviceSpec(
+            name="P20",
+            cpu_ipc=0.9,
+            soc="Kirin 970",
+            cpu_core_ghz=(2.36, 2.36, 2.36, 2.36, 1.8, 1.8, 1.8, 1.8),
+            gpu="Mali-G72",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="P20Pro",
+            cpu_ipc=0.9,
+            soc="Kirin 970",
+            cpu_core_ghz=(2.36, 2.36, 2.36, 2.36, 1.8, 1.8, 1.8, 1.8),
+            gpu="Mali-G72",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        # --- Table 5 -----------------------------------------------------------
+        DeviceSpec(
+            name="GalaxyS8",
+            cpu_ipc=0.8,
+            soc="Snapdragon 835",
+            cpu_core_ghz=(2.35, 2.35, 2.35, 2.35, 1.9, 1.9, 1.9, 1.9),
+            gpu="Adreno 540",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        # --- Tables 7/8 --------------------------------------------------------
+        DeviceSpec(
+            name="Pixel2",
+            cpu_ipc=0.8,
+            soc="Snapdragon 835",
+            cpu_core_ghz=(2.35, 2.35, 2.35, 2.35, 1.9, 1.9, 1.9, 1.9),
+            gpu="Adreno 540",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="Pixel3",
+            cpu_ipc=1.1,
+            soc="Snapdragon 845",
+            cpu_core_ghz=(2.5, 2.5, 2.5, 2.5, 1.6, 1.6, 1.6, 1.6),
+            gpu="Adreno 630",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        # --- Table 6: top-5 production devices ---------------------------------
+        DeviceSpec(
+            name="EML-AL00",  # Huawei P20
+            cpu_ipc=0.9,
+            soc="Kirin 970",
+            cpu_core_ghz=(2.36, 2.36, 2.36, 2.36, 1.8, 1.8, 1.8, 1.8),
+            gpu="Mali-G72",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="PBEM00",  # OPPO R17
+            cpu_ipc=1.1,
+            soc="SDM670",
+            cpu_core_ghz=(2.0, 2.0, 1.7, 1.7, 1.7, 1.7, 1.7, 1.7),
+            gpu="Adreno 615",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="PACM00",  # OPPO R15
+            cpu_ipc=0.9,
+            soc="Helio P60",
+            cpu_core_ghz=(2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0),
+            gpu="Mali-G72",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="COL-AL10",  # Honor 10
+            cpu_ipc=0.9,
+            soc="Kirin 970",
+            cpu_core_ghz=(2.36, 2.36, 2.36, 2.36, 1.8, 1.8, 1.8, 1.8),
+            gpu="Mali-G72",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        DeviceSpec(
+            name="OPPO R11",
+            cpu_ipc=0.85,
+            soc="Snapdragon 660",
+            cpu_core_ghz=(2.2, 2.2, 2.2, 2.2, 1.8, 1.8, 1.8, 1.8),
+            gpu="Adreno 512",
+            gpu_apis=_ANDROID_APIS,
+        ),
+        # --- a neutral "host" device for real-time local runs ------------------
+        DeviceSpec(
+            name="host",
+            cpu_ipc=1.0,
+            soc="host CPU",
+            cpu_core_ghz=(2.0, 2.0, 2.0, 2.0),
+            gpu="unknown",
+            gpu_apis=_ANDROID_APIS,
+        ),
+    ]
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by name.
+
+    Raises:
+        KeyError: with the list of known devices, if not found.
+    """
+    try:
+        return DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

@@ -1,0 +1,129 @@
+"""Device capability models (paper Appendix C).
+
+The paper's backend cost evaluation (Eq. 5) needs two constants per backend:
+
+* ``FLOPS`` — for CPUs, the sum of the top-k core frequencies (k = thread
+  count); for GPUs, a measured per-model table (reproduced verbatim below
+  from Appendix C), defaulting to 4 GFLOPS for unknown GPUs.
+* ``t_schedule`` — per-dispatch command overhead: 0.05 ms for OpenCL and
+  OpenGL, 0.01 ms for Vulkan.  Metal is not given in the paper; we use
+  0.03 ms (between the published values) and mark it calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "GpuApi",
+    "DeviceSpec",
+    "GPU_FLOPS_TABLE",
+    "DEFAULT_GPU_FLOPS",
+    "DEFAULT_CPU_FLOPS",
+    "T_SCHEDULE_MS",
+]
+
+#: Appendix C list: GPU model -> FLOPS (in units of 1e9).
+GPU_FLOPS_TABLE: Dict[str, float] = {
+    "Mali-T860": 6.83,
+    "Mali-T880": 6.83,
+    "Mali-G51": 6.83,
+    "Mali-G52": 6.83,
+    "Mali-G71": 31.61,
+    "Mali-G72": 31.61,
+    "Mali-G76": 31.61,
+    "Adreno 505": 3.19,
+    "Adreno 506": 4.74,
+    "Adreno 512": 14.23,
+    "Adreno 530": 25.40,
+    "Adreno 540": 42.74,
+    "Adreno 615": 16.77,
+    "Adreno 616": 18.77,
+    "Adreno 618": 18.77,
+    "Adreno 630": 42.74,
+    "Adreno 640": 42.74,
+    # Not in the paper's list: Apple's GPUs (the paper's iPhone results use
+    # Metal).  Calibrated to land Metal between MNN-CPU-4t and CoreML in
+    # Figure 7; documented in DESIGN.md as a substitution constant.
+    "Apple A11 GPU": 38.0,
+    "Apple A12 GPU": 48.0,
+}
+
+#: Paper fallback when a GPU model is unknown: "faster than CPU".
+DEFAULT_GPU_FLOPS = 4e9
+#: Paper fallback for non-Linux/Android CPUs.
+DEFAULT_CPU_FLOPS = 2e9
+
+#: Per-API dispatch overhead in milliseconds (Appendix C).
+T_SCHEDULE_MS: Dict[str, float] = {
+    "opencl": 0.05,
+    "opengl": 0.05,
+    "vulkan": 0.01,
+    "metal": 0.03,  # calibrated; not published in the paper
+}
+
+
+class GpuApi:
+    """Graphics/compute API names usable as backend identifiers."""
+
+    METAL = "metal"
+    OPENCL = "opencl"
+    OPENGL = "opengl"
+    VULKAN = "vulkan"
+
+    ALL = (METAL, OPENCL, OPENGL, VULKAN)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A phone/SoC capability model.
+
+    Attributes:
+        name: marketing device name (e.g. ``"MI6"``).
+        soc: SoC name (e.g. ``"Snapdragon 835"``).
+        cpu_core_ghz: per-core maximum frequencies in GHz, any order.
+        gpu: GPU model name, looked up in :data:`GPU_FLOPS_TABLE`.
+        gpu_apis: APIs available on this device (Metal on iOS; subsets of
+            OpenCL/OpenGL/Vulkan on Android).
+        os: ``"ios"`` or ``"android"``.
+        cpu_ipc: sustained instructions-per-cycle factor of the CPU
+            microarchitecture relative to a baseline in-order-ish A73 core.
+            The paper's frequency-sum FLOPS index (Appendix C) cannot
+            distinguish an Apple Monsoon from a Cortex-A73 at equal clocks;
+            this factor restores that, calibrated once against the paper's
+            own MNN-CPU measurements (see EXPERIMENTS.md) and then held
+            fixed for every engine.
+    """
+
+    name: str
+    soc: str
+    cpu_core_ghz: Tuple[float, ...]
+    gpu: str
+    gpu_apis: Tuple[str, ...]
+    os: str = "android"
+    cpu_ipc: float = 1.0
+
+    def cpu_flops(self, threads: int) -> float:
+        """Sum of the top-``threads`` core frequencies, in FLOPS (Appendix C)."""
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if not self.cpu_core_ghz:
+            return DEFAULT_CPU_FLOPS
+        top = sorted(self.cpu_core_ghz, reverse=True)[:threads]
+        return sum(top) * 1e9
+
+    def gpu_flops(self) -> float:
+        """GPU FLOPS from the Appendix C table (default for unknown models)."""
+        return GPU_FLOPS_TABLE.get(self.gpu, DEFAULT_GPU_FLOPS / 1e9) * 1e9 \
+            if self.gpu in GPU_FLOPS_TABLE else DEFAULT_GPU_FLOPS
+
+    def t_schedule_ms(self, api: str) -> float:
+        """Per-dispatch scheduling overhead for ``api`` in milliseconds."""
+        try:
+            return T_SCHEDULE_MS[api]
+        except KeyError:
+            raise ValueError(f"unknown GPU API {api!r}") from None
+
+    def supports_api(self, api: str) -> bool:
+        return api in self.gpu_apis

@@ -1,0 +1,187 @@
+"""Binary model serialization — the repro equivalent of the ``.mnn`` format.
+
+Layout of a ``.rmnn`` file::
+
+    magic   4 bytes  b"RMNN"
+    version u32      format version (currently 1)
+    meta    u64 + JSON blob   graph structure: nodes, inputs, outputs, descs
+    blobs   u32 count, then per-constant:
+              u16 name length + name bytes
+              u8  dtype tag + u8 rank + rank*u32 dims
+              u64 payload length + raw little-endian array bytes
+
+The structural part is JSON for inspectability (the real MNN uses
+flatbuffers; the property we preserve is a self-contained, versioned,
+weight-embedding single-file format with cheap partial parsing).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Any, BinaryIO, Dict, Union
+
+import numpy as np
+
+from .graph import Graph, GraphError
+from .tensor import DataType, TensorDesc
+
+__all__ = ["save_model", "load_model", "dumps", "loads", "FormatError", "MAGIC", "VERSION"]
+
+MAGIC = b"RMNN"
+VERSION = 1
+
+_DTYPE_TAGS = {dt: i for i, dt in enumerate(DataType)}
+_TAG_DTYPES = {i: dt for dt, i in _DTYPE_TAGS.items()}
+
+
+class FormatError(ValueError):
+    """Raised when a model file is malformed or from an unknown version."""
+
+
+def _jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out
+
+
+def _tupled_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, list):
+            value = tuple(value)
+        out[key] = value
+    return out
+
+
+def dumps(graph: Graph) -> bytes:
+    """Serialize ``graph`` (structure + weights) to bytes."""
+    buf = io.BytesIO()
+    buf.write(MAGIC)
+    buf.write(struct.pack("<I", VERSION))
+    meta = {
+        "name": graph.name,
+        "inputs": graph.inputs,
+        "outputs": graph.outputs,
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "inputs": n.inputs,
+                "outputs": n.outputs,
+                "attrs": _jsonable_attrs(n.attrs),
+            }
+            for n in graph.nodes
+        ],
+        "descs": {
+            name: {"shape": list(d.shape), "dtype": d.dtype.value}
+            for name, d in graph.tensor_descs.items()
+            if name not in graph.constants
+        },
+    }
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    buf.write(struct.pack("<Q", len(meta_bytes)))
+    buf.write(meta_bytes)
+    buf.write(struct.pack("<I", len(graph.constants)))
+    for name, value in graph.constants.items():
+        name_bytes = name.encode("utf-8")
+        buf.write(struct.pack("<H", len(name_bytes)))
+        buf.write(name_bytes)
+        dtype = DataType.from_numpy(value.dtype)
+        buf.write(struct.pack("<BB", _DTYPE_TAGS[dtype], value.ndim))
+        buf.write(struct.pack(f"<{value.ndim}I", *value.shape))
+        payload = np.ascontiguousarray(value).tobytes()
+        buf.write(struct.pack("<Q", len(payload)))
+        buf.write(payload)
+    return buf.getvalue()
+
+
+#: Upper bound on any single length field — a corrupted size prefix must
+#: fail cleanly instead of attempting a multi-exabyte read.
+_MAX_SECTION_BYTES = 1 << 40
+
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes:
+    if n < 0 or n > _MAX_SECTION_BYTES:
+        raise FormatError(f"corrupt length field: {n} bytes")
+    try:
+        data = stream.read(n)
+    except (OverflowError, MemoryError) as exc:
+        raise FormatError(f"corrupt length field: {n} bytes") from exc
+    if len(data) != n:
+        raise FormatError(f"truncated model file: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def loads(data: Union[bytes, BinaryIO]) -> Graph:
+    """Deserialize a graph produced by :func:`dumps`.
+
+    Raises:
+        FormatError: on a bad magic, unsupported version, or truncation.
+    """
+    stream = io.BytesIO(data) if isinstance(data, (bytes, bytearray)) else data
+    if _read_exact(stream, 4) != MAGIC:
+        raise FormatError("not a .rmnn model (bad magic)")
+    (version,) = struct.unpack("<I", _read_exact(stream, 4))
+    if version != VERSION:
+        raise FormatError(f"unsupported model version {version} (expected {VERSION})")
+    (meta_len,) = struct.unpack("<Q", _read_exact(stream, 8))
+    try:
+        meta = json.loads(_read_exact(stream, meta_len))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FormatError(f"corrupt model metadata: {exc}") from exc
+
+    graph = Graph(meta.get("name", "graph"))
+    graph.inputs = list(meta["inputs"])
+    graph.outputs = list(meta["outputs"])
+    for name, d in meta.get("descs", {}).items():
+        graph.tensor_descs[name] = TensorDesc(name, tuple(d["shape"]), DataType(d["dtype"]))
+
+    (n_constants,) = struct.unpack("<I", _read_exact(stream, 4))
+    for _ in range(n_constants):
+        (name_len,) = struct.unpack("<H", _read_exact(stream, 2))
+        name = _read_exact(stream, name_len).decode("utf-8")
+        tag, rank = struct.unpack("<BB", _read_exact(stream, 2))
+        if tag not in _TAG_DTYPES:
+            raise FormatError(f"constant {name!r}: unknown dtype tag {tag}")
+        shape = struct.unpack(f"<{rank}I", _read_exact(stream, 4 * rank))
+        (payload_len,) = struct.unpack("<Q", _read_exact(stream, 8))
+        dtype = _TAG_DTYPES[tag]
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if rank else dtype.itemsize
+        if payload_len != expected:
+            raise FormatError(
+                f"constant {name!r}: payload {payload_len} bytes != expected {expected}"
+            )
+        payload = _read_exact(stream, payload_len)
+        value = np.frombuffer(payload, dtype=dtype.np_dtype).reshape(shape).copy()
+        graph.constants[name] = value
+        graph.tensor_descs[name] = TensorDesc(name, shape, dtype)
+
+    # Nodes are appended last so incremental inference in add_node sees
+    # constants; Node construction re-validates attrs against schemas.
+    for spec in meta["nodes"]:
+        graph.add_node(
+            spec["op_type"],
+            spec["inputs"],
+            spec["outputs"],
+            _tupled_attrs(spec["attrs"]),
+            name=spec["name"],
+        )
+    graph.validate()
+    return graph
+
+
+def save_model(graph: Graph, path: str) -> None:
+    """Write ``graph`` to ``path`` in the ``.rmnn`` binary format."""
+    with open(path, "wb") as fh:
+        fh.write(dumps(graph))
+
+
+def load_model(path: str) -> Graph:
+    """Read a graph previously written with :func:`save_model`."""
+    with open(path, "rb") as fh:
+        return loads(fh)

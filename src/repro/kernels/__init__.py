@@ -1,0 +1,92 @@
+"""Optimized compute kernels (the paper's Section 3.3)."""
+
+from .layout import conv2d_1x1_packed, pack_nc4hw4, packed_shape, unpack_nc4hw4
+from .matmul import (
+    DEFAULT_TILE,
+    GemmStats,
+    matmul,
+    strassen_matmul,
+    strassen_should_recurse,
+    tiled_matmul,
+)
+from .winograd import (
+    WinogradTransforms,
+    generate_transforms,
+    interpolation_points,
+    transform_kernel,
+    winograd_conv2d,
+    winograd_conv2d_rect,
+    winograd_conv2d_with_kernel,
+)
+from .conv import apply_activation, conv2d, conv2d_1x1, conv2d_im2col, im2col
+from .depthwise import depthwise_conv2d
+from .pooling import avg_pool2d, global_avg_pool2d, max_pool2d
+from .elementwise import (
+    add,
+    batch_norm,
+    eltwise_max,
+    mul,
+    prelu,
+    relu,
+    relu6,
+    scale,
+    sigmoid,
+    softmax,
+    sub,
+    tanh,
+)
+from .misc import conv_transpose2d, fully_connected, pad_nd, reduce_mean, resize2d
+from .sequence import gelu, layer_norm, lstm_forward
+from .quantized import qconv2d, quantize_tensor, quantize_weights_per_channel
+
+__all__ = [
+    "conv2d_1x1_packed",
+    "pack_nc4hw4",
+    "packed_shape",
+    "unpack_nc4hw4",
+    "DEFAULT_TILE",
+    "GemmStats",
+    "matmul",
+    "strassen_matmul",
+    "strassen_should_recurse",
+    "tiled_matmul",
+    "WinogradTransforms",
+    "generate_transforms",
+    "interpolation_points",
+    "transform_kernel",
+    "winograd_conv2d",
+    "winograd_conv2d_rect",
+    "winograd_conv2d_with_kernel",
+    "apply_activation",
+    "conv2d",
+    "conv2d_1x1",
+    "conv2d_im2col",
+    "im2col",
+    "depthwise_conv2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "max_pool2d",
+    "add",
+    "batch_norm",
+    "eltwise_max",
+    "mul",
+    "prelu",
+    "relu",
+    "relu6",
+    "scale",
+    "sigmoid",
+    "softmax",
+    "sub",
+    "tanh",
+    "conv_transpose2d",
+    "fully_connected",
+    "pad_nd",
+    "reduce_mean",
+    "resize2d",
+    "gelu",
+    "layer_norm",
+    "lstm_forward",
+    "qconv2d",
+    "quantize_tensor",
+    "quantize_weights_per_channel",
+]

@@ -1,0 +1,170 @@
+"""Convolution kernels: sliding-window (im2col), 1x1-as-GEMM, and dispatch.
+
+The scheme names follow the paper's convolution scheme pool (Section 3.2):
+
+* ``sliding``  — direct sliding-window convolution, realized as im2col +
+  tiled GEMM (the vectorized equivalent of MNN's NEON sliding kernels).
+* ``winograd`` — F(n x n, k x k) Winograd (see :mod:`repro.kernels.winograd`).
+* 1x1 kernels are a plain matrix multiplication and route through Strassen
+  (Section 3.3.2) when the size makes it worthwhile.
+
+Which scheme runs is decided by pre-inference (:mod:`repro.core.schemes`);
+these functions just execute a chosen scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .matmul import GemmStats, matmul, tiled_matmul
+from .winograd import generate_transforms, transform_kernel, winograd_conv2d_with_kernel
+
+__all__ = ["im2col", "conv2d_im2col", "conv2d_1x1", "conv2d", "apply_activation"]
+
+
+def apply_activation(y: np.ndarray, activation: Optional[str]) -> np.ndarray:
+    """Apply a fused activation produced by the graph optimizer."""
+    if activation is None:
+        return y
+    if activation == "relu":
+        return np.maximum(y, 0)
+    if activation == "relu6":
+        return np.clip(y, 0, 6)
+    raise ValueError(f"unknown fused activation {activation!r}")
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    pads: Tuple[int, int, int, int],
+    dilation: Tuple[int, int] = (1, 1),
+) -> np.ndarray:
+    """Unfold conv windows into a matrix.
+
+    Returns an array of shape ``(N, oh, ow, C, kh, kw)`` (a strided view
+    reshaped lazily by callers into GEMM operands).
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    dh, dw = dilation
+    top, bottom, left, right = pads
+    if any(p for p in pads):
+        x = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    eff_kh = (kh - 1) * dh + 1
+    eff_kw = (kw - 1) * dw + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (eff_kh, eff_kw), axis=(2, 3))
+    # stride over output positions, dilate within the window
+    windows = windows[:, :, ::sh, ::sw, ::dh, ::dw]
+    # (N, C, oh, ow, kh, kw) -> (N, oh, ow, C, kh, kw)
+    return windows.transpose(0, 2, 3, 1, 4, 5)
+
+
+def conv2d_im2col(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: Tuple[int, int] = (1, 1),
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    dilation: Tuple[int, int] = (1, 1),
+    groups: int = 1,
+    stats: Optional[GemmStats] = None,
+) -> np.ndarray:
+    """Sliding-window convolution via im2col + tiled GEMM.
+
+    Supports arbitrary kernel/stride/dilation/groups — this is the
+    universally-applicable scheme the selector falls back to.
+    """
+    n, ic, _, _ = x.shape
+    oc = weights.shape[0]
+    kh, kw = weights.shape[2], weights.shape[3]
+    if ic % groups or oc % groups:
+        raise ValueError(f"channels ({ic}, {oc}) not divisible by groups={groups}")
+    cols = im2col(x, (kh, kw), stride, pads, dilation)  # (N, oh, ow, C, kh, kw)
+    _, oh, ow, _, _, _ = cols.shape
+    icg = ic // groups
+    ocg = oc // groups
+    out = np.empty((n, oc, oh, ow), dtype=np.result_type(x.dtype, weights.dtype))
+    for g in range(groups):
+        group_cols = cols[:, :, :, g * icg : (g + 1) * icg]
+        lhs = np.ascontiguousarray(group_cols).reshape(n * oh * ow, icg * kh * kw)
+        rhs = weights[g * ocg : (g + 1) * ocg].reshape(ocg, icg * kh * kw).T
+        prod = tiled_matmul(lhs, np.ascontiguousarray(rhs), stats=stats)
+        out[:, g * ocg : (g + 1) * ocg] = prod.reshape(n, oh, ow, ocg).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    return out
+
+
+def conv2d_1x1(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: Tuple[int, int] = (1, 1),
+    use_strassen: bool = True,
+    stats: Optional[GemmStats] = None,
+) -> np.ndarray:
+    """1x1 convolution as one large GEMM, Strassen-accelerated (Section 3.3.2)."""
+    if weights.shape[2:] != (1, 1):
+        raise ValueError(f"conv2d_1x1 needs a 1x1 kernel, got {weights.shape}")
+    if stride != (1, 1):
+        x = x[:, :, :: stride[0], :: stride[1]]
+    n, ic, h, w = x.shape
+    oc = weights.shape[0]
+    lhs = np.ascontiguousarray(x.transpose(0, 2, 3, 1)).reshape(n * h * w, ic)
+    rhs = np.ascontiguousarray(weights.reshape(oc, ic).T)
+    out = matmul(lhs, rhs, use_strassen=use_strassen, stats=stats)
+    out = out.reshape(n, h, w, oc).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return np.ascontiguousarray(out)
+
+
+def conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: Tuple[int, int] = (1, 1),
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    dilation: Tuple[int, int] = (1, 1),
+    groups: int = 1,
+    scheme: str = "sliding",
+    winograd_n: int = 2,
+    winograd_n_hw: Tuple[int, int] = (1, 2),
+    activation: Optional[str] = None,
+    stats: Optional[GemmStats] = None,
+) -> np.ndarray:
+    """Execute a convolution with an explicitly chosen scheme.
+
+    ``scheme`` is one of ``"sliding"``, ``"winograd"``, ``"winograd_rect"``,
+    ``"gemm1x1"``.  Winograd variants require stride 1, dilation 1 and
+    groups == 1 (square kernels for plain ``"winograd"``); violations raise
+    ``ValueError`` (the selector never picks Winograd for those cases).
+    ``winograd_n_hw`` gives the per-axis tile sizes for the rectangular
+    variant.
+    """
+    if scheme == "gemm1x1":
+        if groups != 1:
+            raise ValueError("gemm1x1 scheme does not support groups")
+        y = conv2d_1x1(x, weights, bias, stride, stats=stats)
+    elif scheme == "winograd_rect":
+        if groups != 1 or dilation != (1, 1):
+            raise ValueError("winograd_rect scheme requires groups=1, dilation=1")
+        if stride != (1, 1):
+            raise ValueError("Winograd convolution requires stride 1")
+        from .winograd import winograd_conv2d_rect
+
+        y = winograd_conv2d_rect(x, weights, bias, winograd_n_hw, pads)
+    elif scheme == "winograd":
+        if groups != 1 or dilation != (1, 1):
+            raise ValueError("winograd scheme requires groups=1, dilation=1")
+        transforms = generate_transforms(winograd_n, weights.shape[2])
+        kernel = transform_kernel(weights, transforms)
+        y = winograd_conv2d_with_kernel(x, kernel, transforms, bias, pads, stride)
+    elif scheme == "sliding":
+        y = conv2d_im2col(x, weights, bias, stride, pads, dilation, groups, stats=stats)
+    else:
+        raise ValueError(f"unknown conv scheme {scheme!r}")
+    return apply_activation(y, activation)

@@ -1,0 +1,54 @@
+"""Depthwise convolution kernel.
+
+Depthwise conv applies one k x k filter per channel.  It is memory-bound, so
+no Winograd/Strassen variant exists in MNN's scheme pool either; the kernel
+is a direct vectorized sweep over the (small) kernel window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["depthwise_conv2d"]
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: Tuple[int, int] = (1, 1),
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    dilation: Tuple[int, int] = (1, 1),
+) -> np.ndarray:
+    """Depthwise convolution.
+
+    Args:
+        x: (N, C, H, W) input.
+        weights: (C, 1, kh, kw) per-channel filters.
+        bias: optional (C,) bias.
+    """
+    n, c, _, _ = x.shape
+    if weights.shape[0] != c or weights.shape[1] != 1:
+        raise ValueError(f"depthwise weights {weights.shape} do not match {c} channels")
+    kh, kw = weights.shape[2], weights.shape[3]
+    sh, sw = stride
+    dh, dw = dilation
+    top, bottom, left, right = pads
+    if any(pads):
+        x = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    eff_kh = (kh - 1) * dh + 1
+    eff_kw = (kw - 1) * dw + 1
+    oh = (x.shape[2] - eff_kh) // sh + 1
+    ow = (x.shape[3] - eff_kw) // sw + 1
+    out = np.zeros((n, c, oh, ow), dtype=np.result_type(x.dtype, weights.dtype))
+    # Sweep the kernel window: kh*kw fused multiply-adds over whole planes.
+    for i in range(kh):
+        for j in range(kw):
+            di, dj = i * dh, j * dw
+            patch = x[:, :, di : di + (oh - 1) * sh + 1 : sh, dj : dj + (ow - 1) * sw + 1 : sw]
+            out += patch * weights[:, 0, i, j].reshape(1, c, 1, 1)
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    return out

@@ -1,0 +1,103 @@
+"""NC4HW4 data-layout packing and unpacking (paper Section 3.3.1).
+
+NC4HW4 splits the channel axis into blocks of ``V = 4`` elements placed
+contiguously in memory so a vector register can process 4 channels per
+instruction.  In this NumPy port, the trailing axis of size 4 plays the
+role of the SIMD lane: kernels that operate on packed tensors express
+their inner loop over that axis with whole-array numpy ops.
+
+Logical NCHW shape ``(N, C, H, W)`` maps to physical ``(N, ceil(C/4), H, W, 4)``
+with zero padding in the final partial channel block.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..ir.tensor import SIMD_WIDTH
+
+__all__ = ["pack_nc4hw4", "unpack_nc4hw4", "packed_shape", "conv2d_1x1_packed"]
+
+
+def packed_shape(shape: Tuple[int, int, int, int]) -> Tuple[int, int, int, int, int]:
+    """Physical NC4HW4 shape for a logical NCHW ``shape``."""
+    n, c, h, w = shape
+    c4 = -(-c // SIMD_WIDTH)
+    return (n, c4, h, w, SIMD_WIDTH)
+
+
+def pack_nc4hw4(x: np.ndarray) -> np.ndarray:
+    """Repack an NCHW tensor into NC4HW4.
+
+    The channel axis is zero-padded up to a multiple of 4, split into
+    ``(C/4, 4)``, and the 4-lane axis is moved innermost.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"pack_nc4hw4 expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    c4 = -(-c // SIMD_WIDTH)
+    pad = c4 * SIMD_WIDTH - c
+    if pad:
+        x = np.concatenate([x, np.zeros((n, pad, h, w), x.dtype)], axis=1)
+    # (N, C4, 4, H, W) -> (N, C4, H, W, 4)
+    return np.ascontiguousarray(x.reshape(n, c4, SIMD_WIDTH, h, w).transpose(0, 1, 3, 4, 2))
+
+
+def conv2d_1x1_packed(
+    x_packed: np.ndarray,
+    weights: np.ndarray,
+    bias=None,
+) -> np.ndarray:
+    """1x1 convolution directly on NC4HW4-packed activations.
+
+    The lane axis stays innermost throughout: each output 4-lane block is a
+    sum over input 4-lane blocks of 4x4 weight sub-matrices — exactly the
+    register tiling MNN's NEON kernels use (Section 3.3.1).  Input and
+    output remain packed, so a chain of packed ops never repacks.
+
+    Args:
+        x_packed: (N, C4_in, H, W, 4) packed input.
+        weights: (oc, ic, 1, 1) standard kernel; ``ic`` may be less than
+            ``C4_in * 4`` (the padding lanes are zeros and contribute 0).
+
+    Returns:
+        (N, C4_out, H, W, 4) packed output.
+    """
+    if x_packed.ndim != 5 or x_packed.shape[-1] != SIMD_WIDTH:
+        raise ValueError(f"expected packed (N, C4, H, W, 4) input, got {x_packed.shape}")
+    if weights.shape[2:] != (1, 1):
+        raise ValueError(f"conv2d_1x1_packed needs a 1x1 kernel, got {weights.shape}")
+    n, c4_in, h, w, v = x_packed.shape
+    oc, ic = weights.shape[0], weights.shape[1]
+    if ic > c4_in * v:
+        raise ValueError(f"kernel expects {ic} channels, packed input has {c4_in * v}")
+    # Pack the weight matrix into (C4_out, C4_in, 4out, 4in) blocks.
+    oc4 = -(-oc // v)
+    wmat = np.zeros((oc4 * v, c4_in * v), dtype=weights.dtype)
+    wmat[:oc, : ic] = weights.reshape(oc, ic)
+    wblocks = wmat.reshape(oc4, v, c4_in, v)
+    # out[n, O, h, w, o] = sum_{I, i} x[n, I, h, w, i] * W[O, o, I, i]
+    out = np.einsum("nIhwi,OoIi->nOhwo", x_packed, wblocks, optimize=True)
+    if bias is not None:
+        bias_packed = np.zeros(oc4 * v, dtype=out.dtype)
+        bias_packed[:oc] = bias
+        out += bias_packed.reshape(1, oc4, 1, 1, v)
+    return np.ascontiguousarray(out)
+
+
+def unpack_nc4hw4(x: np.ndarray, channels: int) -> np.ndarray:
+    """Inverse of :func:`pack_nc4hw4`, dropping channel padding.
+
+    Args:
+        x: packed tensor of shape ``(N, C4, H, W, 4)``.
+        channels: the logical channel count to restore.
+    """
+    if x.ndim != 5 or x.shape[-1] != SIMD_WIDTH:
+        raise ValueError(f"unpack_nc4hw4 expects (N, C4, H, W, 4), got {x.shape}")
+    n, c4, h, w, v = x.shape
+    if channels > c4 * v:
+        raise ValueError(f"cannot unpack {channels} channels from {c4 * v} packed")
+    full = x.transpose(0, 1, 4, 2, 3).reshape(n, c4 * v, h, w)
+    return np.ascontiguousarray(full[:, :channels])

@@ -1,0 +1,79 @@
+"""Pooling kernels: max, average and global-average pooling."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["max_pool2d", "avg_pool2d", "global_avg_pool2d"]
+
+
+def _pool_windows(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    pads: Tuple[int, int, int, int],
+    out_hw: Tuple[int, int],
+    pad_value: float,
+) -> np.ndarray:
+    """Extract (N, C, oh, ow, kh, kw) pooling windows, padding with ``pad_value``.
+
+    The padded extent is grown on the bottom/right if ``ceil_mode`` produced
+    an output larger than the exactly-covered input.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    top, bottom, left, right = pads
+    oh, ow = out_hw
+    need_h = (oh - 1) * sh + kh
+    need_w = (ow - 1) * sw + kw
+    grow_h = max(0, need_h - (x.shape[2] + top + bottom))
+    grow_w = max(0, need_w - (x.shape[3] + left + right))
+    x = np.pad(
+        x,
+        ((0, 0), (0, 0), (top, bottom + grow_h), (left, right + grow_w)),
+        constant_values=pad_value,
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::sh, ::sw][:, :, :oh, :ow]
+
+
+def max_pool2d(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    pads: Tuple[int, int, int, int],
+    out_hw: Tuple[int, int],
+) -> np.ndarray:
+    """Max pooling; padding contributes -inf so it never wins."""
+    neg = np.finfo(x.dtype).min if np.issubdtype(x.dtype, np.floating) else np.iinfo(x.dtype).min
+    windows = _pool_windows(x, kernel, stride, pads, out_hw, float(neg))
+    return windows.max(axis=(4, 5))
+
+
+def avg_pool2d(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    pads: Tuple[int, int, int, int],
+    out_hw: Tuple[int, int],
+    count_include_pad: bool = False,
+) -> np.ndarray:
+    """Average pooling.
+
+    With ``count_include_pad=False`` (the common convention) border windows
+    divide by the number of *real* elements they cover.
+    """
+    windows = _pool_windows(x, kernel, stride, pads, out_hw, 0.0)
+    sums = windows.sum(axis=(4, 5))
+    if count_include_pad:
+        return sums / (kernel[0] * kernel[1])
+    ones = np.ones((1, 1, x.shape[2], x.shape[3]), dtype=x.dtype)
+    counts = _pool_windows(ones, kernel, stride, pads, out_hw, 0.0).sum(axis=(4, 5))
+    return sums / counts
+
+
+def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
+    """Global average pooling to (N, C, 1, 1)."""
+    return x.mean(axis=(2, 3), keepdims=True)

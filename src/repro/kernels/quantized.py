@@ -1,0 +1,76 @@
+"""Int8 quantized convolution (the converter's model-compression path).
+
+Symmetric linear quantization: activations use one scale per tensor,
+weights one scale per output channel.  Accumulation is exact int32 — the
+same arithmetic contract as MNN's int8 kernels — and the result is
+dequantized back to float32.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .conv import im2col
+
+__all__ = ["quantize_tensor", "quantize_weights_per_channel", "qconv2d"]
+
+
+def quantize_tensor(x: np.ndarray, scale: float) -> np.ndarray:
+    """Quantize to int8 with a symmetric scale (zero point 0)."""
+    if scale <= 0:
+        raise ValueError(f"quantization scale must be positive, got {scale}")
+    return np.clip(np.round(x / scale), -127, 127).astype(np.int8)
+
+
+def quantize_weights_per_channel(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-output-channel symmetric int8 quantization of conv weights.
+
+    Args:
+        weights: (oc, ic, kh, kw) float kernel.
+
+    Returns:
+        (int8 weights, per-channel float scales of shape (oc,)).
+    """
+    oc = weights.shape[0]
+    flat = np.abs(weights.reshape(oc, -1))
+    max_abs = flat.max(axis=1)
+    scales = np.where(max_abs > 0, max_abs / 127.0, 1.0).astype(np.float32)
+    q = np.clip(np.round(weights / scales.reshape(-1, 1, 1, 1)), -127, 127).astype(np.int8)
+    return q, scales
+
+
+def qconv2d(
+    x: np.ndarray,
+    weights_q: np.ndarray,
+    weight_scales: np.ndarray,
+    input_scale: float,
+    bias: Optional[np.ndarray] = None,
+    stride: Tuple[int, int] = (1, 1),
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    dilation: Tuple[int, int] = (1, 1),
+    groups: int = 1,
+) -> np.ndarray:
+    """Quantized conv: int8 inputs/weights, int32 accumulation, float output."""
+    n, ic = x.shape[:2]
+    oc = weights_q.shape[0]
+    kh, kw = weights_q.shape[2], weights_q.shape[3]
+    xq = quantize_tensor(x, input_scale).astype(np.int32)
+    cols = im2col(xq, (kh, kw), stride, pads, dilation)  # (N, oh, ow, C, kh, kw)
+    _, oh, ow, _, _, _ = cols.shape
+    icg, ocg = ic // groups, oc // groups
+    acc = np.empty((n, oc, oh, ow), dtype=np.int32)
+    wq = weights_q.astype(np.int32)
+    for g in range(groups):
+        lhs = np.ascontiguousarray(
+            cols[:, :, :, g * icg : (g + 1) * icg]
+        ).reshape(n * oh * ow, icg * kh * kw)
+        rhs = wq[g * ocg : (g + 1) * ocg].reshape(ocg, icg * kh * kw).T
+        prod = lhs @ rhs  # exact int32 accumulation
+        acc[:, g * ocg : (g + 1) * ocg] = prod.reshape(n, oh, ow, ocg).transpose(0, 3, 1, 2)
+    dequant = input_scale * weight_scales.reshape(1, -1, 1, 1)
+    out = acc.astype(np.float32) * dequant
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    return out

@@ -1,0 +1,92 @@
+"""Sequence-model kernels: LayerNorm, GELU, LSTM.
+
+These back the Transformer/LSTM operators (paper Figure 1 lists RNN, LSTM
+and Transformer among the model families a universal engine must cover).
+All kernels are vectorized over batch and, where possible, time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["gelu", "layer_norm", "lstm_forward"]
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation, as in BERT)."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    axis: int = -1,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalization over one axis with affine parameters."""
+    axis = axis % x.ndim
+    mean = x.mean(axis=axis, keepdims=True)
+    var = x.var(axis=axis, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + epsilon)
+    shape = [1] * x.ndim
+    shape[axis] = x.shape[axis]
+    return normed * gamma.reshape(shape) + beta.reshape(shape)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def lstm_forward(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    return_sequences: bool = False,
+) -> np.ndarray:
+    """Single-layer LSTM over a batched sequence.
+
+    Args:
+        x: (N, T, features) input sequence.
+        w_ih: (4*H, features) input weights, gate order [i, f, g, o].
+        w_hh: (4*H, H) recurrent weights.
+        bias: optional (4*H,) bias.
+        return_sequences: return all hidden states (N, T, H) instead of
+            just the final one (N, H).
+    """
+    n, t, features = x.shape
+    hidden = w_hh.shape[1]
+    if w_ih.shape != (4 * hidden, features):
+        raise ValueError(f"w_ih {w_ih.shape} != ({4 * hidden}, {features})")
+    # Pre-compute all input projections in one GEMM over (N*T, features).
+    proj = x.reshape(n * t, features) @ w_ih.T
+    if bias is not None:
+        proj = proj + bias
+    proj = proj.reshape(n, t, 4 * hidden)
+
+    h = np.zeros((n, hidden), dtype=x.dtype)
+    c = np.zeros((n, hidden), dtype=x.dtype)
+    outputs = np.empty((n, t, hidden), dtype=x.dtype) if return_sequences else None
+    w_hh_t = w_hh.T
+    for step in range(t):
+        gates = proj[:, step] + h @ w_hh_t
+        i = _sigmoid(gates[:, :hidden])
+        f = _sigmoid(gates[:, hidden : 2 * hidden])
+        g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o = _sigmoid(gates[:, 3 * hidden :])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        if outputs is not None:
+            outputs[:, step] = h
+    return outputs if outputs is not None else h

@@ -1,0 +1,349 @@
+"""Winograd convolution with a general transform-matrix generator.
+
+The paper (Section 3.3.1) replaces hard-coded Winograd transform tables with
+a *generator* able to produce the ``A``, ``B``, ``G`` matrices for any output
+tile size ``n`` and kernel size ``k``.  Interpolation points follow Eq. 8:
+
+    x * (x - f)(x + f) * (x - 2f)(x + 2f) * ...
+
+with ``f = 0.5`` chosen to minimize numerical error.  We construct ``A^T``
+and ``G`` in closed form from the points (plus the point at infinity) and
+solve for ``B^T`` exactly over the rationals from the bilinear-algorithm
+identity, so the generated algorithm is *exact* up to float rounding:
+
+    sum_l  AT[j, l] * G[l, c] * BT[l, i]  ==  1  iff  i == j + c   (else 0)
+
+which is precisely the statement "y = A^T [(G g) . (B^T d)] computes the
+valid correlation of d with g".
+
+The 2-D convolution (``winograd_conv2d``) follows Figure 4: tile the input,
+transform tiles with ``B^T X B``, pre-transform the kernel with ``G W G^T``
+(done once at pre-inference — the "pre-computed constants" of Figure 2),
+batch the Hadamard products into per-position matrix multiplications over
+the channel dimension, and inverse-transform with ``A^T Y' A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WinogradTransforms",
+    "generate_transforms",
+    "interpolation_points",
+    "transform_kernel",
+    "winograd_conv2d",
+    "winograd_conv2d_rect",
+    "winograd_conv2d_with_kernel",
+]
+
+
+def interpolation_points(count: int, f: Fraction = Fraction(1, 2)) -> List[Fraction]:
+    """The first ``count`` points of the paper's Eq. 8 sequence.
+
+    Sequence: ``0, f, -f, 2f, -2f, 3f, -3f, ...``
+    """
+    points: List[Fraction] = [Fraction(0)]
+    step = 1
+    while len(points) < count:
+        points.append(f * step)
+        if len(points) < count:
+            points.append(-f * step)
+        step += 1
+    return points[:count]
+
+
+def _solve_exact(rows: List[List[Fraction]], rhs: List[List[Fraction]]) -> List[List[Fraction]]:
+    """Solve the (possibly overdetermined but consistent) system M X = R exactly.
+
+    Gaussian elimination over ``Fraction``; raises ``ValueError`` if the
+    system is inconsistent or rank-deficient.
+    """
+    n_rows = len(rows)
+    n_cols = len(rows[0])
+    n_rhs = len(rhs[0])
+    aug = [rows[i] + rhs[i] for i in range(n_rows)]
+    pivot_row = 0
+    pivot_cols = []
+    for col in range(n_cols):
+        pivot = next(
+            (r for r in range(pivot_row, n_rows) if aug[r][col] != 0), None
+        )
+        if pivot is None:
+            continue
+        aug[pivot_row], aug[pivot] = aug[pivot], aug[pivot_row]
+        factor = aug[pivot_row][col]
+        aug[pivot_row] = [v / factor for v in aug[pivot_row]]
+        for r in range(n_rows):
+            if r != pivot_row and aug[r][col] != 0:
+                scale = aug[r][col]
+                aug[r] = [a - scale * b for a, b in zip(aug[r], aug[pivot_row])]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == n_rows:
+            break
+    if len(pivot_cols) < n_cols:
+        raise ValueError("Winograd system is rank-deficient; pick distinct points")
+    # Rows beyond the pivots must be all-zero (consistency).
+    for r in range(len(pivot_cols), n_rows):
+        if any(v != 0 for v in aug[r]):
+            raise ValueError("Winograd system inconsistent; generator invariant broken")
+    solution = [[Fraction(0)] * n_rhs for _ in range(n_cols)]
+    for r, col in enumerate(pivot_cols):
+        solution[col] = aug[r][n_cols:]
+    return solution
+
+
+@dataclass(frozen=True)
+class WinogradTransforms:
+    """Generated transform matrices for F(n x n, k x k).
+
+    Attributes:
+        n: output tile size.
+        k: kernel size.
+        t: input tile size ``n + k - 1`` (= number of multiplies per 1-D tile).
+        at: ``A^T`` of shape (n, t) — output/inverse transform.
+        g: ``G`` of shape (t, k) — kernel transform.
+        bt: ``B^T`` of shape (t, t) — input transform.
+    """
+
+    n: int
+    k: int
+    t: int
+    at: np.ndarray
+    g: np.ndarray
+    bt: np.ndarray
+
+
+@lru_cache(maxsize=None)
+def _generate_cached(n: int, k: int, f_num: int, f_den: int) -> WinogradTransforms:
+    f = Fraction(f_num, f_den)
+    t = n + k - 1
+    points = interpolation_points(t - 1, f)
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+
+    # G: rows are [1, a, a^2, ...]/N_i for finite points, then e_{k-1} for ∞.
+    g_rows: List[List[Fraction]] = []
+    for i, a in enumerate(points):
+        norm = Fraction(1)
+        for j, other in enumerate(points):
+            if j != i:
+                norm *= a - other
+        g_rows.append([a**p / norm for p in range(k)])
+    g_rows.append([Fraction(0)] * (k - 1) + [Fraction(1)])
+
+    # A^T: columns are [1, a, a^2, ...] for finite points, e_{n-1} for ∞.
+    at_rows: List[List[Fraction]] = [
+        [a**j for a in points] + [Fraction(1) if j == n - 1 else Fraction(0)]
+        for j in range(n)
+    ]
+
+    # Solve for B^T from the bilinear identity (see module docstring):
+    # for each output column i of B^T, sum_l AT[j,l] G[l,c] BT[l,i] = [i == j+c].
+    system_rows: List[List[Fraction]] = []
+    rhs: List[List[Fraction]] = []
+    for j in range(n):
+        for c in range(k):
+            system_rows.append([at_rows[j][l] * g_rows[l][c] for l in range(t)])
+            rhs.append([Fraction(1) if i == j + c else Fraction(0) for i in range(t)])
+    bt_cols = _solve_exact(system_rows, rhs)  # shape (t rows of solution) x t
+    # _solve_exact returns X with X[l][i] = BT[l][i] (unknowns were BT[:, i]).
+    bt_rows = bt_cols
+
+    to_np = lambda rows: np.array([[float(v) for v in row] for row in rows], dtype=np.float64)
+    return WinogradTransforms(n=n, k=k, t=t, at=to_np(at_rows), g=to_np(g_rows), bt=to_np(bt_rows))
+
+
+def generate_transforms(n: int, k: int, f: Fraction = Fraction(1, 2)) -> WinogradTransforms:
+    """Generate exact Winograd transforms for F(n x n, k x k).
+
+    Args:
+        n: output tile size (>= 1; n == 1 degenerates to direct convolution).
+        k: kernel size (>= 2 for a meaningful Winograd transform).
+        f: the Eq. 8 spacing scalar (default 1/2, as in the paper).
+
+    Raises:
+        ValueError: for invalid sizes.
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"invalid Winograd sizes n={n}, k={k}")
+    frac = Fraction(f)
+    return _generate_cached(n, k, frac.numerator, frac.denominator)
+
+
+def transform_kernel(weights: np.ndarray, transforms: WinogradTransforms) -> np.ndarray:
+    """Pre-transform conv weights: ``W' = G W G^T`` per (oc, ic) pair.
+
+    Args:
+        weights: (oc, ic, k, k) convolution kernel.
+        transforms: matrices from :func:`generate_transforms`.
+
+    Returns:
+        (t, t, ic, oc) transformed kernel, laid out so the Hadamard stage can
+        run one (U, ic) x (ic, oc) matmul per tile position (Figure 4).
+    """
+    oc, ic, kh, kw = weights.shape
+    if kh != transforms.k or kw != transforms.k:
+        raise ValueError(f"kernel {kh}x{kw} does not match transforms k={transforms.k}")
+    g = transforms.g
+    # W'[a, b, ic, oc] = sum_{i,j} G[a, i] W[oc, ic, i, j] G[b, j]
+    wt = np.tensordot(g, weights.astype(np.float64), axes=([1], [2]))
+    # wt: (t, oc, ic, k); contract the remaining kernel axis with G
+    wt = np.tensordot(wt, g, axes=([3], [1]))  # (t, oc, ic, t)
+    return np.ascontiguousarray(wt.transpose(0, 3, 2, 1))  # (t, t, ic, oc)
+
+
+def _tile_input(x: np.ndarray, n: int, t: int, tiles_h: int, tiles_w: int) -> np.ndarray:
+    """Gather overlapping t x t tiles at stride n: -> (N, ic, th, tw, t, t)."""
+    view = np.lib.stride_tricks.sliding_window_view(x, (t, t), axis=(2, 3))
+    return view[:, :, :: n, :: n][:, :, :tiles_h, :tiles_w]
+
+
+def winograd_conv2d_with_kernel(
+    x: np.ndarray,
+    transformed_kernel: np.ndarray,
+    transforms: WinogradTransforms,
+    bias: Optional[np.ndarray] = None,
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    stride: Tuple[int, int] = (1, 1),
+) -> np.ndarray:
+    """Winograd convolution given an already-transformed kernel.
+
+    Splitting kernel transformation out mirrors MNN's pre-inference: ``G W
+    G^T`` is computed once per session and reused across inferences.
+
+    Only stride 1 is supported (Winograd requires it); callers fall back to
+    sliding window otherwise.
+    """
+    if stride != (1, 1):
+        raise ValueError("Winograd convolution requires stride 1")
+    n_tile, k, t = transforms.n, transforms.k, transforms.t
+    batch, ic, ih, iw = x.shape
+    top, bottom, left, right = pads
+    oh = ih + top + bottom - k + 1
+    ow = iw + left + right - k + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"kernel {k} does not fit padded input {(ih, iw)}")
+    tiles_h = -(-oh // n_tile)
+    tiles_w = -(-ow // n_tile)
+    # Pad: explicit conv padding plus right/bottom padding to whole tiles.
+    pad_h = tiles_h * n_tile + k - 1 - (ih + top + bottom)
+    pad_w = tiles_w * n_tile + k - 1 - (iw + left + right)
+    xp = np.pad(
+        x.astype(np.float64, copy=False),
+        ((0, 0), (0, 0), (top, bottom + pad_h), (left, right + pad_w)),
+    )
+
+    tiles = _tile_input(xp, n_tile, t, tiles_h, tiles_w)  # (N, ic, th, tw, t, t)
+    bt, at = transforms.bt, transforms.at
+    # X' = B^T X B, batched over (N, ic, th, tw).
+    xt = np.einsum("ab,nctwbd,ed->aenctw", bt, tiles, bt, optimize=True)
+    # Hadamard-as-matmul per tile position (Figure 4):
+    # Y'[a, e, n, th, tw, oc] = sum_ic X'[a, e, n, c, th, tw] W'[a, e, c, oc]
+    yt = np.einsum("aenctw,aeco->aentwo", xt, transformed_kernel, optimize=True)
+    # Y = A^T Y' A  -> (n_tile, n_tile, N, th, tw, oc)
+    y = np.einsum("pa,aentwo,qe->pqntwo", at, yt, at, optimize=True)
+    # Scatter tiles back: (N, oc, th*n, tw*n), then crop to (oh, ow).
+    y = y.transpose(2, 5, 3, 0, 4, 1).reshape(batch, y.shape[5], tiles_h * n_tile, tiles_w * n_tile)
+    y = y[:, :, :oh, :ow]
+    if bias is not None:
+        y = y + bias.reshape(1, -1, 1, 1)
+    return y.astype(x.dtype, copy=False)
+
+
+def _transforms_1d(n: int, k: int, f: Fraction) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-axis transforms (A^T, G, B^T) for F(n, k), with k = 1 degenerate.
+
+    A k = 1 "convolution" along an axis is a scalar multiply, so the
+    transforms collapse to identities with ``G = ones((n, 1))``.
+    """
+    if k == 1:
+        eye = np.eye(n, dtype=np.float64)
+        return eye, np.ones((n, 1), dtype=np.float64), eye
+    tr = generate_transforms(n, k, f)
+    return tr.at, tr.g, tr.bt
+
+
+def winograd_conv2d_rect(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    n_hw: Tuple[int, int] = (2, 2),
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    f: Fraction = Fraction(1, 2),
+) -> np.ndarray:
+    """Winograd convolution for *rectangular* kernels F(nh x nw, kh x kw).
+
+    This is the generator's payoff beyond hard-coded tables: asymmetric
+    kernels like Inception's 1x7 / 7x1 get Winograd acceleration too, with
+    independent per-axis tile sizes and interpolation points.  Stride must
+    be 1 (as for square Winograd).
+    """
+    batch, ic, ih, iw = x.shape
+    oc, _, kh, kw = weights.shape
+    nh, nw = n_hw
+    at_h, g_h, bt_h = _transforms_1d(nh, kh, f)
+    at_w, g_w, bt_w = _transforms_1d(nw, kw, f)
+    th, tw = nh + kh - 1, nw + kw - 1
+
+    top, bottom, left, right = pads
+    oh = ih + top + bottom - kh + 1
+    ow = iw + left + right - kw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"kernel ({kh},{kw}) does not fit padded input {(ih, iw)}")
+    tiles_h = -(-oh // nh)
+    tiles_w = -(-ow // nw)
+    pad_h = tiles_h * nh + kh - 1 - (ih + top + bottom)
+    pad_w = tiles_w * nw + kw - 1 - (iw + left + right)
+    xp = np.pad(
+        x.astype(np.float64, copy=False),
+        ((0, 0), (0, 0), (top, bottom + pad_h), (left, right + pad_w)),
+    )
+
+    # W'[a, b, ic, oc] = sum_{i,j} G_h[a, i] W[oc, ic, i, j] G_w[b, j]
+    wt = np.einsum("ai,ocij,bj->abco", g_h, weights.astype(np.float64), g_w,
+                   optimize=True)
+
+    view = np.lib.stride_tricks.sliding_window_view(xp, (th, tw), axis=(2, 3))
+    tiles = view[:, :, ::nh, ::nw][:, :, :tiles_h, :tiles_w]  # (N, ic, TH, TW, th, tw)
+    xt = np.einsum("ab,nctwbd,ed->aenctw", bt_h, tiles, bt_w, optimize=True)
+    yt = np.einsum("aenctw,aeco->aentwo", xt, wt, optimize=True)
+    y = np.einsum("pa,aentwo,qe->pqntwo", at_h, yt, at_w, optimize=True)
+    y = y.transpose(2, 5, 3, 0, 4, 1).reshape(batch, oc, tiles_h * nh, tiles_w * nw)
+    y = y[:, :, :oh, :ow]
+    if bias is not None:
+        y = y + bias.reshape(1, -1, 1, 1)
+    return y.astype(x.dtype, copy=False)
+
+
+def winograd_conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    n: int = 2,
+    pads: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    stride: Tuple[int, int] = (1, 1),
+    f: Fraction = Fraction(1, 2),
+) -> np.ndarray:
+    """Winograd convolution F(n x n, k x k) from raw weights.
+
+    Args:
+        x: (N, ic, H, W) input.
+        weights: (oc, ic, k, k) kernel (square, stride 1, dilation 1).
+        bias: optional (oc,) bias.
+        n: output tile size.
+        pads: explicit (top, bottom, left, right) input padding.
+        f: interpolation-point spacing (Eq. 8).
+    """
+    k = weights.shape[2]
+    if weights.shape[2] != weights.shape[3]:
+        raise ValueError("Winograd requires a square kernel")
+    transforms = generate_transforms(n, k, f)
+    kernel = transform_kernel(weights, transforms)
+    return winograd_conv2d_with_kernel(x, kernel, transforms, bias, pads, stride)

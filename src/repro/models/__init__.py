@@ -1,0 +1,51 @@
+"""Model zoo: the architectures benchmarked in the paper's evaluation."""
+
+from typing import Callable, Dict
+
+from ..ir.graph import Graph
+from .mobilenet import mobilenet_v1, mobilenet_v2
+from .squeezenet import squeezenet_v1_0, squeezenet_v1_1
+from .resnet import resnet18, resnet50
+from .inception import inception_v3
+from .text import lstm_classifier, tiny_transformer
+
+__all__ = [
+    "mobilenet_v1",
+    "mobilenet_v2",
+    "squeezenet_v1_0",
+    "squeezenet_v1_1",
+    "resnet18",
+    "resnet50",
+    "inception_v3",
+    "tiny_transformer",
+    "lstm_classifier",
+    "MODEL_REGISTRY",
+    "build_model",
+]
+
+MODEL_REGISTRY: Dict[str, Callable[..., Graph]] = {
+    "mobilenet_v1": mobilenet_v1,
+    "mobilenet_v2": mobilenet_v2,
+    "squeezenet_v1.0": squeezenet_v1_0,
+    "squeezenet_v1.1": squeezenet_v1_1,
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "inception_v3": inception_v3,
+    "tiny_transformer": tiny_transformer,
+    "lstm_classifier": lstm_classifier,
+}
+
+
+def build_model(name: str, **kwargs) -> Graph:
+    """Build a zoo model by name.
+
+    Raises:
+        KeyError: listing the available names if ``name`` is unknown.
+    """
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,116 @@
+"""Inception-v3 graph builder (Szegedy et al. 2015).
+
+The factorized 1x7 / 7x1 convolutions in the middle blocks are exactly the
+operators the paper's Figure 8 uses to demonstrate the bottleneck of
+case-by-case kernel optimization: NCNN-style engines have no hand-tuned
+kernel for them and fall back to a slow path.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+
+__all__ = ["inception_v3"]
+
+
+def _cbr(b: GraphBuilder, x: str, oc: int, kernel, stride=1, pad_mode="valid") -> str:
+    x = b.conv(x, oc=oc, kernel=kernel, stride=stride, pad_mode=pad_mode, bias=False)
+    x = b.batch_norm(x)
+    return b.relu(x)
+
+
+def _inception_a(b: GraphBuilder, x: str, pool_features: int) -> str:
+    b1 = _cbr(b, x, 64, 1)
+    b5 = _cbr(b, x, 48, 1)
+    b5 = _cbr(b, b5, 64, 5, pad_mode="same")
+    b3 = _cbr(b, x, 64, 1)
+    b3 = _cbr(b, b3, 96, 3, pad_mode="same")
+    b3 = _cbr(b, b3, 96, 3, pad_mode="same")
+    bp = b.avg_pool(x, 3, stride=1, pad_mode="same")
+    bp = _cbr(b, bp, pool_features, 1)
+    return b.concat([b1, b5, b3, bp])
+
+
+def _reduction_a(b: GraphBuilder, x: str) -> str:
+    b3 = _cbr(b, x, 384, 3, stride=2)
+    bd = _cbr(b, x, 64, 1)
+    bd = _cbr(b, bd, 96, 3, pad_mode="same")
+    bd = _cbr(b, bd, 96, 3, stride=2)
+    bp = b.max_pool(x, 3, stride=2)
+    return b.concat([b3, bd, bp])
+
+
+def _inception_b(b: GraphBuilder, x: str, c7: int) -> str:
+    """The factorized-7 block: contains 1x7 and 7x1 convolutions."""
+    b1 = _cbr(b, x, 192, 1)
+    b7 = _cbr(b, x, c7, 1)
+    b7 = _cbr(b, b7, c7, (1, 7), pad_mode="same")
+    b7 = _cbr(b, b7, 192, (7, 1), pad_mode="same")
+    b77 = _cbr(b, x, c7, 1)
+    b77 = _cbr(b, b77, c7, (7, 1), pad_mode="same")
+    b77 = _cbr(b, b77, c7, (1, 7), pad_mode="same")
+    b77 = _cbr(b, b77, c7, (7, 1), pad_mode="same")
+    b77 = _cbr(b, b77, 192, (1, 7), pad_mode="same")
+    bp = b.avg_pool(x, 3, stride=1, pad_mode="same")
+    bp = _cbr(b, bp, 192, 1)
+    return b.concat([b1, b7, b77, bp])
+
+
+def _reduction_b(b: GraphBuilder, x: str) -> str:
+    b3 = _cbr(b, x, 192, 1)
+    b3 = _cbr(b, b3, 320, 3, stride=2)
+    b7 = _cbr(b, x, 192, 1)
+    b7 = _cbr(b, b7, 192, (1, 7), pad_mode="same")
+    b7 = _cbr(b, b7, 192, (7, 1), pad_mode="same")
+    b7 = _cbr(b, b7, 192, 3, stride=2)
+    bp = b.max_pool(x, 3, stride=2)
+    return b.concat([b3, b7, bp])
+
+
+def _inception_c(b: GraphBuilder, x: str) -> str:
+    b1 = _cbr(b, x, 320, 1)
+    b3 = _cbr(b, x, 384, 1)
+    b3a = _cbr(b, b3, 384, (1, 3), pad_mode="same")
+    b3b = _cbr(b, b3, 384, (3, 1), pad_mode="same")
+    bd = _cbr(b, x, 448, 1)
+    bd = _cbr(b, bd, 384, 3, pad_mode="same")
+    bda = _cbr(b, bd, 384, (1, 3), pad_mode="same")
+    bdb = _cbr(b, bd, 384, (3, 1), pad_mode="same")
+    bp = b.avg_pool(x, 3, stride=1, pad_mode="same")
+    bp = _cbr(b, bp, 192, 1)
+    return b.concat([b1, b3a, b3b, bda, bdb, bp])
+
+
+def inception_v3(
+    input_size: int = 299, classes: int = 1000, batch: int = 1, seed: int = 0
+) -> Graph:
+    """Inception-v3 with the standard 299x299 input."""
+    b = GraphBuilder(f"inception_v3_{input_size}", seed=seed)
+    x = b.input("data", (batch, 3, input_size, input_size))
+    # stem
+    x = _cbr(b, x, 32, 3, stride=2)
+    x = _cbr(b, x, 32, 3)
+    x = _cbr(b, x, 64, 3, pad_mode="same")
+    x = b.max_pool(x, 3, stride=2)
+    x = _cbr(b, x, 80, 1)
+    x = _cbr(b, x, 192, 3)
+    x = b.max_pool(x, 3, stride=2)
+    # 3 x inception A
+    x = _inception_a(b, x, 32)
+    x = _inception_a(b, x, 64)
+    x = _inception_a(b, x, 64)
+    x = _reduction_a(b, x)
+    # 4 x inception B (the 1x7 / 7x1 blocks)
+    x = _inception_b(b, x, 128)
+    x = _inception_b(b, x, 160)
+    x = _inception_b(b, x, 160)
+    x = _inception_b(b, x, 192)
+    x = _reduction_b(b, x)
+    # 2 x inception C
+    x = _inception_c(b, x)
+    x = _inception_c(b, x)
+    x = b.global_avg_pool(x)
+    x = b.dropout(x)
+    x = b.fc(x, units=classes)
+    b.output(b.softmax(x))
+    return b.finish()

@@ -1,0 +1,101 @@
+"""MobileNet v1 and v2 graph builders (Howard et al. 2017; Sandler et al. 2018).
+
+Weights are seeded-random: the paper's experiments measure latency, which is
+weight-independent.  Architectures follow the published configurations.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+
+__all__ = ["mobilenet_v1", "mobilenet_v2"]
+
+
+def _round_channels(c: float) -> int:
+    return max(8, int(c + 0.5))
+
+
+def mobilenet_v1(
+    input_size: int = 224,
+    width: float = 1.0,
+    classes: int = 1000,
+    batch: int = 1,
+    seed: int = 0,
+) -> Graph:
+    """MobileNet-v1: depthwise-separable stacks.
+
+    Args:
+        input_size: input spatial resolution (paper benchmarks use 224).
+        width: channel multiplier (1.0 = the full network).
+    """
+    b = GraphBuilder(f"mobilenet_v1_{width}_{input_size}", seed=seed)
+    x = b.input("data", (batch, 3, input_size, input_size))
+    ch = _round_channels(32 * width)
+    x = b.conv(x, oc=ch, kernel=3, stride=2, bias=False)
+    x = b.batch_norm(x)
+    x = b.relu(x)
+
+    # (out_channels, stride) for the 13 separable blocks
+    cfg = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+           (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1)]
+    for oc, stride in cfg:
+        x = b.depthwise_conv(x, kernel=3, stride=stride, bias=False)
+        x = b.batch_norm(x)
+        x = b.relu(x)
+        x = b.conv(x, oc=_round_channels(oc * width), kernel=1, bias=False)
+        x = b.batch_norm(x)
+        x = b.relu(x)
+
+    x = b.global_avg_pool(x)
+    x = b.fc(x, units=classes)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+def mobilenet_v2(
+    input_size: int = 224,
+    width: float = 1.0,
+    classes: int = 1000,
+    batch: int = 1,
+    seed: int = 0,
+) -> Graph:
+    """MobileNet-v2: inverted residuals with linear bottlenecks."""
+    b = GraphBuilder(f"mobilenet_v2_{width}_{input_size}", seed=seed)
+    x = b.input("data", (batch, 3, input_size, input_size))
+    ch = _round_channels(32 * width)
+    x = b.conv(x, oc=ch, kernel=3, stride=2, bias=False)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    in_ch = ch
+
+    # (expansion t, channels c, repeats n, first stride s)
+    cfg = [(1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+           (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)]
+    for t, c, n, s in cfg:
+        oc = _round_channels(c * width)
+        for i in range(n):
+            stride = s if i == 0 else 1
+            block_in = x
+            hidden = in_ch * t
+            y = x
+            if t != 1:
+                y = b.conv(y, oc=hidden, kernel=1, bias=False)
+                y = b.batch_norm(y)
+                y = b.relu6(y)
+            y = b.depthwise_conv(y, kernel=3, stride=stride, bias=False)
+            y = b.batch_norm(y)
+            y = b.relu6(y)
+            y = b.conv(y, oc=oc, kernel=1, bias=False)  # linear bottleneck
+            y = b.batch_norm(y)
+            if stride == 1 and in_ch == oc:
+                y = b.add(block_in, y)
+            x = y
+            in_ch = oc
+
+    x = b.conv(x, oc=_round_channels(1280 * max(1.0, width)), kernel=1, bias=False)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    x = b.global_avg_pool(x)
+    x = b.fc(x, units=classes)
+    b.output(b.softmax(x))
+    return b.finish()

@@ -1,0 +1,65 @@
+"""ResNet-18 / ResNet-50 graph builders (He et al. 2016)."""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+
+__all__ = ["resnet18", "resnet50"]
+
+
+def _conv_bn(b: GraphBuilder, x: str, oc: int, kernel, stride=1, relu=True) -> str:
+    x = b.conv(x, oc=oc, kernel=kernel, stride=stride, pad_mode="same", bias=False)
+    x = b.batch_norm(x)
+    return b.relu(x) if relu else x
+
+
+def _basic_block(b: GraphBuilder, x: str, oc: int, stride: int) -> str:
+    """Two 3x3 convs with an identity (or projected) shortcut."""
+    in_ch = b.graph.desc(x).shape[1]
+    shortcut = x
+    if stride != 1 or in_ch != oc:
+        shortcut = _conv_bn(b, x, oc, 1, stride, relu=False)
+    y = _conv_bn(b, x, oc, 3, stride)
+    y = _conv_bn(b, y, oc, 3, 1, relu=False)
+    return b.relu(b.add(y, shortcut))
+
+
+def _bottleneck(b: GraphBuilder, x: str, oc: int, stride: int) -> str:
+    """1x1 reduce -> 3x3 -> 1x1 expand (x4), shortcut-added."""
+    in_ch = b.graph.desc(x).shape[1]
+    out_ch = oc * 4
+    shortcut = x
+    if stride != 1 or in_ch != out_ch:
+        shortcut = _conv_bn(b, x, out_ch, 1, stride, relu=False)
+    y = _conv_bn(b, x, oc, 1, 1)
+    y = _conv_bn(b, y, oc, 3, stride)
+    y = _conv_bn(b, y, out_ch, 1, 1, relu=False)
+    return b.relu(b.add(y, shortcut))
+
+
+def _resnet(name: str, block, layers, input_size: int, classes: int,
+            batch: int, seed: int) -> Graph:
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("data", (batch, 3, input_size, input_size))
+    x = _conv_bn(b, x, 64, 7, 2)
+    x = b.max_pool(x, 3, stride=2, pad_mode="same")
+    for stage, (oc, n_blocks) in enumerate(zip((64, 128, 256, 512), layers)):
+        for i in range(n_blocks):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            x = block(b, x, oc, stride)
+    x = b.global_avg_pool(x)
+    x = b.fc(x, units=classes)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+def resnet18(input_size: int = 224, classes: int = 1000, batch: int = 1, seed: int = 0) -> Graph:
+    """ResNet-18: basic blocks [2, 2, 2, 2] — the paper's heavy CNN benchmark."""
+    return _resnet(f"resnet18_{input_size}", _basic_block, (2, 2, 2, 2),
+                   input_size, classes, batch, seed)
+
+
+def resnet50(input_size: int = 224, classes: int = 1000, batch: int = 1, seed: int = 0) -> Graph:
+    """ResNet-50: bottleneck blocks [3, 4, 6, 3] (Figure 9's Res-50)."""
+    return _resnet(f"resnet50_{input_size}", _bottleneck, (3, 4, 6, 3),
+                   input_size, classes, batch, seed)

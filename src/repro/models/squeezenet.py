@@ -1,0 +1,70 @@
+"""SqueezeNet v1.0 / v1.1 graph builders (Iandola et al. 2016)."""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+
+__all__ = ["squeezenet_v1_0", "squeezenet_v1_1"]
+
+
+def _fire(b: GraphBuilder, x: str, squeeze: int, expand1: int, expand3: int) -> str:
+    """A Fire module: 1x1 squeeze, then parallel 1x1/3x3 expands, concat."""
+    s = b.relu(b.conv(x, oc=squeeze, kernel=1))
+    e1 = b.relu(b.conv(s, oc=expand1, kernel=1))
+    e3 = b.relu(b.conv(s, oc=expand3, kernel=3, pad_mode="same"))
+    return b.concat([e1, e3])
+
+
+def squeezenet_v1_0(
+    input_size: int = 224, classes: int = 1000, batch: int = 1, seed: int = 0
+) -> Graph:
+    """SqueezeNet v1.0: 7x7 stem, late downsampling."""
+    b = GraphBuilder(f"squeezenet_v1.0_{input_size}", seed=seed)
+    x = b.input("data", (batch, 3, input_size, input_size))
+    x = b.relu(b.conv(x, oc=96, kernel=7, stride=2, pad_mode="valid"))
+    x = b.max_pool(x, 3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 16, 64, 64)
+    x = _fire(b, x, 16, 64, 64)
+    x = _fire(b, x, 32, 128, 128)
+    x = b.max_pool(x, 3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 32, 128, 128)
+    x = _fire(b, x, 48, 192, 192)
+    x = _fire(b, x, 48, 192, 192)
+    x = _fire(b, x, 64, 256, 256)
+    x = b.max_pool(x, 3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 64, 256, 256)
+    x = b.dropout(x)
+    x = b.relu(b.conv(x, oc=classes, kernel=1))
+    x = b.global_avg_pool(x)
+    x = b.flatten(x)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+def squeezenet_v1_1(
+    input_size: int = 224, classes: int = 1000, batch: int = 1, seed: int = 0
+) -> Graph:
+    """SqueezeNet v1.1: 3x3 stem and earlier pooling (2.4x cheaper, same accuracy).
+
+    This is the variant the paper benchmarks (Figure 7 middle column).
+    """
+    b = GraphBuilder(f"squeezenet_v1.1_{input_size}", seed=seed)
+    x = b.input("data", (batch, 3, input_size, input_size))
+    x = b.relu(b.conv(x, oc=64, kernel=3, stride=2, pad_mode="valid"))
+    x = b.max_pool(x, 3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 16, 64, 64)
+    x = _fire(b, x, 16, 64, 64)
+    x = b.max_pool(x, 3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 32, 128, 128)
+    x = _fire(b, x, 32, 128, 128)
+    x = b.max_pool(x, 3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 48, 192, 192)
+    x = _fire(b, x, 48, 192, 192)
+    x = _fire(b, x, 64, 256, 256)
+    x = _fire(b, x, 64, 256, 256)
+    x = b.dropout(x)
+    x = b.relu(b.conv(x, oc=classes, kernel=1))
+    x = b.global_avg_pool(x)
+    x = b.flatten(x)
+    b.output(b.softmax(x))
+    return b.finish()

@@ -1,0 +1,108 @@
+"""Sequence models: a Transformer encoder and an LSTM text classifier.
+
+The paper's Figure 1 lists RNN/LSTM/Transformer among the model families a
+universal engine must handle; these builders exercise the engine's
+non-CNN path: Gather embeddings, LayerNorm, multi-head attention built
+from Transpose/MatMul/Softmax, GELU FFNs, and a recurrent LSTM kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import DataType
+
+__all__ = ["tiny_transformer", "lstm_classifier"]
+
+
+def _attention(b: GraphBuilder, x: str, d_model: int, heads: int, prefix: str) -> str:
+    """Multi-head self-attention block (pre-LN residual)."""
+    n, t, _ = b.graph.desc(x).shape
+    d_head = d_model // heads
+    normed = b.layer_norm(x)
+
+    def project(name: str) -> str:
+        w = b._weight(f"{prefix}_{name}_w", (d_model, d_model), scale=d_model**-0.5)
+        p = b.matmul(normed, w)                                  # (N, T, D)
+        p = b.reshape(p, (n, t, heads, d_head))
+        return b.transpose(p, (0, 2, 1, 3))                      # (N, H, T, dh)
+
+    q, k, v = project("q"), project("k"), project("v")
+    scores = b.matmul(q, k, transpose_b=True)                    # (N, H, T, T)
+    scale = b.constant(np.full((1,), d_head**-0.5, np.float32))
+    scores = b.mul(scores, scale)
+    attn = b.softmax(scores, axis=-1)
+    ctx = b.matmul(attn, v)                                      # (N, H, T, dh)
+    ctx = b.transpose(ctx, (0, 2, 1, 3))
+    ctx = b.reshape(ctx, (n, t, d_model))
+    w_out = b._weight(f"{prefix}_out_w", (d_model, d_model), scale=d_model**-0.5)
+    return b.add(x, b.matmul(ctx, w_out))
+
+
+def _ffn(b: GraphBuilder, x: str, d_model: int, prefix: str) -> str:
+    """Position-wise feed-forward block with GELU (pre-LN residual)."""
+    normed = b.layer_norm(x)
+    w1 = b._weight(f"{prefix}_ffn_w1", (d_model, 4 * d_model), scale=d_model**-0.5)
+    w2 = b._weight(f"{prefix}_ffn_w2", (4 * d_model, d_model), scale=(4 * d_model) ** -0.5)
+    hidden = b.gelu(b.matmul(normed, w1))
+    return b.add(x, b.matmul(hidden, w2))
+
+
+def tiny_transformer(
+    vocab: int = 1000,
+    seq_len: int = 64,
+    d_model: int = 128,
+    heads: int = 4,
+    layers: int = 2,
+    classes: int = 10,
+    batch: int = 1,
+    seed: int = 0,
+) -> Graph:
+    """A BERT-style encoder classifier over integer token ids.
+
+    Input: ``tokens`` of shape (batch, seq_len), dtype int32.
+    """
+    if d_model % heads:
+        raise ValueError(f"d_model {d_model} not divisible by heads {heads}")
+    b = GraphBuilder(f"tiny_transformer_L{layers}_D{d_model}", seed=seed)
+    tokens = b.input("tokens", (batch, seq_len), DataType.INT32)
+
+    embedding = b._weight("tok_embed", (vocab, d_model), scale=0.02)
+    x = b.gather(embedding, tokens, axis=0)              # (N, T, D)
+    positions = b._weight("pos_embed", (seq_len, d_model), scale=0.02)
+    x = b.add(x, positions)
+
+    for layer in range(layers):
+        x = _attention(b, x, d_model, heads, f"l{layer}")
+        x = _ffn(b, x, d_model, f"l{layer}")
+    x = b.layer_norm(x)
+
+    # classify from the first ([CLS]) token
+    cls = b.graph.add_node(
+        "Slice", [x], [b._fresh("cls")], {"axis": 1, "start": 0, "end": 1}
+    ).outputs[0]
+    cls = b.flatten(cls)
+    logits = b.fc(cls, units=classes)
+    b.output(b.softmax(logits))
+    return b.finish()
+
+
+def lstm_classifier(
+    vocab: int = 1000,
+    seq_len: int = 64,
+    d_model: int = 96,
+    hidden: int = 128,
+    classes: int = 5,
+    batch: int = 1,
+    seed: int = 0,
+) -> Graph:
+    """Embedding -> LSTM -> FC text classifier over integer token ids."""
+    b = GraphBuilder(f"lstm_classifier_H{hidden}", seed=seed)
+    tokens = b.input("tokens", (batch, seq_len), DataType.INT32)
+    embedding = b._weight("tok_embed", (vocab, d_model), scale=0.02)
+    x = b.gather(embedding, tokens, axis=0)              # (N, T, D)
+    h = b.lstm(x, hidden_size=hidden)                    # (N, H) final state
+    logits = b.fc(h, units=classes)
+    b.output(b.softmax(logits))
+    return b.finish()

@@ -1,0 +1,19 @@
+"""Simulation substrate: virtual time and cross-device latency estimation."""
+
+from .clock import VirtualClock
+from .latency import (
+    LatencyEstimate,
+    MEM_BANDWIDTH_CPU,
+    MEM_BANDWIDTH_GPU,
+    OpLatency,
+    estimate_latency,
+)
+
+__all__ = [
+    "VirtualClock",
+    "LatencyEstimate",
+    "MEM_BANDWIDTH_CPU",
+    "MEM_BANDWIDTH_GPU",
+    "OpLatency",
+    "estimate_latency",
+]

@@ -1,0 +1,8 @@
+"""User-convenience command-line tools (`python -m repro.tools.cli`).
+
+The CLI entry point is intentionally not imported here so that
+``python -m repro.tools.cli`` does not trigger the double-import warning;
+use ``from repro.tools.cli import main`` programmatically.
+"""
+
+__all__: list = []

@@ -1,0 +1,322 @@
+"""Command-line tools (the paper's future work item 3: "more tools for
+user convenience").
+
+Usage::
+
+    python -m repro.tools.cli info model.rmnn
+    python -m repro.tools.cli build mobilenet_v1 -o model.rmnn --input-size 224
+    python -m repro.tools.cli optimize model.rmnn -o optimized.rmnn
+    python -m repro.tools.cli quantize model.rmnn -o int8.rmnn
+    python -m repro.tools.cli prune model.rmnn -o pruned.rmnn --sparsity 0.6
+    python -m repro.tools.cli fp16 model.rmnn -o half.rmnn
+    python -m repro.tools.cli benchmark model.rmnn --threads 4 --repeats 10
+    python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
+    python -m repro.tools.cli devices
+    python -m repro.tools.cli schemes model.rmnn
+
+Every command returns 0 on success and prints human-readable output; the
+module-level :func:`main` takes an argv list for testability.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _load(path: str):
+    from ..ir import load_model
+
+    return load_model(path)
+
+
+def _random_feeds(graph, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for name in graph.inputs:
+        desc = graph.desc(name)
+        if np.issubdtype(desc.dtype.np_dtype, np.integer):
+            feeds[name] = rng.integers(0, 100, desc.shape).astype(desc.dtype.np_dtype)
+        else:
+            feeds[name] = rng.standard_normal(desc.shape).astype(desc.dtype.np_dtype)
+    return feeds
+
+
+def cmd_info(args) -> int:
+    from ..converter import weight_bytes
+    from ..core import node_muls
+
+    graph = _load(args.model)
+    muls = sum(node_muls(node, graph) for node in graph.nodes)
+    print(f"model:     {graph.name}")
+    print(f"inputs:    "
+          + ", ".join(f"{n}{graph.desc(n).shape}:{graph.desc(n).dtype.value}"
+                      for n in graph.inputs))
+    print(f"outputs:   " + ", ".join(f"{n}{graph.desc(n).shape}" for n in graph.outputs))
+    print(f"operators: {len(graph.nodes)}")
+    for op, count in sorted(graph.op_histogram().items(), key=lambda kv: -kv[1]):
+        print(f"  {op:20s} {count}")
+    print(f"weights:   {len(graph.constants)} tensors, "
+          f"{weight_bytes(graph) / 2**20:.2f} MiB")
+    print(f"compute:   {muls / 1e6:.1f} M multiplications per inference")
+    return 0
+
+
+def cmd_build(args) -> int:
+    from ..ir import save_model
+    from ..models import MODEL_REGISTRY, build_model
+
+    if args.model_name not in MODEL_REGISTRY:
+        print(f"unknown model {args.model_name!r}; available: "
+              f"{', '.join(sorted(MODEL_REGISTRY))}", file=sys.stderr)
+        return 1
+    kwargs = {"seed": args.seed}
+    if args.model_name not in ("tiny_transformer", "lstm_classifier"):
+        kwargs["input_size"] = args.input_size
+    graph = build_model(args.model_name, **kwargs)
+    save_model(graph, args.output)
+    print(f"wrote {args.output}: {len(graph.nodes)} ops")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from ..converter import optimize
+    from ..ir import save_model
+
+    graph = _load(args.model)
+    before = len(graph.nodes)
+    optimize(graph)
+    save_model(graph, args.output)
+    print(f"optimized {before} -> {len(graph.nodes)} ops; wrote {args.output}")
+    return 0
+
+
+def cmd_quantize(args) -> int:
+    from ..converter import quantize_model, weight_bytes
+    from ..ir import save_model
+
+    graph = _load(args.model)
+    feeds = [_random_feeds(graph, seed) for seed in range(args.calibration_batches)]
+    quantized = quantize_model(graph, feeds)
+    save_model(quantized, args.output)
+    print(f"quantized: {weight_bytes(graph) / 2**20:.2f} MiB -> "
+          f"{weight_bytes(quantized) / 2**20:.2f} MiB; wrote {args.output}")
+    return 0
+
+
+def cmd_prune(args) -> int:
+    from ..converter import prune_model
+    from ..ir import save_model
+
+    graph = _load(args.model)
+    pruned, report = prune_model(graph, args.sparsity)
+    save_model(pruned, args.output)
+    print(f"pruned to {report.achieved_sparsity * 100:.1f}% sparsity "
+          f"(target {report.target_sparsity * 100:.0f}%); "
+          f"sparse storage {report.compression:.2f}x denser-than-dense is "
+          f"{'worth it' if report.compression > 1 else 'not worth it yet'}; "
+          f"wrote {args.output}")
+    return 0
+
+
+def cmd_fp16(args) -> int:
+    from ..converter import convert_to_fp16, fp16_savings
+    from ..ir import save_model
+
+    graph = _load(args.model)
+    converted = convert_to_fp16(graph)
+    before, after = fp16_savings(graph, converted)
+    save_model(converted, args.output)
+    print(f"fp16 weights: {before / 2**20:.2f} MiB -> {after / 2**20:.2f} MiB; "
+          f"wrote {args.output}")
+    return 0
+
+
+def cmd_benchmark(args) -> int:
+    from ..bench import time_callable
+    from ..core import Session, SessionConfig
+
+    graph = _load(args.model)
+    session = Session(graph, SessionConfig(threads=args.threads))
+    feeds = _random_feeds(graph)
+    timing = time_callable(lambda: session.run(feeds), repeats=args.repeats)
+    print(f"schemes: {session.scheme_summary()}")
+    print(f"memory:  arena {session.memory_plan.arena_bytes / 2**20:.1f} MiB "
+          f"({session.memory_plan.reuse_ratio:.1f}x reuse)")
+    print(f"latency: median {timing.median_ms:.1f} ms, min {timing.min_ms:.1f} ms "
+          f"over {args.repeats} runs ({args.threads} threads)")
+    if args.profile:
+        _, profile = session.run_profiled(feeds)
+        profile.sort(key=lambda p: -p.wall_ms)
+        print("slowest operators:")
+        for p in profile[:args.profile]:
+            print(f"  {p.node:24s} {p.op_type:16s} {p.wall_ms:7.2f} ms")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from ..baselines import ENGINES
+    from ..devices import DEVICES, get_device
+    from ..sim import estimate_latency
+
+    graph = _load(args.model)
+    if args.device not in DEVICES:
+        print(f"unknown device {args.device!r}; see `devices` command", file=sys.stderr)
+        return 1
+    if args.engine not in ENGINES:
+        print(f"unknown engine {args.engine!r}; known: {', '.join(sorted(ENGINES))}",
+              file=sys.stderr)
+        return 1
+    device = get_device(args.device)
+    est = estimate_latency(graph, ENGINES[args.engine], device,
+                           args.backend, args.threads)
+    print(f"{args.engine} on {args.device} ({est.mode}): {est.total_ms:.1f} ms modeled")
+    for op in est.slowest(5):
+        print(f"  {op.node:24s} {op.op_type:16s} {op.ms:7.2f} ms ({op.algorithm})")
+    return 0
+
+
+def cmd_devices(args) -> int:
+    from ..devices import DEVICES
+
+    for name, spec in sorted(DEVICES.items()):
+        freqs = "x".join(f"{f:g}" for f in sorted(set(spec.cpu_core_ghz), reverse=True))
+        print(f"{name:10s} {spec.soc:16s} CPU {freqs} GHz  GPU {spec.gpu} "
+              f"({spec.gpu_flops() / 1e9:.1f} GFLOPS)  [{spec.os}]")
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    from ..core import autotune_schemes
+
+    graph = _load(args.model)
+    report = autotune_schemes(graph, repeats=args.repeats)
+    print(f"auto-tuned {len(report.decisions)} convolutions "
+          f"in {report.tuning_ms:.0f} ms; cost-model agreement "
+          f"{report.agreement_with_model() * 100:.0f}%")
+    for name, decision in report.decisions.items():
+        model = report.model_decisions[name]
+        marker = "" if (decision.kind, decision.winograd_n) == (
+            model.kind, model.winograd_n) else "   <- differs from cost model"
+        extra = f" n={decision.winograd_n}" if decision.kind == "winograd" else ""
+        print(f"  {name:24s} -> {decision.kind}{extra} "
+              f"({decision.cost:.2f} ms){marker}")
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from ..core import select_graph_schemes
+    from .visualize import to_dot
+
+    graph = _load(args.model)
+    schemes = select_graph_schemes(graph) if args.schemes else None
+    text = to_dot(graph, schemes)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({text.count(chr(10)) + 1} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_schemes(args) -> int:
+    from ..core import select_graph_schemes
+
+    graph = _load(args.model)
+    decisions = select_graph_schemes(graph)
+    print(f"{len(decisions)} convolutions:")
+    for name, decision in decisions.items():
+        extra = f" n={decision.winograd_n}" if decision.kind == "winograd" else ""
+        print(f"  {name:24s} -> {decision.kind}{extra}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="summarize a .rmnn model")
+    p.add_argument("model")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("build", help="build a zoo model into a .rmnn file")
+    p.add_argument("model_name")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--input-size", type=int, default=224)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser("optimize", help="run the offline graph optimizer")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_optimize)
+
+    p = sub.add_parser("quantize", help="post-training int8 quantization")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--calibration-batches", type=int, default=4)
+    p.set_defaults(fn=cmd_quantize)
+
+    p = sub.add_parser("prune", help="global magnitude pruning")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--sparsity", type=float, default=0.5)
+    p.set_defaults(fn=cmd_prune)
+
+    p = sub.add_parser("fp16", help="store weights as float16")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_fp16)
+
+    p = sub.add_parser("benchmark", help="time a model on this host")
+    p.add_argument("model")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--repeats", type=int, default=10)
+    p.add_argument("--profile", type=int, default=0, metavar="N",
+                   help="also print the N slowest operators")
+    p.set_defaults(fn=cmd_benchmark)
+
+    p = sub.add_parser("estimate", help="model latency on a phone (simulator)")
+    p.add_argument("model")
+    p.add_argument("--device", default="Mate20")
+    p.add_argument("--engine", default="MNN")
+    p.add_argument("--backend", default="cpu")
+    p.add_argument("--threads", type=int, default=4)
+    p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("devices", help="list the device catalog")
+    p.set_defaults(fn=cmd_devices)
+
+    p = sub.add_parser("schemes", help="show per-conv scheme decisions")
+    p.add_argument("model")
+    p.set_defaults(fn=cmd_schemes)
+
+    p = sub.add_parser("autotune", help="measure conv schemes on this host")
+    p.add_argument("model")
+    p.add_argument("--repeats", type=int, default=2)
+    p.set_defaults(fn=cmd_autotune)
+
+    p = sub.add_parser("dot", help="export the graph as Graphviz dot")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--schemes", action="store_true",
+                   help="annotate convs with their selected schemes")
+    p.set_defaults(fn=cmd_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Tests that decoupled execution really lands activations in the arena."""
+
+import numpy as np
+import pytest
+
+from repro.core import Session, SessionConfig
+from repro.ir import GraphBuilder
+
+RNG = np.random.default_rng(141)
+
+
+def net():
+    b = GraphBuilder("arena", seed=6)
+    x = b.input("in", (1, 4, 16, 16))
+    x = b.conv(x, oc=8, kernel=3, activation="relu")
+    y = b.reshape(x, (1, 8 * 16 * 16))       # view-producing op
+    y = b.reshape(y, (1, 8, 16, 16))
+    x = b.add(x, y)
+    x = b.fc(b.global_avg_pool(x), units=3)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+class TestArenaExecution:
+    def test_outputs_detached_from_arena(self):
+        session = Session(net(), SessionConfig(arena_execution=True))
+        feed = {"in": RNG.standard_normal((1, 4, 16, 16)).astype(np.float32)}
+        first = list(session.run(feed).values())[0]
+        snapshot = first.copy()
+        feed2 = {"in": RNG.standard_normal((1, 4, 16, 16)).astype(np.float32)}
+        second = list(session.run(feed2).values())[0]
+        # the first output must survive the second run unchanged
+        np.testing.assert_array_equal(first, snapshot)
+        assert not np.may_share_memory(first, second)
+
+    def test_intermediates_live_in_arena(self):
+        session = Session(net(), SessionConfig(arena_execution=True))
+        feed = {"in": RNG.standard_normal((1, 4, 16, 16)).astype(np.float32)}
+        # peek via profiled run's env contract: re-run and inspect arena bytes
+        before = session._arena._buffer.copy()
+        session.run(feed)
+        after = session._arena._buffer
+        assert not np.array_equal(before, after)  # the arena was written
+
+    def test_view_ops_through_arena_are_correct(self):
+        """reshape->reshape->add round-trip must be exact despite slot reuse."""
+        from repro.core.reference import execute_reference
+
+        g = net()
+        feed = {"in": RNG.standard_normal((1, 4, 16, 16)).astype(np.float32)}
+        want = execute_reference(g, feed)[g.outputs[0]]
+        got = list(Session(g, SessionConfig(arena_execution=True)).run(feed).values())[0]
+        np.testing.assert_allclose(got, want, atol=1e-6)
+
+    def test_non_decoupled_has_no_arena(self):
+        session = Session(net(), SessionConfig(decouple=False))
+        assert session._arena is None
+        feed = {"in": RNG.standard_normal((1, 4, 16, 16)).astype(np.float32)}
+        out = list(session.run(feed).values())[0]
+        assert out.sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_many_runs_stable(self):
+        session = Session(net(), SessionConfig(arena_execution=True))
+        feed = {"in": RNG.standard_normal((1, 4, 16, 16)).astype(np.float32)}
+        first = list(session.run(feed).values())[0].copy()
+        for _ in range(10):
+            np.testing.assert_array_equal(
+                list(session.run(feed).values())[0], first
+            )

@@ -1,0 +1,242 @@
+"""Tests for engine profiles, the latency simulator, and the TVM cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AutoSearchEngine,
+    ConvPattern,
+    ENGINES,
+    TuningCostModel,
+    analyze_kernel_coverage,
+    get_engine,
+    unique_conv_workloads,
+)
+from repro.devices import get_device
+from repro.ir import GraphBuilder
+from repro.models import build_model
+from repro.sim import estimate_latency
+
+
+def small_inception_like():
+    """A net with both table-covered and uncovered (1x7/7x1) convs."""
+    b = GraphBuilder("mini_inc", seed=0)
+    x = b.input("data", (1, 16, 32, 32))
+    x = b.conv(x, oc=32, kernel=3, activation="relu")
+    x = b.conv(x, oc=32, kernel=(1, 7), activation="relu")
+    x = b.conv(x, oc=32, kernel=(7, 1), activation="relu")
+    x = b.conv(x, oc=32, kernel=1)
+    b.output(x)
+    return b.finish()
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(ENGINES) == {"MNN", "NCNN", "MACE", "TF-Lite", "CoreML", "TVM"}
+        with pytest.raises(KeyError, match="known"):
+            get_engine("TensorRT")
+
+    def test_paradigms(self):
+        assert ENGINES["MNN"].paradigm == "semi-auto"
+        assert ENGINES["NCNN"].paradigm == "manual"
+        assert ENGINES["TVM"].paradigm == "auto"
+        assert ENGINES["TF-Lite"].paradigm == "library"
+
+    def test_conv_pattern_matching(self):
+        p = ConvPattern((3, 3), (1, 1))
+        assert p.matches((3, 3), (1, 1), (1, 1))
+        assert not p.matches((3, 3), (2, 2), (1, 1))
+        assert not p.matches((3, 3), (1, 1), (2, 2))
+        anystride = ConvPattern((1, 1))
+        assert anystride.matches((1, 1), (2, 2), (1, 1))
+
+    def test_manual_table_misses_asymmetric_kernels(self):
+        ncnn = ENGINES["NCNN"]
+        assert ncnn.conv_is_optimized((3, 3), (1, 1), (1, 1))
+        assert not ncnn.conv_is_optimized((1, 7), (1, 1), (1, 1))
+        assert not ncnn.conv_is_optimized((7, 1), (1, 1), (1, 1))
+        assert not ncnn.conv_is_optimized((3, 3), (1, 1), (2, 2))  # dilated
+
+    def test_mnn_optimizes_everything(self):
+        mnn = ENGINES["MNN"]
+        assert mnn.conv_is_optimized((1, 7), (1, 1), (1, 1))
+        assert mnn.scheme_search and mnn.uses_strassen
+
+    def test_os_support(self):
+        assert not ENGINES["MACE"].supports_os("ios")
+        assert not ENGINES["CoreML"].supports_os("android")
+        assert ENGINES["MNN"].supports_os("ios") and ENGINES["MNN"].supports_os("android")
+
+    def test_per_os_efficiency(self):
+        tfl = ENGINES["TF-Lite"]
+        assert tfl.cpu_eff("ios") > tfl.cpu_eff("android")
+        assert tfl.depthwise_eff("android") < tfl.cpu_eff("android")
+
+
+class TestCoverage:
+    def test_mini_inception_coverage(self):
+        report = analyze_kernel_coverage(small_inception_like(), ENGINES["NCNN"])
+        assert report.coverage == pytest.approx(0.5)  # 2 of 4 convs covered
+        assert set(report.fallback_kernels) == {(1, 7), (7, 1)}
+        assert 0 < report.fallback_mul_share < 1
+
+    def test_inception_v3_fallback_share(self):
+        """Figure 8's premise, quantified: a meaningful share of Inception's
+        compute has no hand-written NCNN kernel."""
+        report = analyze_kernel_coverage(build_model("inception_v3"), ENGINES["NCNN"])
+        assert report.fallback_mul_share > 0.2
+        assert (1, 7) in report.fallback_kernels and (7, 1) in report.fallback_kernels
+
+    def test_mnn_full_coverage(self):
+        report = analyze_kernel_coverage(build_model("inception_v3"), ENGINES["MNN"])
+        assert report.coverage == 1.0
+        assert report.fallback_mul_share == 0.0
+
+
+class TestLatencySim:
+    def setup_method(self):
+        self.net = build_model("squeezenet_v1.1", input_size=128)
+        self.mate20 = get_device("Mate20")
+
+    def test_mnn_beats_others_on_cpu(self):
+        """The headline Figure 7 claim."""
+        mnn = estimate_latency(self.net, ENGINES["MNN"], self.mate20, "cpu", 4).total_ms
+        for other in ("NCNN", "MACE", "TF-Lite"):
+            assert estimate_latency(
+                self.net, ENGINES[other], self.mate20, "cpu", 4
+            ).total_ms > mnn
+
+    def test_more_threads_is_faster(self):
+        t2 = estimate_latency(self.net, ENGINES["MNN"], self.mate20, "cpu", 2).total_ms
+        t4 = estimate_latency(self.net, ENGINES["MNN"], self.mate20, "cpu", 4).total_ms
+        assert t4 < t2
+
+    def test_faster_device_is_faster(self):
+        mi6 = estimate_latency(self.net, ENGINES["MNN"], get_device("MI6"), "cpu", 4).total_ms
+        mate = estimate_latency(self.net, ENGINES["MNN"], self.mate20, "cpu", 4).total_ms
+        assert mate < mi6  # Kirin 980 vs throttled SD835, as in the paper
+
+    def test_ncnn_inception_cliff(self):
+        """Figure 8: case-by-case optimization collapses on Inception-v3."""
+        inc = build_model("inception_v3")
+        p20 = get_device("P20")
+        mnn = estimate_latency(inc, ENGINES["MNN"], p20, "cpu", 4)
+        ncnn = estimate_latency(inc, ENGINES["NCNN"], p20, "cpu", 4)
+        assert ncnn.total_ms > 10 * mnn.total_ms  # paper: 4501 vs 297 (15x)
+        assert ncnn.fallback_share() > 0.8
+        # the slowest NCNN ops are exactly the asymmetric convolutions
+        slowest = ncnn.slowest(3)
+        assert all(op.algorithm == "fallback" for op in slowest)
+
+    def test_mnn_vs_tvm_figure9(self):
+        p20 = get_device("P20Pro")
+        for name in ("mobilenet_v1", "squeezenet_v1.1"):
+            g = build_model(name)
+            mnn = estimate_latency(g, ENGINES["MNN"], p20, "cpu", 4).total_ms
+            tvm = estimate_latency(g, ENGINES["TVM"], p20, "cpu", 4).total_ms
+            assert mnn < tvm < mnn * 2  # MNN slightly ahead, same ballpark
+
+    def test_gpu_backend_requires_support(self):
+        with pytest.raises(ValueError, match="no metal backend"):
+            estimate_latency(self.net, ENGINES["NCNN"], get_device("iPhoneX"), "metal")
+        with pytest.raises(ValueError, match="does not expose"):
+            estimate_latency(self.net, ENGINES["MNN"], self.mate20, "metal")
+
+    def test_os_gate(self):
+        with pytest.raises(ValueError, match="does not ship"):
+            estimate_latency(self.net, ENGINES["CoreML"], self.mate20, "cpu", 4)
+
+    def test_gpu_estimate_includes_dispatch(self):
+        est = estimate_latency(self.net, ENGINES["MNN"], self.mate20, "vulkan")
+        n_real_ops = len([o for o in est.per_op if o.algorithm != "fused"])
+        assert est.total_ms > n_real_ops * 0.01  # every dispatch pays t_schedule
+
+    def test_breakdown_sums_to_total(self):
+        est = estimate_latency(self.net, ENGINES["MNN"], self.mate20, "cpu", 4)
+        assert sum(est.by_op_type().values()) == pytest.approx(est.total_ms)
+        assert sum(o.ms for o in est.per_op) == pytest.approx(est.total_ms)
+
+    def test_winograd_shows_in_algorithms(self):
+        est = estimate_latency(build_model("resnet18"), ENGINES["MNN"],
+                               self.mate20, "cpu", 4)
+        algos = {o.algorithm for o in est.per_op}
+        assert any(a.startswith("winograd") for a in algos)
+        assert "strassen" in algos or "direct" in algos
+
+
+class TestTvmCostModel:
+    def test_table5_values(self):
+        """Fit check against Table 5 (ResNet-18, Galaxy S8)."""
+        g = build_model("resnet18")
+        cm = TuningCostModel()
+        t1 = cm.tuning_seconds(g, 1)
+        t10 = cm.tuning_seconds(g, 10)
+        t30 = cm.tuning_seconds(g, 30)
+        assert t1 == pytest.approx(355, rel=0.15)
+        assert t10 == pytest.approx(1477, rel=0.15)
+        assert t30 == pytest.approx(4583, rel=0.15)
+        assert cm.compile_seconds(g, 1) == pytest.approx(40, rel=0.1)
+        assert cm.compile_seconds(g, 30) == pytest.approx(41, rel=0.1)
+
+    def test_tuning_scales_linearly_in_trials(self):
+        g = build_model("squeezenet_v1.1")
+        cm = TuningCostModel()
+        t5, t10 = cm.tuning_seconds(g, 5), cm.tuning_seconds(g, 10)
+        t20 = cm.tuning_seconds(g, 20)
+        assert (t20 - t10) == pytest.approx(2 * (t10 - t5), rel=1e-6)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            TuningCostModel().tuning_seconds(build_model("squeezenet_v1.1"), -1)
+
+    def test_workload_dedup(self):
+        b = GraphBuilder("dup", seed=0)
+        x = b.input("in", (1, 8, 16, 16))
+        x = b.conv(x, oc=8, kernel=3)   # workload A
+        x = b.conv(x, oc=8, kernel=3)   # workload A again (same shapes)
+        x = b.conv(x, oc=16, kernel=3)  # workload B
+        b.output(x)
+        assert len(unique_conv_workloads(b.finish())) == 2
+
+    def test_engine_artifact_lifecycle(self):
+        engine = AutoSearchEngine()
+        g = build_model("squeezenet_v1.1")
+        assert not engine.can_run(g, "MI6")
+        engine.deploy(g, "MI6", trials=2)
+        assert engine.can_run(g, "MI6")
+        assert not engine.can_run(g, "Mate20")  # per-device artifacts!
+        engine.deploy(g, "Mate20", trials=2)
+        # updating the model invalidates every artifact (the paper's point)
+        dropped = engine.invalidate_model(g.name)
+        assert dropped == 2
+        assert not engine.can_run(g, "MI6")
+
+
+class TestBenchUtils:
+    def test_time_callable(self):
+        from repro.bench import time_callable
+
+        result = time_callable(lambda: sum(range(1000)), repeats=5, warmup=1)
+        assert len(result.times_ms) == 5
+        assert result.min_ms <= result.mean_ms
+
+    def test_format_table(self):
+        from repro.bench import format_table
+
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in text and "2.5" in text and "|" in text
+
+    def test_loadgen_report(self):
+        from repro.bench import run_single_stream
+
+        report = run_single_stream(lambda: None, min_query_count=32)
+        assert report.query_count >= 32
+        assert report.min_latency_ns <= report.p50_latency_ns <= report.p90_latency_ns
+        assert report.p90_latency_ns <= report.max_latency_ns
+        assert report.qps_without_overhead >= report.qps_with_overhead
+
+    def test_loadgen_rejects_zero_queries(self):
+        from repro.bench import run_single_stream
+
+        with pytest.raises(ValueError, match="min_query_count"):
+            run_single_stream(lambda: None, min_query_count=0)

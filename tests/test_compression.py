@@ -1,0 +1,156 @@
+"""Tests for pruning and fp16 compression (converter extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.converter import (
+    convert_to_fp16,
+    fp16_savings,
+    optimize,
+    prune_model,
+    sparsity_report,
+)
+from repro.core import Session
+from repro.core.reference import execute_reference
+from repro.ir import GraphBuilder
+
+RNG = np.random.default_rng(66)
+
+
+def small_net():
+    b = GraphBuilder("c", seed=2)
+    x = b.input("in", (1, 3, 16, 16))
+    x = b.conv(x, oc=16, kernel=3, activation="relu")
+    x = b.conv(x, oc=16, kernel=3, activation="relu")
+    x = b.fc(b.global_avg_pool(x), units=5)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+def feeds():
+    return {"in": RNG.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+
+
+class TestPruning:
+    def test_target_sparsity_achieved(self):
+        _, report = prune_model(small_net(), 0.5)
+        assert report.achieved_sparsity == pytest.approx(0.5, abs=0.01)
+
+    def test_global_budget_is_nonuniform(self):
+        """Global magnitude pruning concentrates on low-magnitude layers."""
+        g = small_net()
+        # scale one conv's weights up: it should be pruned *less*
+        conv_weights = [n.inputs[1] for n in g.nodes if n.op_type == "Conv2D"]
+        g.constants[conv_weights[0]] = g.constants[conv_weights[0]] * 10
+        _, report = prune_model(g, 0.5)
+        assert report.per_tensor[conv_weights[0]] < report.per_tensor[conv_weights[1]]
+
+    def test_zero_sparsity_is_identity(self):
+        g = small_net()
+        pruned, report = prune_model(g, 0.0)
+        assert report.achieved_sparsity == 0.0
+        for name in g.constants:
+            np.testing.assert_array_equal(pruned.constants[name], g.constants[name])
+
+    def test_original_untouched(self):
+        g = small_net()
+        before = {k: v.copy() for k, v in g.constants.items()}
+        prune_model(g, 0.9)
+        for name, value in before.items():
+            np.testing.assert_array_equal(g.constants[name], value)
+
+    def test_protect_list(self):
+        g = small_net()
+        first_conv_w = next(n for n in g.nodes if n.op_type == "Conv2D").inputs[1]
+        pruned, report = prune_model(g, 0.8, protect=[first_conv_w])
+        assert first_conv_w not in report.per_tensor
+        assert (pruned.constants[first_conv_w] != 0).mean() > 0.95
+
+    def test_pruned_model_still_runs(self):
+        pruned, _ = prune_model(small_net(), 0.6)
+        out = list(Session(pruned).run(feeds()).values())[0]
+        assert out.sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_mild_pruning_small_drift(self):
+        g = small_net()
+        f = feeds()
+        ref = execute_reference(g, f)[g.outputs[0]]
+        pruned, _ = prune_model(g, 0.2)
+        got = execute_reference(pruned, f)[pruned.outputs[0]]
+        assert np.abs(ref - got).max() < 0.25
+
+    def test_compression_accounting(self):
+        _, report = prune_model(small_net(), 0.8)
+        # at 80% sparsity, value+index storage beats dense by ~2.5x
+        assert report.compression > 2.0
+        _, report_low = prune_model(small_net(), 0.1)
+        assert report_low.compression < 1.0  # not worth it at low sparsity
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            prune_model(small_net(), 1.0)
+        with pytest.raises(ValueError, match="sparsity"):
+            prune_model(small_net(), -0.2)
+
+    def test_no_prunable_weights(self):
+        b = GraphBuilder()
+        x = b.input("in", (1, 4))
+        b.output(b.relu(x))
+        with pytest.raises(ValueError, match="prunable"):
+            prune_model(b.finish(), 0.5)
+
+    def test_sparsity_report(self):
+        pruned, report = prune_model(small_net(), 0.5)
+        measured = sparsity_report(pruned)
+        for name, s in report.per_tensor.items():
+            assert measured[name] == pytest.approx(s, abs=1e-6)
+
+
+class TestFp16:
+    def test_halves_weight_bytes(self):
+        g = small_net()
+        optimize(g)  # fold BN so only conv/fc weights remain
+        converted = convert_to_fp16(g)
+        before, after = fp16_savings(g, converted)
+        assert after < before * 0.55
+
+    def test_weights_are_fp16(self):
+        converted = convert_to_fp16(small_net())
+        fc_w = next(
+            v for k, v in converted.constants.items() if k.startswith("fc_weight")
+        )
+        assert fc_w.dtype == np.float16
+
+    def test_bn_params_stay_fp32(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("in", (1, 3, 8, 8))
+        x = b.conv(x, oc=4, kernel=3)
+        x = b.batch_norm(x)
+        b.output(x)
+        g = b.finish()
+        converted = convert_to_fp16(g)
+        bn = next(n for n in converted.nodes if n.op_type == "BatchNorm")
+        for name in bn.inputs[1:]:
+            assert converted.constants[name].dtype == np.float32
+
+    def test_outputs_close_to_fp32(self):
+        g = small_net()
+        f = feeds()
+        ref = execute_reference(g, f)[g.outputs[0]]
+        converted = convert_to_fp16(g)
+        got = execute_reference(converted, f)[converted.outputs[0]]
+        assert np.abs(ref - got).max() < 5e-3
+
+    def test_fp16_model_runs_in_session_and_serializes(self):
+        from repro.ir import dumps, loads
+
+        converted = convert_to_fp16(small_net())
+        round_tripped = loads(dumps(converted))
+        out = list(Session(round_tripped).run(feeds()).values())[0]
+        assert out.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_stacks_with_pruning(self):
+        pruned, _ = prune_model(small_net(), 0.5)
+        both = convert_to_fp16(pruned)
+        out = list(Session(both).run(feeds()).values())[0]
+        assert np.isfinite(out).all()

@@ -1,0 +1,102 @@
+"""Tests for convolution scheme selection (Eq. 2/3 + Table 1 decisions)."""
+
+import pytest
+
+from repro.core import SchemeConfig, select_conv_scheme, select_graph_schemes
+from repro.ir import GraphBuilder
+
+
+class TestSelectConvScheme:
+    def test_1x1_uses_gemm(self):
+        d = select_conv_scheme((1, 1), ic=64, oc=64, out_hw=(32, 32))
+        assert d.kind == "gemm1x1"
+
+    def test_table1_case1_small_channels_prefers_sliding(self):
+        # (k, ic, oc, size) = (2, 3, 16, 224): Table 1 row 1, sliding wins
+        d = select_conv_scheme((2, 2), ic=3, oc=16, out_hw=(223, 223))
+        assert d.kind == "sliding"
+
+    def test_table1_case2_deep_small_map_prefers_winograd(self):
+        # (2, 512, 512, 16): Table 1 row 2, Winograd with a small block wins
+        d = select_conv_scheme((2, 2), ic=512, oc=512, out_hw=(15, 15))
+        assert d.kind == "winograd"
+        # on a 15x15 output the largest candidate must NOT win (boundary waste)
+        assert d.winograd_n <= 6
+
+    def test_table1_case3_3x3_prefers_winograd(self):
+        # (3, 64, 64, 112): Table 1 row 3
+        d = select_conv_scheme((3, 3), ic=64, oc=64, out_hw=(110, 110))
+        assert d.kind == "winograd"
+        assert d.winograd_n >= 4  # big maps afford larger blocks
+
+    def test_strided_conv_cannot_use_winograd(self):
+        d = select_conv_scheme((3, 3), ic=64, oc=64, out_hw=(56, 56), stride=(2, 2))
+        assert d.kind == "sliding"
+
+    def test_dilated_conv_cannot_use_winograd(self):
+        d = select_conv_scheme((3, 3), ic=64, oc=64, out_hw=(56, 56), dilation=(2, 2))
+        assert d.kind == "sliding"
+
+    def test_grouped_conv_cannot_use_winograd(self):
+        d = select_conv_scheme((3, 3), ic=64, oc=64, out_hw=(56, 56), groups=2)
+        assert d.kind == "sliding"
+
+    def test_non_square_kernel_uses_rectangular_winograd(self):
+        """Generator extension: asymmetric kernels get per-axis Winograd."""
+        d = select_conv_scheme((1, 7), ic=128, oc=128, out_hw=(17, 17))
+        assert d.kind == "winograd_rect"
+        nh, nw = d.winograd_n_hw
+        assert nh == 1  # no tiling along the k=1 axis
+        assert nw > 1
+        assert d.cost < d.alternatives["sliding"]
+
+    def test_non_square_small_channels_still_sliding(self):
+        d = select_conv_scheme((1, 7), ic=4, oc=4, out_hw=(8, 8))
+        assert d.kind == "sliding"
+
+    def test_rect_winograd_strided_falls_back(self):
+        d = select_conv_scheme((1, 7), ic=128, oc=128, out_hw=(9, 9), stride=(2, 2))
+        assert d.kind == "sliding"
+
+    def test_max_tile_respected(self):
+        cfg = SchemeConfig(winograd_candidates=(1, 2, 4, 6, 8), max_tile=4)
+        d = select_conv_scheme((3, 3), ic=256, oc=256, out_hw=(64, 64), config=cfg)
+        if d.kind == "winograd":
+            assert d.winograd_n + 3 - 1 <= 4
+
+    def test_alternatives_recorded(self):
+        d = select_conv_scheme((3, 3), ic=64, oc=64, out_hw=(56, 56))
+        assert "sliding" in d.alternatives
+        assert any(key.startswith("winograd") for key in d.alternatives)
+        # the decision's cost is the minimum over alternatives it considered
+        assert d.cost == pytest.approx(min(d.alternatives.values()))
+
+    def test_eq3_nhat_one_means_sliding(self):
+        # tiny channels make every Winograd candidate lose -> n-hat = 1
+        d = select_conv_scheme((5, 5), ic=1, oc=1, out_hw=(8, 8))
+        assert d.kind == "sliding"
+        assert d.winograd_n == 1
+
+    def test_higher_transform_weight_discourages_winograd(self):
+        borderline = dict(kernel=(3, 3), ic=8, oc=8, out_hw=(28, 28))
+        cheap = select_conv_scheme(**borderline, config=SchemeConfig(transform_weight=0.5))
+        pricey = select_conv_scheme(**borderline, config=SchemeConfig(transform_weight=50.0))
+        assert cheap.kind == "winograd"
+        assert pricey.kind == "sliding"
+
+
+class TestSelectGraphSchemes:
+    def test_covers_every_conv(self):
+        b = GraphBuilder("g", seed=0)
+        x = b.input("in", (1, 3, 56, 56))
+        x = b.conv(x, oc=32, kernel=3, activation="relu")   # winograd-able
+        x = b.conv(x, oc=64, kernel=1)                       # gemm1x1
+        x = b.conv(x, oc=64, kernel=3, stride=2)             # sliding (stride)
+        x = b.depthwise_conv(x, kernel=3)                    # not a Conv2D
+        b.output(x)
+        g = b.finish()
+        decisions = select_graph_schemes(g)
+        conv_nodes = [n for n in g.nodes if n.op_type == "Conv2D"]
+        assert set(decisions) == {n.name for n in conv_nodes}
+        kinds = sorted(d.kind for d in decisions.values())
+        assert kinds == ["gemm1x1", "sliding", "winograd"]

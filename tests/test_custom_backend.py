@@ -1,0 +1,131 @@
+"""Tests for the backend extension point: a user-written NPU-style backend.
+
+The paper claims the Backend abstraction is "scalable enough for users to
+integrate new backends such as NPU, FPGA".  This test implements exactly
+that: an `NpuBackend` subclassing the public ABC, supporting only
+convolution-family ops at very high modeled throughput, plugged into a
+Session as an *instance* — with automatic CPU fallback for everything else.
+"""
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+import pytest
+
+from repro.backends import Backend, BackendError, Execution, build_runner
+from repro.core import Session, SessionConfig
+from repro.devices import get_device
+from repro.ir import GraphBuilder, Op
+from repro.sim import VirtualClock
+
+RNG = np.random.default_rng(88)
+
+#: The NPU accelerates dense conv/matmul ops only (typical for real NPUs).
+NPU_OPS = {Op.CONV2D, Op.DEPTHWISE_CONV2D, Op.FULLY_CONNECTED, Op.MATMUL}
+NPU_FLOPS = 200e9  # modeled: far beyond any mobile CPU/GPU
+NPU_DISPATCH_MS = 0.02
+
+
+class NpuExecution(Execution):
+    def __init__(self, backend, node, runner):
+        super().__init__(backend, node)
+        self.runner = runner
+
+    def run(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        self.backend.clock.advance(
+            self.runner.muls / NPU_FLOPS * 1000.0 + NPU_DISPATCH_MS
+        )
+        return self.runner.fn(inputs)
+
+
+class NpuBackend(Backend):
+    """A fictional NPU: real numerics, modeled 200-GFLOPS timing."""
+
+    forward_type = "npu"
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        super().__init__()
+        self.clock = clock or VirtualClock()
+
+    def supports(self, op_type: str) -> bool:
+        return op_type in NPU_OPS
+
+    def on_create(self, node, graph, scheme=None) -> Execution:
+        if not self.supports(node.op_type):
+            raise BackendError(f"npu: unsupported op {node.op_type!r}")
+        return NpuExecution(self, node, build_runner(node, graph, scheme))
+
+
+def build_net():
+    b = GraphBuilder("npu_net", seed=5)
+    x = b.input("in", (1, 8, 32, 32))
+    x = b.conv(x, oc=16, kernel=3, activation="relu")
+    x = b.batch_norm(x)          # NOT on the NPU -> CPU fallback
+    x = b.conv(x, oc=16, kernel=1)
+    x = b.max_pool(x, 2)         # NOT on the NPU
+    x = b.fc(b.global_avg_pool(x), units=6)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+class TestCustomBackend:
+    def test_session_accepts_backend_instance(self):
+        session = Session(build_net(), SessionConfig(backend=NpuBackend()))
+        assert session.backend_kind == "npu"
+
+    def test_hybrid_placement_with_fallback(self):
+        session = Session(build_net(), SessionConfig(backend=NpuBackend()))
+        placement = session.placement_summary()
+        assert placement["npu"] == 3          # two convs + FC
+        assert placement["cpu"] > 0           # bn/pool/gap/softmax
+
+    def test_numerics_match_cpu(self):
+        net = build_net()
+        feed = {"in": RNG.standard_normal((1, 8, 32, 32)).astype(np.float32)}
+        want = list(Session(net).run(feed).values())[0]
+        got = list(Session(net, SessionConfig(backend=NpuBackend())).run(feed).values())[0]
+        np.testing.assert_allclose(want, got, atol=1e-5)
+
+    def test_npu_virtual_time_accumulates(self):
+        npu = NpuBackend()
+        session = Session(build_net(), SessionConfig(backend=npu))
+        feed = {"in": RNG.standard_normal((1, 8, 32, 32)).astype(np.float32)}
+        session.run(feed)
+        assert npu.clock.now_ms > 0
+        # 3 dispatches at >= NPU_DISPATCH_MS each
+        assert npu.clock.now_ms >= 3 * NPU_DISPATCH_MS
+
+    def test_profiler_attributes_backends(self):
+        session = Session(build_net(), SessionConfig(backend=NpuBackend()))
+        feed = {"in": RNG.standard_normal((1, 8, 32, 32)).astype(np.float32)}
+        _, profile = session.run_profiled(feed)
+        backends = {p.op_type: p.backend for p in profile}
+        assert backends[Op.CONV2D] == "npu"
+        assert backends[Op.BATCH_NORM] == "cpu"
+
+    def test_sim_cpu_fallback_with_device(self):
+        session = Session(
+            build_net(),
+            SessionConfig(backend=NpuBackend(), device=get_device("Mate20")),
+        )
+        assert session.placement_summary().get("sim_cpu", 0) > 0
+
+    def test_backend_rejects_unsupported_directly(self):
+        net = build_net()
+        npu = NpuBackend()
+        bn = next(n for n in net.nodes if n.op_type == Op.BATCH_NORM)
+        with pytest.raises(BackendError, match="unsupported"):
+            npu.on_create(bn, net)
+
+    def test_buffer_management_inherited(self):
+        """The ABC's default buffer management works for subclasses."""
+        from repro.backends import StorageType
+        from repro.ir import TensorDesc
+
+        npu = NpuBackend()
+        desc = TensorDesc("t", (2, 3))
+        assert npu.on_acquire_buffer(desc, StorageType.DYNAMIC)
+        assert npu.buffer("t").shape == (2, 3)
+        assert npu.on_release_buffer(desc, StorageType.DYNAMIC)
+        with pytest.raises(BackendError, match="no buffer"):
+            npu.buffer("t")

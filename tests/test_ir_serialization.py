@@ -1,0 +1,111 @@
+"""Tests for the .rmnn binary model format (round-trips + failure injection)."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import FormatError, GraphBuilder, dumps, load_model, loads, save_model
+from repro.ir.serialization import MAGIC
+
+
+def example_graph(seed=0):
+    b = GraphBuilder("ser", seed=seed)
+    x = b.input("in", (1, 3, 16, 16))
+    x = b.conv(x, oc=8, kernel=3, stride=2, activation="relu")
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    x = b.fc(b.global_avg_pool(x), units=5)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        g = example_graph()
+        g2 = loads(dumps(g))
+        assert [n.op_type for n in g2.nodes] == [n.op_type for n in g.nodes]
+        assert g2.inputs == g.inputs
+        assert g2.outputs == g.outputs
+        assert set(g2.constants) == set(g.constants)
+
+    def test_weights_bitexact(self):
+        g = example_graph(seed=7)
+        g2 = loads(dumps(g))
+        for name, value in g.constants.items():
+            np.testing.assert_array_equal(g2.constants[name], value)
+            assert g2.constants[name].dtype == value.dtype
+
+    def test_attrs_round_trip_as_tuples(self):
+        g = example_graph()
+        g2 = loads(dumps(g))
+        conv = next(n for n in g2.nodes if n.op_type == "Conv2D")
+        assert conv.attrs["kernel"] == (3, 3)
+        assert conv.attrs["stride"] == (2, 2)
+        assert isinstance(conv.attrs["kernel"], tuple)
+
+    def test_double_round_trip_stable(self):
+        g = example_graph()
+        once = dumps(g)
+        twice = dumps(loads(once))
+        assert once == twice
+
+    def test_file_round_trip(self, tmp_path):
+        g = example_graph()
+        path = str(tmp_path / "model.rmnn")
+        save_model(g, path)
+        g2 = load_model(path)
+        assert len(g2.nodes) == len(g.nodes)
+
+    def test_int_dtypes_preserved(self):
+        b = GraphBuilder("q")
+        x = b.input("in", (1, 4))
+        c = b.constant(np.arange(4, dtype=np.int8))
+        y = b.graph.add_node("Add", [x, c], ["y"]).outputs[0]
+        b.output(y)
+        g = b.finish()
+        g2 = loads(dumps(g))
+        assert g2.constants[c].dtype == np.int8
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_seeds_round_trip(self, seed):
+        g = example_graph(seed=seed)
+        g2 = loads(dumps(g))
+        for name, value in g.constants.items():
+            np.testing.assert_array_equal(g2.constants[name], value)
+
+
+class TestFailureInjection:
+    def test_bad_magic(self):
+        with pytest.raises(FormatError, match="magic"):
+            loads(b"XXXX" + b"\x00" * 64)
+
+    def test_bad_version(self):
+        data = bytearray(dumps(example_graph()))
+        data[4] = 99
+        with pytest.raises(FormatError, match="version"):
+            loads(bytes(data))
+
+    def test_truncated_everywhere(self):
+        data = dumps(example_graph())
+        # chop at a spread of offsets, always a clean FormatError
+        for frac in (0.1, 0.3, 0.5, 0.8, 0.99):
+            cut = int(len(data) * frac)
+            with pytest.raises(FormatError):
+                loads(data[:cut])
+
+    def test_corrupt_json(self):
+        data = bytearray(dumps(example_graph()))
+        # metadata starts at offset 16; stomp it
+        data[20:24] = b"\xff\xff\xff\xff"
+        with pytest.raises(FormatError):
+            loads(bytes(data))
+
+    def test_empty_stream(self):
+        with pytest.raises(FormatError, match="truncated"):
+            loads(io.BytesIO(b""))
+
+    def test_magic_constant(self):
+        assert dumps(example_graph())[:4] == MAGIC

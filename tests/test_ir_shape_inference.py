@@ -1,0 +1,237 @@
+"""Tests for per-op shape inference and padding resolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Graph, GraphBuilder, GraphError, Op, infer_shapes, resolve_padding
+from repro.ir.shape_inference import conv_output_hw
+
+
+class TestPadding:
+    def test_valid_is_zero(self):
+        assert resolve_padding("valid", (9, 9, 9, 9), (32, 32), (3, 3), (1, 1)) == (0, 0, 0, 0)
+
+    def test_explicit_passthrough(self):
+        assert resolve_padding("explicit", (1, 2, 3, 4), (32, 32), (3, 3), (1, 1)) == (1, 2, 3, 4)
+
+    def test_same_stride1_keeps_size(self):
+        pads = resolve_padding("same", (0,) * 4, (32, 32), (3, 3), (1, 1))
+        assert conv_output_hw((32, 32), (3, 3), (1, 1), pads) == (32, 32)
+
+    def test_same_stride2_halves(self):
+        pads = resolve_padding("same", (0,) * 4, (224, 224), (3, 3), (2, 2))
+        assert conv_output_hw((224, 224), (3, 3), (2, 2), pads) == (112, 112)
+
+    def test_same_with_dilation(self):
+        pads = resolve_padding("same", (0,) * 4, (16, 16), (3, 3), (1, 1), (2, 2))
+        assert conv_output_hw((16, 16), (3, 3), (1, 1), pads, (2, 2)) == (16, 16)
+
+    def test_unknown_mode(self):
+        with pytest.raises(GraphError, match="pad_mode"):
+            resolve_padding("weird", (0,) * 4, (8, 8), (3, 3), (1, 1))
+
+    @given(
+        size=st.integers(4, 64),
+        k=st.integers(1, 7),
+        s=st.integers(1, 3),
+    )
+    @settings(max_examples=60)
+    def test_same_matches_ceil_formula(self, size, k, s):
+        pads = resolve_padding("same", (0,) * 4, (size, size), (k, k), (s, s))
+        oh, ow = conv_output_hw((size, size), (k, k), (s, s), pads)
+        expected = -(-size // s)  # ceil
+        assert (oh, ow) == (expected, expected)
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(GraphError, match="does not fit"):
+            conv_output_hw((2, 2), (5, 5), (1, 1), (0, 0, 0, 0))
+
+
+def _single_op_graph(op_type, in_shape, attrs, extra_inputs=()):
+    g = Graph()
+    g.add_input("x", in_shape)
+    names = ["x"]
+    for i, arr in enumerate(extra_inputs):
+        names.append(g.add_constant(f"c{i}", arr))
+    g.add_node(op_type, names, ["y"], attrs)
+    g.mark_output("y")
+    infer_shapes(g)
+    return g.desc("y").shape
+
+
+class TestOpInference:
+    def test_conv_basic(self):
+        shape = _single_op_graph(
+            Op.CONV2D,
+            (2, 3, 224, 224),
+            {"kernel": (7, 7), "stride": (2, 2), "pad_mode": "same", "has_bias": False},
+            [np.zeros((64, 3, 7, 7), np.float32)],
+        )
+        assert shape == (2, 64, 112, 112)
+
+    def test_conv_weight_mismatch(self):
+        with pytest.raises(GraphError, match="weight shape"):
+            _single_op_graph(
+                Op.CONV2D,
+                (1, 3, 8, 8),
+                {"kernel": (3, 3), "has_bias": False},
+                [np.zeros((4, 5, 3, 3), np.float32)],
+            )
+
+    def test_grouped_conv(self):
+        shape = _single_op_graph(
+            Op.CONV2D,
+            (1, 8, 10, 10),
+            {"kernel": (3, 3), "groups": 2, "pad_mode": "same", "has_bias": False},
+            [np.zeros((16, 4, 3, 3), np.float32)],
+        )
+        assert shape == (1, 16, 10, 10)
+
+    def test_groups_must_divide(self):
+        with pytest.raises(GraphError, match="divisible"):
+            _single_op_graph(
+                Op.CONV2D,
+                (1, 9, 8, 8),
+                {"kernel": (1, 1), "groups": 2, "has_bias": False},
+                [np.zeros((4, 4, 1, 1), np.float32)],
+            )
+
+    def test_depthwise(self):
+        shape = _single_op_graph(
+            Op.DEPTHWISE_CONV2D,
+            (1, 32, 56, 56),
+            {"kernel": (3, 3), "stride": (2, 2), "pad_mode": "same", "groups": 32,
+             "has_bias": False},
+            [np.zeros((32, 1, 3, 3), np.float32)],
+        )
+        assert shape == (1, 32, 28, 28)
+
+    def test_conv_transpose(self):
+        shape = _single_op_graph(
+            Op.CONV_TRANSPOSE2D,
+            (1, 8, 8, 8),
+            {"kernel": (3, 3), "stride": (2, 2), "pad": (1, 1, 1, 1), "has_bias": False,
+             "output_padding": (1, 1)},
+            [np.zeros((8, 4, 3, 3), np.float32)],
+        )
+        assert shape == (1, 4, 16, 16)
+
+    def test_matmul_with_transpose(self):
+        g = Graph()
+        g.add_input("a", (5, 7))
+        g.add_constant("b", np.zeros((9, 7), np.float32))
+        g.add_node(Op.MATMUL, ["a", "b"], ["y"], {"transpose_b": True})
+        g.mark_output("y")
+        infer_shapes(g)
+        assert g.desc("y").shape == (5, 9)
+
+    def test_matmul_inner_mismatch(self):
+        g = Graph()
+        g.add_input("a", (5, 7))
+        g.add_constant("b", np.zeros((8, 3), np.float32))
+        with pytest.raises(GraphError, match="inner"):
+            g.add_node(Op.MATMUL, ["a", "b"], ["y"])
+            infer_shapes(g)
+
+    def test_fc_flattens_input(self):
+        shape = _single_op_graph(
+            Op.FULLY_CONNECTED,
+            (2, 16, 4, 4),
+            {"units": 10},
+            [np.zeros((10, 256), np.float32), np.zeros(10, np.float32)],
+        )
+        assert shape == (2, 10)
+
+    def test_binary_broadcast(self):
+        g = Graph()
+        g.add_input("a", (1, 8, 4, 4))
+        g.add_constant("b", np.zeros((8, 1, 1), np.float32))
+        g.add_node(Op.ADD, ["a", "b"], ["y"])
+        g.mark_output("y")
+        infer_shapes(g)
+        assert g.desc("y").shape == (1, 8, 4, 4)
+
+    def test_binary_incompatible(self):
+        g = Graph()
+        g.add_input("a", (1, 8, 4, 4))
+        g.add_constant("b", np.zeros((3, 4, 4), np.float32))
+        with pytest.raises(GraphError, match="broadcast"):
+            g.add_node(Op.ADD, ["a", "b"], ["y"])
+            infer_shapes(g)
+
+    def test_pool_ceil_mode(self):
+        shape = _single_op_graph(
+            Op.MAX_POOL,
+            (1, 4, 7, 7),
+            {"kernel": (2, 2), "stride": (2, 2), "ceil_mode": True},
+        )
+        assert shape == (1, 4, 4, 4)
+        shape = _single_op_graph(
+            Op.MAX_POOL,
+            (1, 4, 7, 7),
+            {"kernel": (2, 2), "stride": (2, 2), "ceil_mode": False},
+        )
+        assert shape == (1, 4, 3, 3)
+
+    def test_global_avg_pool(self):
+        assert _single_op_graph(Op.GLOBAL_AVG_POOL, (3, 17, 9, 11), {}) == (3, 17, 1, 1)
+
+    def test_concat_checks_other_dims(self):
+        g = Graph()
+        g.add_input("a", (1, 4, 8, 8))
+        g.add_input("b", (1, 6, 8, 8))
+        g.add_node(Op.CONCAT, ["a", "b"], ["y"], {"axis": 1})
+        g.mark_output("y")
+        infer_shapes(g)
+        assert g.desc("y").shape == (1, 10, 8, 8)
+
+        g2 = Graph()
+        g2.add_input("a", (1, 4, 8, 8))
+        g2.add_input("b", (1, 6, 9, 8))
+        with pytest.raises(GraphError, match="mismatch"):
+            g2.add_node(Op.CONCAT, ["a", "b"], ["y"], {"axis": 1})
+            infer_shapes(g2)
+
+    def test_reshape_with_minus_one(self):
+        assert _single_op_graph(Op.RESHAPE, (2, 3, 4), {"shape": (2, -1)}) == (2, 12)
+
+    def test_reshape_bad_volume(self):
+        with pytest.raises(GraphError, match="incompatible"):
+            _single_op_graph(Op.RESHAPE, (2, 3, 4), {"shape": (5, 5)})
+
+    def test_flatten(self):
+        assert _single_op_graph(Op.FLATTEN, (2, 3, 4, 5), {"axis": 1}) == (2, 60)
+        assert _single_op_graph(Op.FLATTEN, (2, 3, 4, 5), {"axis": 2}) == (6, 20)
+
+    def test_pad(self):
+        assert _single_op_graph(
+            Op.PAD, (1, 3, 4, 4), {"pads": (0, 0, 0, 0, 1, 1, 2, 2)}
+        ) == (1, 3, 6, 8)
+
+    def test_resize(self):
+        assert _single_op_graph(Op.RESIZE, (1, 3, 8, 8), {"scale": (2, 2)}) == (1, 3, 16, 16)
+
+    def test_reduce_mean(self):
+        assert _single_op_graph(
+            Op.REDUCE_MEAN, (1, 3, 8, 8), {"axes": (2, 3), "keepdims": True}
+        ) == (1, 3, 1, 1)
+        assert _single_op_graph(
+            Op.REDUCE_MEAN, (1, 3, 8, 8), {"axes": (2, 3), "keepdims": False}
+        ) == (1, 3)
+
+    def test_slice(self):
+        assert _single_op_graph(
+            Op.SLICE, (1, 10, 4, 4), {"axis": 1, "start": 2, "end": 7}
+        ) == (1, 5, 4, 4)
+
+    def test_conflicting_reinference_rejected(self):
+        b = GraphBuilder()
+        x = b.input("in", (1, 3, 8, 8))
+        y = b.relu(x)
+        b.output(y)
+        g = b.finish()
+        from repro.ir import TensorDesc
+        g.tensor_descs[y] = TensorDesc(y, (9, 9))
+        with pytest.raises(GraphError, match="conflicts"):
+            infer_shapes(g)

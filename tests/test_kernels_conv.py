@@ -1,0 +1,175 @@
+"""Tests for sliding-window conv, 1x1 GEMM conv, depthwise and dispatch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    GemmStats,
+    conv2d,
+    conv2d_1x1,
+    conv2d_im2col,
+    depthwise_conv2d,
+    im2col,
+)
+
+from .gold import conv2d_naive, depthwise_conv2d_naive
+
+RNG = np.random.default_rng(11)
+
+
+class TestIm2col:
+    def test_window_contents(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = im2col(x, (2, 2), (1, 1), (0, 0, 0, 0))
+        assert cols.shape == (1, 3, 3, 1, 2, 2)
+        np.testing.assert_array_equal(cols[0, 0, 0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(cols[0, 2, 2, 0], [[10, 11], [14, 15]])
+
+    def test_stride_and_pad(self):
+        x = np.ones((1, 2, 5, 5), np.float32)
+        cols = im2col(x, (3, 3), (2, 2), (1, 1, 1, 1))
+        assert cols.shape == (1, 3, 3, 2, 3, 3)
+
+    def test_dilation(self):
+        x = np.arange(25, dtype=np.float32).reshape(1, 1, 5, 5)
+        cols = im2col(x, (2, 2), (1, 1), (0, 0, 0, 0), (2, 2))
+        # dilated window picks elements 2 apart
+        np.testing.assert_array_equal(cols[0, 0, 0, 0], [[0, 2], [10, 12]])
+
+
+class TestConvIm2col:
+    @pytest.mark.parametrize(
+        "kernel,stride,pads,dilation,groups",
+        [
+            ((3, 3), (1, 1), (1, 1, 1, 1), (1, 1), 1),
+            ((3, 3), (2, 2), (1, 1, 1, 1), (1, 1), 1),
+            ((1, 7), (1, 1), (0, 0, 3, 3), (1, 1), 1),   # Inception 1x7
+            ((7, 1), (1, 1), (3, 3, 0, 0), (1, 1), 1),   # Inception 7x1
+            ((3, 3), (1, 1), (2, 2, 2, 2), (2, 2), 1),   # dilated
+            ((3, 3), (1, 1), (1, 1, 1, 1), (1, 1), 2),   # grouped
+            ((5, 5), (3, 3), (2, 2, 2, 2), (1, 1), 1),
+        ],
+    )
+    def test_matches_naive(self, kernel, stride, pads, dilation, groups):
+        ic, oc = 4, 6
+        x = RNG.standard_normal((2, ic, 14, 14)).astype(np.float32)
+        w = RNG.standard_normal((oc, ic // groups, *kernel)).astype(np.float32)
+        b = RNG.standard_normal(oc).astype(np.float32)
+        got = conv2d_im2col(x, w, b, stride, pads, dilation, groups)
+        want = conv2d_naive(x, w, b, stride, pads, dilation, groups)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_group_mismatch_raises(self):
+        x = RNG.standard_normal((1, 5, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="groups"):
+            conv2d_im2col(x, w, groups=2)
+
+    @given(
+        k=st.integers(1, 5),
+        s=st.integers(1, 3),
+        p=st.integers(0, 2),
+        hw=st.integers(6, 18),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive(self, k, s, p, hw):
+        x = RNG.standard_normal((1, 3, hw, hw)).astype(np.float32)
+        w = RNG.standard_normal((4, 3, k, k)).astype(np.float32)
+        pads = (p, p, p, p)
+        if hw + 2 * p < k:
+            return
+        got = conv2d_im2col(x, w, stride=(s, s), pads=pads)
+        want = conv2d_naive(x, w, stride=(s, s), pads=pads)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+
+class TestConv1x1:
+    def test_matches_naive(self):
+        x = RNG.standard_normal((2, 8, 10, 10)).astype(np.float32)
+        w = RNG.standard_normal((16, 8, 1, 1)).astype(np.float32)
+        b = RNG.standard_normal(16).astype(np.float32)
+        got = conv2d_1x1(x, w, b)
+        want = conv2d_naive(x, w, b)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_strided_1x1(self):
+        x = RNG.standard_normal((1, 4, 9, 9)).astype(np.float32)
+        w = RNG.standard_normal((8, 4, 1, 1)).astype(np.float32)
+        got = conv2d_1x1(x, w, stride=(2, 2))
+        want = conv2d_naive(x, w, stride=(2, 2))
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_rejects_non_1x1(self):
+        x = RNG.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="1x1"):
+            conv2d_1x1(x, w)
+
+    def test_large_1x1_routes_through_strassen(self):
+        x = RNG.standard_normal((1, 512, 24, 24)).astype(np.float32)
+        w = RNG.standard_normal((512, 512, 1, 1)).astype(np.float32)
+        stats = GemmStats()
+        conv2d_1x1(x, w, use_strassen=True, stats=stats)
+        assert stats.max_depth >= 1  # Strassen actually recursed
+        direct = 576 * 512 * 512
+        assert stats.mul_elements < direct
+
+
+class TestDepthwise:
+    @pytest.mark.parametrize(
+        "stride,pads,dilation",
+        [((1, 1), (1, 1, 1, 1), (1, 1)), ((2, 2), (1, 1, 1, 1), (1, 1)),
+         ((1, 1), (2, 2, 2, 2), (2, 2))],
+    )
+    def test_matches_naive(self, stride, pads, dilation):
+        c = 6
+        x = RNG.standard_normal((2, c, 12, 12)).astype(np.float32)
+        w = RNG.standard_normal((c, 1, 3, 3)).astype(np.float32)
+        b = RNG.standard_normal(c).astype(np.float32)
+        got = depthwise_conv2d(x, w, b, stride, pads, dilation)
+        want = depthwise_conv2d_naive(x, w, b, stride, pads, dilation)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_channel_mismatch(self):
+        x = RNG.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((5, 1, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="channels"):
+            depthwise_conv2d(x, w)
+
+
+class TestDispatch:
+    def test_all_schemes_agree(self):
+        x = RNG.standard_normal((1, 8, 16, 16)).astype(np.float32)
+        w = RNG.standard_normal((8, 8, 3, 3)).astype(np.float32)
+        pads = (1, 1, 1, 1)
+        sliding = conv2d(x, w, pads=pads, scheme="sliding")
+        wino = conv2d(x, w, pads=pads, scheme="winograd", winograd_n=2)
+        np.testing.assert_allclose(sliding, wino, atol=1e-3)
+
+    def test_gemm1x1_scheme(self):
+        x = RNG.standard_normal((1, 8, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((4, 8, 1, 1)).astype(np.float32)
+        got = conv2d(x, w, scheme="gemm1x1")
+        want = conv2d_naive(x, w)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_fused_activation(self):
+        x = RNG.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        y = conv2d(x, w, pads=(1, 1, 1, 1), scheme="sliding", activation="relu")
+        assert (y >= 0).all()
+        y6 = conv2d(x, w, pads=(1, 1, 1, 1), scheme="sliding", activation="relu6")
+        assert (y6 <= 6).all() and (y6 >= 0).all()
+
+    def test_unknown_scheme(self):
+        x = RNG.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="scheme"):
+            conv2d(x, w, scheme="magic")
+
+    def test_winograd_rejects_groups(self):
+        x = RNG.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        w = RNG.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="winograd"):
+            conv2d(x, w, scheme="winograd", groups=2)

@@ -1,0 +1,142 @@
+"""Tests for the tiled GEMM micro-kernel and Strassen multiplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    GemmStats,
+    matmul,
+    strassen_matmul,
+    strassen_should_recurse,
+    tiled_matmul,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestTiledMatmul:
+    def test_matches_numpy_exact_tiles(self):
+        a = RNG.standard_normal((128, 64))
+        b = RNG.standard_normal((64, 96))
+        np.testing.assert_allclose(tiled_matmul(a, b, tile=32), a @ b, atol=1e-10)
+
+    def test_matches_numpy_ragged_tiles(self):
+        a = RNG.standard_normal((130, 70))
+        b = RNG.standard_normal((70, 97))
+        np.testing.assert_allclose(tiled_matmul(a, b, tile=48), a @ b, atol=1e-10)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError, match="shapes"):
+            tiled_matmul(np.zeros((3, 4)), np.zeros((5, 6)))
+        with pytest.raises(ValueError, match="shapes"):
+            tiled_matmul(np.zeros(4), np.zeros((4, 2)))
+
+    def test_stats_count_all_elements(self):
+        a = RNG.standard_normal((64, 64))
+        b = RNG.standard_normal((64, 64))
+        stats = GemmStats()
+        tiled_matmul(a, b, tile=32, stats=stats)
+        assert stats.mul_elements == 64 * 64 * 64
+        assert stats.base_multiplies == 8  # 2x2 output tiles x 2 k-tiles
+        assert stats.add_elements == 0
+
+    @given(
+        n=st.integers(1, 40),
+        k=st.integers(1, 40),
+        m=st.integers(1, 40),
+        tile=st.integers(1, 17),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_any_shape_any_tile(self, n, k, m, tile):
+        a = RNG.standard_normal((n, k))
+        b = RNG.standard_normal((k, m))
+        np.testing.assert_allclose(tiled_matmul(a, b, tile=tile), a @ b, atol=1e-9)
+
+
+class TestRecursionGate:
+    def test_eq9_large_sizes_recurse(self):
+        assert strassen_should_recurse(1024, 1024, 1024)
+        assert strassen_should_recurse(512, 512, 512)
+
+    def test_eq9_small_sizes_stop(self):
+        assert not strassen_should_recurse(16, 16, 16)
+        # Eq. 9 is (barely) still true at 32^3: 4096 saved MULs vs 3840 adds.
+        # The implementation's micro-kernel floor is what stops recursion there.
+        assert strassen_should_recurse(32, 32, 32)
+
+    def test_eq9_boundary_matches_formula(self):
+        for n, k, m in [(64, 64, 64), (128, 64, 32), (100, 700, 30)]:
+            saved = n * k * m - 7 * (n // 2) * (k // 2) * (m // 2)
+            extra = 4 * (m // 2) * (k // 2) + 4 * (n // 2) * (k // 2) + 7 * (m // 2) * (n // 2)
+            assert strassen_should_recurse(n, k, m) == (saved > extra)
+
+    def test_thin_matrices_do_not_recurse(self):
+        # mnk/8 savings vanish when one dim is tiny
+        assert not strassen_should_recurse(4, 2048, 4)
+
+
+class TestStrassen:
+    def test_matches_numpy_square(self):
+        a = RNG.standard_normal((256, 256))
+        b = RNG.standard_normal((256, 256))
+        np.testing.assert_allclose(strassen_matmul(a, b, tile=32), a @ b, atol=1e-8)
+
+    def test_matches_numpy_rectangular(self):
+        a = RNG.standard_normal((300, 500))
+        b = RNG.standard_normal((500, 260))
+        np.testing.assert_allclose(strassen_matmul(a, b, tile=32), a @ b, atol=1e-8)
+
+    def test_odd_sizes_padded_correctly(self):
+        a = RNG.standard_normal((257, 255))
+        b = RNG.standard_normal((255, 259))
+        np.testing.assert_allclose(strassen_matmul(a, b, tile=16), a @ b, atol=1e-8)
+
+    def test_small_problem_falls_back_to_tiled(self):
+        a = RNG.standard_normal((32, 32))
+        b = RNG.standard_normal((32, 32))
+        stats = GemmStats()
+        strassen_matmul(a, b, tile=64, stats=stats)
+        assert stats.max_depth == 0
+        assert stats.add_elements == 0
+
+    def test_strassen_saves_multiplications(self):
+        """The paper's core claim: fewer scalar MULs than direct GEMM."""
+        size = 512
+        a = RNG.standard_normal((size, size))
+        b = RNG.standard_normal((size, size))
+        direct = GemmStats()
+        tiled_matmul(a, b, tile=64, stats=direct)
+        fast = GemmStats()
+        strassen_matmul(a, b, tile=64, stats=fast)
+        assert fast.mul_elements < direct.mul_elements
+        # one recursion level saves 1/8 of MULs; deeper saves more
+        assert fast.mul_elements <= direct.mul_elements * (7 / 8) ** fast.max_depth * 1.001
+        assert fast.max_depth >= 2
+
+    def test_depth_grows_with_size(self):
+        depths = []
+        for size in (128, 256, 512):
+            stats = GemmStats()
+            a = RNG.standard_normal((size, size))
+            strassen_matmul(a, a, tile=32, stats=stats)
+            depths.append(stats.max_depth)
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0]
+
+    @given(
+        n=st.integers(1, 150),
+        k=st.integers(1, 150),
+        m=st.integers(1, 150),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence(self, n, k, m):
+        a = RNG.standard_normal((n, k))
+        b = RNG.standard_normal((k, m))
+        np.testing.assert_allclose(strassen_matmul(a, b, tile=16), a @ b, atol=1e-8)
+
+    def test_dispatch_helper(self):
+        a = RNG.standard_normal((64, 64))
+        b = RNG.standard_normal((64, 64))
+        np.testing.assert_allclose(matmul(a, b, use_strassen=True), a @ b, atol=1e-9)
+        np.testing.assert_allclose(matmul(a, b, use_strassen=False), a @ b, atol=1e-9)

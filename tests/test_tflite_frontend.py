@@ -1,0 +1,163 @@
+"""Tests for the TFLite-style frontend (index-based tensors, NHWC layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.converter import ConversionError, convert_tflite_like
+from repro.core import Session
+from repro.core.reference import execute_reference
+from repro.ir import Op
+
+RNG = np.random.default_rng(121)
+
+
+def tflite_model():
+    """conv(relu6) -> dwconv -> maxpool -> mean -> fc -> softmax, all NHWC."""
+    conv_w = RNG.standard_normal((8, 3, 3, 3)).astype(np.float32) * 0.2  # OHWI
+    conv_b = np.zeros(8, np.float32)
+    dw_w = RNG.standard_normal((1, 3, 3, 8)).astype(np.float32) * 0.2    # 1HWC
+    fc_w = RNG.standard_normal((5, 8)).astype(np.float32) * 0.3
+    tensors = [
+        {"name": "input", "shape": [1, 16, 16, 3]},        # 0 (NHWC)
+        {"name": "conv_w", "shape": list(conv_w.shape), "data": conv_w},   # 1
+        {"name": "conv_b", "shape": [8], "data": conv_b},  # 2
+        {"name": "conv_out", "shape": None},               # 3
+        {"name": "dw_w", "shape": list(dw_w.shape), "data": dw_w},  # 4
+        {"name": "dw_out", "shape": None},                 # 5
+        {"name": "pool_out", "shape": None},               # 6
+        {"name": "mean_out", "shape": None},               # 7
+        {"name": "flat", "shape": None},                   # 8
+        {"name": "fc_w", "shape": list(fc_w.shape), "data": fc_w},  # 9
+        {"name": "fc_out", "shape": None},                 # 10
+        {"name": "prob", "shape": None},                   # 11
+    ]
+    operators = [
+        {"opcode": "CONV_2D", "inputs": [0, 1, 2], "outputs": [3],
+         "options": {"padding": "SAME", "stride_h": 2, "stride_w": 2,
+                     "fused_activation": "RELU6"}},
+        {"opcode": "DEPTHWISE_CONV_2D", "inputs": [3, 4], "outputs": [5],
+         "options": {"padding": "SAME", "fused_activation": "RELU"}},
+        {"opcode": "MAX_POOL_2D", "inputs": [5], "outputs": [6],
+         "options": {"padding": "VALID", "filter_h": 2, "filter_w": 2}},
+        {"opcode": "MEAN", "inputs": [6], "outputs": [7],
+         "options": {"axes": (1, 2)}},
+        {"opcode": "RESHAPE", "inputs": [7], "outputs": [8],
+         "options": {"new_shape": [1, 8]}},
+        {"opcode": "FULLY_CONNECTED", "inputs": [8, 9], "outputs": [10]},
+        {"opcode": "SOFTMAX", "inputs": [10], "outputs": [11]},
+    ]
+    return {
+        "name": "tfl",
+        "tensors": tensors,
+        "inputs": [0],
+        "outputs": [11],
+        "operators": operators,
+    }
+
+
+class TestTfliteFrontend:
+    def test_converts_and_runs(self):
+        g = convert_tflite_like(tflite_model())
+        assert g.desc("input").shape == (1, 3, 16, 16)  # NHWC -> NCHW
+        out = execute_reference(
+            g, {"input": RNG.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+        )["prob"]
+        assert out.shape == (1, 5)
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_kernel_layout_transposed(self):
+        g = convert_tflite_like(tflite_model())
+        conv = next(n for n in g.nodes if n.op_type == Op.CONV2D)
+        assert g.constants[conv.inputs[1]].shape == (8, 3, 3, 3)  # OIHW
+        dw = next(n for n in g.nodes if n.op_type == Op.DEPTHWISE_CONV2D)
+        assert g.constants[dw.inputs[1]].shape == (8, 1, 3, 3)
+
+    def test_fused_activations_mapped(self):
+        g = convert_tflite_like(tflite_model())
+        conv = next(n for n in g.nodes if n.op_type == Op.CONV2D)
+        assert conv.attrs["activation"] == "relu6"
+        dw = next(n for n in g.nodes if n.op_type == Op.DEPTHWISE_CONV2D)
+        assert dw.attrs["activation"] == "relu"
+
+    def test_mean_becomes_global_avg_pool(self):
+        g = convert_tflite_like(tflite_model())
+        assert Op.GLOBAL_AVG_POOL in [n.op_type for n in g.nodes]
+
+    def test_runs_in_session(self):
+        g = convert_tflite_like(tflite_model())
+        out = Session(g).run(
+            {"input": RNG.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+        )
+        assert list(out.values())[0].shape == (1, 5)
+
+    def test_concat_axis_remapped(self):
+        model = {
+            "tensors": [
+                {"name": "a", "shape": [1, 4, 4, 2]},
+                {"name": "b", "shape": [1, 4, 4, 3]},
+                {"name": "c", "shape": None},
+            ],
+            "inputs": [0, 1],
+            "outputs": [2],
+            "operators": [{"opcode": "CONCATENATION", "inputs": [0, 1],
+                           "outputs": [2], "options": {"axis": 3}}],
+        }
+        g = convert_tflite_like(model)
+        assert g.desc("c").shape == (1, 5, 4, 4)  # channel concat in NCHW
+
+    def test_unknown_opcode(self):
+        model = tflite_model()
+        model["operators"][0]["opcode"] = "HASHTABLE_LOOKUP"
+        with pytest.raises(ConversionError, match="HASHTABLE_LOOKUP"):
+            convert_tflite_like(model)
+
+    def test_missing_weight_data(self):
+        model = tflite_model()
+        model["tensors"][1]["data"] = None
+        with pytest.raises(ConversionError, match="no constant data"):
+            convert_tflite_like(model)
+
+    def test_bad_padding(self):
+        model = tflite_model()
+        model["operators"][0]["options"]["padding"] = "CIRCULAR"
+        with pytest.raises(ConversionError, match="padding"):
+            convert_tflite_like(model)
+
+    def test_three_frontends_agree(self):
+        """The same conv expressed in ONNX-, Caffe- and TFLite-style models
+        must produce identical numerics after conversion."""
+        from repro.converter import convert_caffe_like, convert_onnx_like
+
+        w_oihw = RNG.standard_normal((4, 3, 3, 3)).astype(np.float32) * 0.3
+        x = RNG.standard_normal((1, 3, 8, 8)).astype(np.float32)
+
+        onnx_g = convert_onnx_like({
+            "inputs": [{"name": "x", "shape": [1, 3, 8, 8]}],
+            "outputs": ["y"],
+            "initializers": {"w": w_oihw},
+            "nodes": [{"op_type": "Conv", "inputs": ["x", "w"], "outputs": ["y"],
+                       "attrs": {"kernel_shape": [3, 3], "pads": [1, 1, 1, 1]}}],
+        })
+        caffe_g = convert_caffe_like({
+            "inputs": [{"name": "x", "shape": [1, 3, 8, 8]}],
+            "layers": [{"name": "conv", "type": "Convolution", "bottom": ["x"],
+                        "top": ["y"], "kernel_size": 3, "pad": 1}],
+            "blobs": {"conv": [w_oihw]},
+        })
+        tfl_g = convert_tflite_like({
+            "tensors": [
+                {"name": "x", "shape": [1, 8, 8, 3]},
+                {"name": "w", "shape": [4, 3, 3, 3],
+                 "data": np.ascontiguousarray(w_oihw.transpose(0, 2, 3, 1))},
+                {"name": "y", "shape": None},
+            ],
+            "inputs": [0],
+            "outputs": [2],
+            "operators": [{"opcode": "CONV_2D", "inputs": [0, 1], "outputs": [2],
+                           "options": {"padding": "SAME"}}],
+        })
+        a = execute_reference(onnx_g, {"x": x})["y"]
+        b = execute_reference(caffe_g, {"x": x})["y"]
+        c = execute_reference(tfl_g, {"x": x})["y"]
+        np.testing.assert_allclose(a, b, atol=1e-5)
+        np.testing.assert_allclose(a, c, atol=1e-5)
