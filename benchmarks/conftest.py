@@ -8,10 +8,21 @@ them.
 
 import pytest
 
+from repro.analysis import format_diagnostics, has_errors, lint_graph
 from repro.models import build_model
 
 _TABLES = []
 _MODEL_CACHE = {}
+
+
+def _lint_or_fail(name, graph):
+    """Fail fast on a broken benchmark fixture instead of timing garbage."""
+    diags = lint_graph(graph)
+    if has_errors(diags):
+        pytest.fail(
+            f"benchmark graph {name!r} failed lint:\n" + format_diagnostics(diags),
+            pytrace=False,
+        )
 
 
 @pytest.fixture
@@ -31,7 +42,9 @@ def model(request):
     def _get(name, **kwargs):
         key = (name, tuple(sorted(kwargs.items())))
         if key not in _MODEL_CACHE:
-            _MODEL_CACHE[key] = build_model(name, **kwargs)
+            graph = build_model(name, **kwargs)
+            _lint_or_fail(name, graph)  # every benchmark graph is linted once
+            _MODEL_CACHE[key] = graph
         return _MODEL_CACHE[key]
 
     return _get

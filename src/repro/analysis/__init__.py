@@ -1,0 +1,48 @@
+"""Static analysis over the IR and pre-inference artifacts.
+
+Three pluggable checkers guard the pipeline the paper's pre-inference
+mechanism (Section 3.2) depends on:
+
+* :mod:`repro.analysis.lint` — a graph linter (~13 rules) producing
+  structured :class:`Diagnostic` records;
+* :mod:`repro.analysis.memcheck` — an independent sanitizer proving the
+  static memory plan alias-free, aligned and in-bounds;
+* :mod:`repro.analysis.verify_passes` — a pass manager that re-checks
+  structure, shapes and numerics after every optimizer pass and names the
+  pass that broke the graph.
+
+CLI entry point: ``python -m repro.tools.cli lint model.rmnn [--strict]``.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    format_diagnostics,
+    has_errors,
+    sort_diagnostics,
+    summarize,
+)
+from .lint import LintContext, LintRule, all_rules, lint_graph, rule
+from .memcheck import Interval, MemCheckReport, check_memory_plan, derive_lifetimes
+from .verify_passes import PassVerificationError, VerifyingPassManager, random_feeds
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "format_diagnostics",
+    "has_errors",
+    "sort_diagnostics",
+    "summarize",
+    "LintContext",
+    "LintRule",
+    "all_rules",
+    "lint_graph",
+    "rule",
+    "Interval",
+    "MemCheckReport",
+    "check_memory_plan",
+    "derive_lifetimes",
+    "PassVerificationError",
+    "VerifyingPassManager",
+    "random_feeds",
+]

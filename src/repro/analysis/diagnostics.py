@@ -1,0 +1,118 @@
+"""Structured diagnostics shared by the static-analysis subsystem.
+
+Every checker in :mod:`repro.analysis` (the graph linter, the memory-plan
+sanitizer, the optimizer-pass verifier) and :meth:`repro.ir.Graph.validate`
+reports problems as :class:`Diagnostic` records instead of bare strings:
+a severity, a stable rule id, the offending node/tensor, a human message
+and an optional fix hint.  Tooling (the ``lint`` CLI command, pytest
+fixtures, CI hooks) filters and formats them uniformly.
+
+This module deliberately imports nothing from the rest of the package so
+that low-level IR code can attach diagnostics to exceptions without
+creating import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "has_errors",
+    "format_diagnostics",
+    "summarize",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the artifact is unsound (wrong answers or crashes are
+    possible); ``WARNING`` flags smells that are legal but suspicious.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        return 0 if self is Severity.ERROR else 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a static check.
+
+    Attributes:
+        severity: :class:`Severity` of the finding.
+        rule: stable rule id, e.g. ``"double-producer"`` or ``"mem-overlap"``.
+        message: human-readable description of the problem.
+        node: name of the offending node, when one exists.
+        tensor: name of the offending tensor, when one exists.
+        hint: optional suggestion for fixing the problem.
+    """
+
+    severity: Severity
+    rule: str
+    message: str
+    node: Optional[str] = None
+    tensor: Optional[str] = None
+    hint: Optional[str] = None
+
+    def format(self) -> str:
+        """Render as ``severity[rule] subject: message (hint: ...)``."""
+        subject = ""
+        if self.node is not None:
+            subject = f" node {self.node!r}"
+        elif self.tensor is not None:
+            subject = f" tensor {self.tensor!r}"
+        text = f"{self.severity.value}[{self.rule}]{subject}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+def error(rule: str, message: str, **kwargs) -> Diagnostic:
+    """Shorthand constructor for an error diagnostic."""
+    return Diagnostic(Severity.ERROR, rule, message, **kwargs)
+
+
+def warning(rule: str, message: str, **kwargs) -> Diagnostic:
+    """Shorthand constructor for a warning diagnostic."""
+    return Diagnostic(Severity.WARNING, rule, message, **kwargs)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True if any diagnostic is :attr:`Severity.ERROR`."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Errors first, then by rule id and subject for stable output."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.severity.rank, d.rule, d.node or "", d.tensor or ""),
+    )
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """Multi-line, severity-sorted rendering of ``diagnostics``."""
+    return "\n".join(d.format() for d in sort_diagnostics(diagnostics))
+
+
+def summarize(diagnostics: Sequence[Diagnostic]) -> str:
+    """A one-line count summary, e.g. ``"2 errors, 1 warning"``."""
+    n_err = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    n_warn = len(list(diagnostics)) - n_err
+    parts = []
+    if n_err:
+        parts.append(f"{n_err} error{'s' if n_err != 1 else ''}")
+    if n_warn:
+        parts.append(f"{n_warn} warning{'s' if n_warn != 1 else ''}")
+    return ", ".join(parts) if parts else "no problems"

@@ -267,6 +267,24 @@ class PassManager:
         return graph
 
 
-def optimize(graph: Graph, passes: Optional[Sequence[Pass]] = None) -> Graph:
-    """Run the default (or given) optimization pipeline on ``graph``."""
+def optimize(
+    graph: Graph,
+    passes: Optional[Sequence[Pass]] = None,
+    verify: bool = False,
+    atol: float = 5e-2,
+) -> Graph:
+    """Run the default (or given) optimization pipeline on ``graph``.
+
+    Args:
+        passes: pass pipeline override (default: :func:`default_passes`).
+        verify: re-check structure, shapes and numerical equivalence after
+            every pass via :class:`repro.analysis.VerifyingPassManager`;
+            a broken pass raises
+            :class:`repro.analysis.PassVerificationError` naming it.
+        atol: numerical tolerance for ``verify=True`` spot-checks.
+    """
+    if verify:
+        from ...analysis.verify_passes import VerifyingPassManager
+
+        return VerifyingPassManager(passes, atol=atol).run(graph)
     return PassManager(passes).run(graph)

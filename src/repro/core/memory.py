@@ -71,6 +71,38 @@ class MemoryPlan:
             return 1.0
         return self.total_tensor_bytes / self.arena_bytes
 
+    @property
+    def peak_bytes(self) -> int:
+        """Maximum sum of live tensor bytes over any execution step.
+
+        This is the information-theoretic floor for the arena: no plan can
+        use fewer bytes than the worst-step live set.  The gap between
+        ``arena_bytes`` and ``peak_bytes`` is fragmentation introduced by
+        the greedy offset assignment.
+        """
+        horizon = max((t.last for t in self.lifetimes.values()), default=-1) + 1
+        deltas = [0] * (horizon + 1)
+        for t in self.lifetimes.values():
+            deltas[t.first] += t.nbytes
+            if t.last + 1 <= horizon:
+                deltas[t.last + 1] -= t.nbytes
+        peak = running = 0
+        for delta in deltas:
+            running += delta
+            peak = max(peak, running)
+        return peak
+
+    def utilization(self) -> float:
+        """Fraction of the arena carrying live data at the worst step.
+
+        ``peak_bytes / arena_bytes`` — 1.0 means a perfectly packed arena,
+        lower values quantify fragmentation (used by ``cli benchmark`` and
+        the memory-plan sanitizer's wasted-gap statistics).
+        """
+        if self.arena_bytes == 0:
+            return 1.0
+        return self.peak_bytes / self.arena_bytes
+
     def validate(self) -> None:
         """Check the plan's soundness invariant.
 
@@ -156,8 +188,9 @@ class Arena:
     during inference is pointer arithmetic, not allocation.
     """
 
-    def __init__(self, plan: MemoryPlan) -> None:
+    def __init__(self, plan: MemoryPlan, paranoid: bool = False) -> None:
         self.plan = plan
+        self.paranoid = paranoid
         self._buffer = np.zeros(max(plan.arena_bytes, 1), dtype=np.uint8)
 
     def view(self, desc: TensorDesc) -> np.ndarray:
@@ -165,8 +198,24 @@ class Arena:
 
         Raises:
             KeyError: if the tensor was not part of the plan.
+            GraphError: in paranoid mode, if the slot is misaligned or
+                falls outside the arena.
         """
         offset = self.plan.offsets[desc.name]
+        if self.paranoid:
+            from ..ir.graph import GraphError
+
+            if offset % ALIGNMENT != 0:
+                raise GraphError(
+                    f"arena slot for {desc.name!r} at offset {offset} "
+                    f"is not {ALIGNMENT}-byte aligned"
+                )
+            if offset < 0 or offset + desc.nbytes > self.plan.arena_bytes:
+                raise GraphError(
+                    f"arena slot for {desc.name!r} spans "
+                    f"[{offset}, {offset + desc.nbytes}) outside arena "
+                    f"of {self.plan.arena_bytes} bytes"
+                )
         count = desc.size
         flat = self._buffer[offset : offset + desc.nbytes].view(desc.dtype.np_dtype)
         return flat[:count].reshape(desc.shape)

@@ -72,6 +72,11 @@ class SessionConfig:
             for free, but NumPy kernels allocate internally, so landing
             costs one extra memcpy per op on this substrate (the plan is
             still built, validated, and used for Table 2's accounting).
+        paranoid: run the independent memory-plan sanitizer
+            (:func:`repro.analysis.check_memory_plan`) on every plan this
+            session builds, and bounds/alignment-check every arena view
+            handed out during execution.  A planner bug then fails loudly
+            at prepare time instead of corrupting activations silently.
     """
 
     backend: Union[str, Backend] = "cpu"
@@ -85,6 +90,7 @@ class SessionConfig:
     scheme_overrides: Optional[Dict[str, SchemeDecision]] = None
     parallel_branches: bool = False
     arena_execution: bool = False
+    paranoid: bool = False
 
 
 @dataclass
@@ -231,7 +237,13 @@ class Session:
             for node in self._order:
                 self._executions[node.name].prepare(self.graph)
             self.memory_plan = plan_memory(self.graph, self._order)
-            self._arena = Arena(self.memory_plan)
+            if cfg.paranoid:
+                from ..analysis.memcheck import check_memory_plan
+
+                check_memory_plan(
+                    self.graph, self.memory_plan, self._order
+                ).raise_if_failed()
+            self._arena = Arena(self.memory_plan, paranoid=cfg.paranoid)
         self.prepare_wall_ms = (time.perf_counter() - start) * 1000.0
 
     # -- resizing ----------------------------------------------------------------

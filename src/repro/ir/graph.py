@@ -20,7 +20,17 @@ __all__ = ["Node", "Graph", "GraphBuilder", "GraphError"]
 
 
 class GraphError(ValueError):
-    """Raised when a graph is structurally invalid."""
+    """Raised when a graph is structurally invalid.
+
+    ``diagnostics`` carries the structured findings
+    (:class:`repro.analysis.Diagnostic`) when the error aggregates several
+    problems — :meth:`Graph.validate` reports *all* violations at once
+    rather than stopping at the first.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[Sequence[Any]] = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 @dataclass
@@ -143,22 +153,74 @@ class Graph:
             raise GraphError(f"no descriptor for tensor {tensor!r}; run shape inference") from None
 
     # -- validation & ordering ------------------------------------------------
-    def validate(self) -> None:
-        """Check structural invariants; raise :class:`GraphError` on failure."""
-        producers = self.producer_map()
+    def check(self) -> List[Any]:
+        """Collect *all* structural violations as diagnostics.
+
+        Unlike :meth:`validate` this never raises: it returns a list of
+        :class:`repro.analysis.Diagnostic` records (empty when the graph is
+        structurally sound) covering undefined inputs, unproduced outputs,
+        double-produced tensors, duplicate node names and cycles.
+        """
+        from ..analysis.diagnostics import error  # deferred: avoids import cycle
+
+        diags: List[Any] = []
+        producers: Dict[str, Node] = {}
+        doubled = False
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in producers:
+                    doubled = True
+                    diags.append(error(
+                        "double-producer",
+                        f"tensor {out!r} produced by two nodes "
+                        f"({producers[out].name!r} and {node.name!r})",
+                        node=node.name, tensor=out,
+                        hint="rename one of the outputs",
+                    ))
+                else:
+                    producers[out] = node
+        seen_names: Dict[str, Node] = {}
+        for node in self.nodes:
+            if node.name in seen_names:
+                diags.append(error(
+                    "duplicate-node-name",
+                    f"node name {node.name!r} used by two nodes",
+                    node=node.name,
+                ))
+            else:
+                seen_names[node.name] = node
         available = set(self.inputs) | set(self.constants)
         for tensor in self.outputs:
             if tensor not in producers and tensor not in available:
-                raise GraphError(f"graph output {tensor!r} is never produced")
+                diags.append(error(
+                    "unproduced-output",
+                    f"graph output {tensor!r} is never produced",
+                    tensor=tensor,
+                ))
         for node in self.nodes:
             for inp in node.inputs:
                 if inp not in producers and inp not in available:
-                    raise GraphError(
-                        f"node {node.name!r} reads undefined tensor {inp!r}"
-                    )
-        # Cycle check: toposort must cover every node.
-        if len(self.toposort()) != len(self.nodes):
-            raise GraphError("graph contains a cycle")
+                    diags.append(error(
+                        "dangling-input",
+                        f"node {node.name!r} reads undefined tensor {inp!r}",
+                        node=node.name, tensor=inp,
+                    ))
+        # Cycle check: toposort must cover every node.  Skipped when a
+        # tensor is double-produced (producer_map would raise).
+        if not doubled and len(self.toposort()) != len(self.nodes):
+            diags.append(error("cycle", "graph contains a cycle"))
+        return diags
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure.
+
+        All violations are gathered first and raised together: the
+        exception message joins every finding and ``exc.diagnostics``
+        holds the structured records.
+        """
+        diags = self.check()
+        if diags:
+            raise GraphError("; ".join(d.message for d in diags), diags)
 
     def toposort(self) -> List[Node]:
         """Nodes in a valid execution order (Kahn's algorithm).

@@ -18,7 +18,13 @@ from .graph import Graph, GraphError, Node
 from .ops import Op
 from .tensor import DataType, TensorDesc
 
-__all__ = ["infer_shapes", "infer_node", "resolve_padding", "conv_output_hw"]
+__all__ = [
+    "infer_shapes",
+    "infer_node",
+    "infer_node_outputs",
+    "resolve_padding",
+    "conv_output_hw",
+]
 
 Shape = Tuple[int, ...]
 
@@ -363,14 +369,19 @@ def _lstm(node, descs):
     return [((n, hidden), x.dtype)]
 
 
-def infer_node(graph: Graph, node: Node) -> None:
-    """Infer and record the output descriptors for a single node.
+def infer_node_outputs(graph: Graph, node: Node) -> List[Tuple[Shape, DataType]]:
+    """Compute ``node``'s output ``(shape, dtype)`` pairs without mutating.
+
+    This is the side-effect-free core of :func:`infer_node`; the graph
+    linter uses it to re-derive shapes and cross-check the recorded
+    descriptors.
 
     Raises:
-        GraphError: if an input descriptor is missing or shapes mismatch.
+        GraphError: if an input descriptor is missing, the op has no
+            inference rule, or shapes mismatch.
     """
     if node.op_type == Op.INPUT:
-        return
+        return []
     try:
         fn = _INFER[node.op_type]
     except KeyError:
@@ -386,6 +397,16 @@ def infer_node(graph: Graph, node: Node) -> None:
             f"node {node.name!r}: inference produced {len(results)} shapes "
             f"for {len(node.outputs)} outputs"
         )
+    return results
+
+
+def infer_node(graph: Graph, node: Node) -> None:
+    """Infer and record the output descriptors for a single node.
+
+    Raises:
+        GraphError: if an input descriptor is missing or shapes mismatch.
+    """
+    results = infer_node_outputs(graph, node)
     for out_name, (shape, dtype) in zip(node.outputs, results):
         existing = graph.tensor_descs.get(out_name)
         desc = TensorDesc(out_name, shape, dtype)

@@ -4,8 +4,9 @@ user convenience").
 Usage::
 
     python -m repro.tools.cli info model.rmnn
+    python -m repro.tools.cli lint model.rmnn [--strict]
     python -m repro.tools.cli build mobilenet_v1 -o model.rmnn --input-size 224
-    python -m repro.tools.cli optimize model.rmnn -o optimized.rmnn
+    python -m repro.tools.cli optimize model.rmnn -o optimized.rmnn [--verify]
     python -m repro.tools.cli quantize model.rmnn -o int8.rmnn
     python -m repro.tools.cli prune model.rmnn -o pruned.rmnn --sparsity 0.6
     python -m repro.tools.cli fp16 model.rmnn -o half.rmnn
@@ -65,6 +66,42 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from ..analysis import (
+        Severity,
+        check_memory_plan,
+        format_diagnostics,
+        lint_graph,
+        summarize,
+    )
+    from ..core import plan_memory
+    from ..ir.graph import GraphError
+
+    graph = _load(args.model)
+    diags = list(lint_graph(graph))
+    structural_errors = any(d.severity is Severity.ERROR for d in diags)
+    if not structural_errors and not args.no_memcheck:
+        # Only sanitize the memory plan once the graph itself is sound —
+        # planning a structurally broken graph would just crash.
+        try:
+            report = check_memory_plan(graph, plan_memory(graph))
+            diags.extend(report.diagnostics)
+            print(f"memcheck: {report.summary()}")
+        except GraphError as exc:
+            from ..analysis.diagnostics import error
+
+            diags.extend(exc.diagnostics or [error("memcheck-failed", str(exc))])
+    if diags:
+        print(format_diagnostics(diags))
+    failing = [
+        d for d in diags
+        if d.severity is Severity.ERROR or (args.strict and d.severity is Severity.WARNING)
+    ]
+    print(f"lint: {summarize(diags)}"
+          + (" (strict)" if args.strict else ""))
+    return 1 if failing else 0
+
+
 def cmd_build(args) -> int:
     from ..ir import save_model
     from ..models import MODEL_REGISTRY, build_model
@@ -88,9 +125,10 @@ def cmd_optimize(args) -> int:
 
     graph = _load(args.model)
     before = len(graph.nodes)
-    optimize(graph)
+    optimize(graph, verify=args.verify)
     save_model(graph, args.output)
-    print(f"optimized {before} -> {len(graph.nodes)} ops; wrote {args.output}")
+    verified = " (every pass verified)" if args.verify else ""
+    print(f"optimized {before} -> {len(graph.nodes)} ops{verified}; wrote {args.output}")
     return 0
 
 
@@ -144,8 +182,10 @@ def cmd_benchmark(args) -> int:
     feeds = _random_feeds(graph)
     timing = time_callable(lambda: session.run(feeds), repeats=args.repeats)
     print(f"schemes: {session.scheme_summary()}")
-    print(f"memory:  arena {session.memory_plan.arena_bytes / 2**20:.1f} MiB "
-          f"({session.memory_plan.reuse_ratio:.1f}x reuse)")
+    plan = session.memory_plan
+    print(f"memory:  arena {plan.arena_bytes / 2**20:.1f} MiB "
+          f"({plan.reuse_ratio:.1f}x reuse, peak {plan.peak_bytes / 2**20:.1f} MiB, "
+          f"{plan.utilization() * 100:.0f}% utilized at worst step)")
     print(f"latency: median {timing.median_ms:.1f} ms, min {timing.min_ms:.1f} ms "
           f"over {args.repeats} runs ({args.threads} threads)")
     if args.profile:
@@ -250,9 +290,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_build)
 
+    p = sub.add_parser("lint", help="static-analysis report for a model")
+    p.add_argument("model")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures (exit 1)")
+    p.add_argument("--no-memcheck", action="store_true",
+                   help="skip the memory-plan sanitizer")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("optimize", help="run the offline graph optimizer")
     p.add_argument("model")
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--verify", action="store_true",
+                   help="re-check structure, shapes and numerics after every pass")
     p.set_defaults(fn=cmd_optimize)
 
     p = sub.add_parser("quantize", help="post-training int8 quantization")
@@ -314,7 +364,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.fn(args)
     except (OSError, ValueError, KeyError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # Structurally invalid models carry structured diagnostics (see
+        # repro.analysis); print them rule-tagged instead of a traceback.
+        diagnostics = getattr(exc, "diagnostics", None)
+        if diagnostics:
+            from ..analysis import format_diagnostics, summarize
+
+            print(format_diagnostics(diagnostics), file=sys.stderr)
+            print(f"error: {summarize(diagnostics)}", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 1
 
 

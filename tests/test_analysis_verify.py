@@ -1,0 +1,143 @@
+"""Pass-verifier tests: every frontend's example graph must optimize clean
+under ``verify=True``, and an injected bad pass must be caught and
+attributed to itself (not to the pipeline as a whole).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PassVerificationError, VerifyingPassManager, random_feeds
+from repro.converter import convert_caffe_like, convert_onnx_like, convert_tflite_like
+from repro.converter.optimizer.passes import (
+    Pass,
+    PassManager,
+    PassResult,
+    default_passes,
+    optimize,
+)
+from repro.core.reference import execute_reference
+from repro.ir import DataType, Op
+from repro.models import build_model
+from tests.test_converter import caffe_model, onnx_model
+from tests.test_tflite_frontend import tflite_model
+
+
+class EvilScale(Pass):
+    """A plausible-looking pass that silently rescales the first weight."""
+
+    name = "evil-scale"
+
+    def __init__(self):
+        self.done = False
+
+    def run(self, graph):
+        if self.done:
+            return PassResult()
+        for name, value in graph.constants.items():
+            if value.ndim >= 2 and np.issubdtype(value.dtype, np.floating):
+                graph.constants[name] = value * 3.0
+                self.done = True
+                return PassResult(changed=1)
+        return PassResult()
+
+
+class DanglingRewrite(Pass):
+    """Deletes a node but forgets to rewire its consumers."""
+
+    name = "dangling-rewrite"
+
+    def run(self, graph):
+        for node in graph.nodes:
+            if node.op_type is Op.RELU:
+                graph.nodes.remove(node)
+                return PassResult(changed=1)
+        return PassResult()
+
+
+class TestVerifiedOptimizeOnFrontends:
+    """Acceptance: verify=True passes on every frontend's example graph."""
+
+    def converted(self, which):
+        if which == "onnx":
+            return convert_onnx_like(onnx_model())
+        if which == "caffe":
+            return convert_caffe_like(caffe_model())
+        return convert_tflite_like(tflite_model())
+
+    @pytest.mark.parametrize("which", ["onnx", "caffe", "tflite"])
+    def test_frontend_graph_optimizes_under_verification(self, which):
+        graph = self.converted(which)
+        feeds = random_feeds(graph, seed=3)
+        before = execute_reference(graph, feeds)
+        optimize(graph, verify=True)
+        after = execute_reference(graph, feeds)
+        for name in graph.outputs:
+            np.testing.assert_allclose(after[name], before[name], atol=5e-2)
+
+    @pytest.mark.parametrize("name", ["mobilenet_v1", "squeezenet_v1.1"])
+    def test_builtin_model_optimizes_under_verification(self, name):
+        optimize(build_model(name, input_size=32, classes=7), verify=True)
+
+    def test_verified_result_matches_unverified(self):
+        plain = optimize(convert_onnx_like(onnx_model()))
+        verified = optimize(convert_onnx_like(onnx_model()), verify=True)
+        assert [n.op_type for n in plain.nodes] == [n.op_type for n in verified.nodes]
+
+
+class TestBadPassAttribution:
+    def test_numeric_corruption_is_caught_and_attributed(self):
+        graph = convert_onnx_like(onnx_model())
+        passes = list(default_passes()) + [EvilScale()]
+        with pytest.raises(PassVerificationError) as exc_info:
+            VerifyingPassManager(passes).run(graph)
+        exc = exc_info.value
+        assert exc.pass_name == "evil-scale"
+        assert "diverged" in str(exc) or "delta" in str(exc)
+
+    def test_structural_corruption_is_caught_and_attributed(self):
+        graph = convert_onnx_like(onnx_model())
+        with pytest.raises(PassVerificationError) as exc_info:
+            VerifyingPassManager([DanglingRewrite()]).run(graph)
+        exc = exc_info.value
+        assert exc.pass_name == "dangling-rewrite"
+        assert exc.diagnostics, "structural failure must carry diagnostics"
+
+    def test_unverified_manager_misses_the_evil_pass(self):
+        # Motivation check: without verification the corruption slips through.
+        graph = convert_onnx_like(onnx_model())
+        passes = list(default_passes()) + [EvilScale()]
+        PassManager(passes).run(graph)  # no exception — that is the point
+
+    def test_check_numerics_false_skips_the_spot_check(self):
+        graph = convert_onnx_like(onnx_model())
+        passes = list(default_passes()) + [EvilScale()]
+        # Structure and shapes survive EvilScale, so this must not raise.
+        VerifyingPassManager(passes, check_numerics=False).run(graph)
+
+    def test_error_message_names_pass_and_round(self):
+        graph = convert_onnx_like(onnx_model())
+        with pytest.raises(PassVerificationError, match=r"pass 'evil-scale' \(round \d+\)"):
+            VerifyingPassManager(list(default_passes()) + [EvilScale()]).run(graph)
+
+
+class TestRandomFeeds:
+    def test_feeds_match_descriptors(self):
+        graph = build_model("tiny_transformer")
+        feeds = random_feeds(graph)
+        for name in graph.inputs:
+            desc = graph.desc(name)
+            assert feeds[name].shape == desc.shape
+            assert feeds[name].dtype == desc.dtype.np_dtype
+
+    def test_integer_inputs_stay_in_gather_range(self):
+        graph = build_model("tiny_transformer")
+        feeds = random_feeds(graph, seed=5)
+        for name, arr in feeds.items():
+            if np.issubdtype(arr.dtype, np.integer):
+                assert arr.min() >= 0 and arr.max() <= 1
+
+    def test_deterministic_per_seed(self):
+        graph = build_model("lstm_classifier")
+        a, b = random_feeds(graph, seed=9), random_feeds(graph, seed=9)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])

@@ -84,6 +84,33 @@ class TestGraphStructure:
         with pytest.raises(GraphError, match="two nodes"):
             g.producer_map()
 
+    def test_double_producer_caught_by_validate(self):
+        g = Graph()
+        g.add_input("x", (1, 3, 8, 8))
+        g.add_node(Op.RELU, ["x"], ["y"])
+        g.add_node(Op.SIGMOID, ["x"], ["y"], name="dup")
+        g.mark_output("y")
+        with pytest.raises(GraphError, match="two nodes"):
+            g.validate()
+
+    def test_validate_aggregates_all_problems(self):
+        g = Graph()
+        g.add_input("x", (1, 3, 8, 8))
+        g.add_node(Op.RELU, ["ghost"], ["y"])
+        g.mark_output("y")
+        g.mark_output("nothing")
+        with pytest.raises(GraphError) as exc_info:
+            g.validate()
+        exc = exc_info.value
+        # One raise reports every problem, as structured diagnostics.
+        assert len(exc.diagnostics) >= 2
+        rules = {d.rule for d in exc.diagnostics}
+        assert {"dangling-input", "unproduced-output"} <= rules
+        assert "undefined" in str(exc) and "never produced" in str(exc)
+
+    def test_check_returns_empty_on_valid_graph(self):
+        assert tiny_graph().check() == []
+
     def test_cycle_detected(self):
         g = Graph()
         g.add_input("x", (1, 3, 8, 8))

@@ -8,13 +8,16 @@ global invariants on each:
 * memory plans are sound and arenas never exceed naive allocation,
 * serialization round-trips preserve semantics,
 * simulated GPU backends compute exactly what the CPU computes,
-* the graph optimizer never changes results.
+* the graph optimizer never changes results,
+* every generated graph lints clean and its memory plan survives the
+  independent sanitizer.
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import check_memory_plan, format_diagnostics, has_errors, lint_graph
 from repro.core import Session, SessionConfig, plan_memory
 from repro.core.reference import execute_reference
 from repro.converter import optimize
@@ -95,6 +98,22 @@ def test_memory_plans_always_sound(graph):
     plan.validate()
     slack = 64 * max(1, len(plan.offsets))
     assert plan.arena_bytes <= plan.total_tensor_bytes + slack
+
+
+@given(graph=random_cnn())
+@settings(max_examples=20, deadline=None)
+def test_generated_graphs_lint_clean(graph):
+    diags = lint_graph(graph)
+    assert not has_errors(diags), format_diagnostics(diags)
+
+
+@given(graph=random_cnn())
+@settings(max_examples=20, deadline=None)
+def test_sanitizer_blesses_every_generated_plan(graph):
+    report = check_memory_plan(graph, plan_memory(graph))
+    assert report.ok, format_diagnostics(report.diagnostics)
+    assert report.peak_bytes <= report.arena_bytes
+    assert report.peak_bytes == plan_memory(graph).peak_bytes
 
 
 @given(graph=random_cnn())
