@@ -10,7 +10,14 @@ from .schemes import (
     select_graph_schemes,
     winograd_plane_cost,
 )
-from .session import OpProfile, RunStats, Session, SessionConfig, choose_backend
+from .session import (
+    OpProfile,
+    RunStats,
+    Session,
+    SessionArtifacts,
+    SessionConfig,
+    choose_backend,
+)
 
 __all__ = [
     "BackendCostModel",
@@ -32,6 +39,7 @@ __all__ = [
     "OpProfile",
     "RunStats",
     "Session",
+    "SessionArtifacts",
     "SessionConfig",
     "choose_backend",
 ]

@@ -42,6 +42,37 @@ class TuneReport:
     model_decisions: Dict[str, SchemeDecision] = field(default_factory=dict)
     tuning_ms: float = 0.0
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form — lets ``cli warm``/the serving cache
+        persist measured overrides next to the model-predicted schemes."""
+        return {
+            "decisions": {n: d.to_json() for n, d in self.decisions.items()},
+            "measurements": {n: dict(t) for n, t in self.measurements.items()},
+            "model_decisions": {
+                n: d.to_json() for n, d in self.model_decisions.items()
+            },
+            "tuning_ms": self.tuning_ms,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "TuneReport":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            decisions={
+                str(n): SchemeDecision.from_json(d)
+                for n, d in dict(data.get("decisions", {})).items()
+            },
+            measurements={
+                str(n): {str(k): float(v) for k, v in dict(t).items()}
+                for n, t in dict(data.get("measurements", {})).items()
+            },
+            model_decisions={
+                str(n): SchemeDecision.from_json(d)
+                for n, d in dict(data.get("model_decisions", {})).items()
+            },
+            tuning_ms=float(data.get("tuning_ms", 0.0)),
+        )
+
     def agreement_with_model(self) -> float:
         """Fraction of convs where measurement confirms the cost model."""
         if not self.decisions:

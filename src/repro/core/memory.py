@@ -103,6 +103,45 @@ class MemoryPlan:
             return 1.0
         return self.peak_bytes / self.arena_bytes
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form (persisted by the serving cache)."""
+        return {
+            "offsets": dict(self.offsets),
+            "arena_bytes": self.arena_bytes,
+            "total_tensor_bytes": self.total_tensor_bytes,
+            "lifetimes": {
+                name: [t.nbytes, t.first, t.last]
+                for name, t in self.lifetimes.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "MemoryPlan":
+        """Inverse of :meth:`to_json`."""
+        lifetimes = {
+            str(name): TensorLifetime(str(name), int(nbytes), int(first), int(last))
+            for name, (nbytes, first, last) in dict(data["lifetimes"]).items()
+        }
+        return cls(
+            offsets={str(k): int(v) for k, v in dict(data["offsets"]).items()},
+            arena_bytes=int(data["arena_bytes"]),
+            total_tensor_bytes=int(data["total_tensor_bytes"]),
+            lifetimes=lifetimes,
+        )
+
+    def matches(self, lifetimes: Dict[str, "TensorLifetime"]) -> bool:
+        """Whether this plan covers exactly ``lifetimes`` (same tensors,
+        sizes and liveness intervals).
+
+        Used to validate a deserialized plan against the current graph
+        before trusting it: a stale cache entry (changed shapes, changed
+        execution order) is rejected in O(n) instead of corrupting
+        activations.
+        """
+        if set(self.offsets) != set(lifetimes) or set(self.lifetimes) != set(lifetimes):
+            return False
+        return all(self.lifetimes[name] == life for name, life in lifetimes.items())
+
     def validate(self) -> None:
         """Check the plan's soundness invariant.
 

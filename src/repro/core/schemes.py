@@ -76,6 +76,28 @@ class SchemeDecision:
     alternatives: Dict[str, float] = field(default_factory=dict)
     winograd_n_hw: Tuple[int, int] = (1, 1)
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form (persisted by the serving cache)."""
+        return {
+            "kind": self.kind,
+            "winograd_n": self.winograd_n,
+            "cost": self.cost,
+            "alternatives": dict(self.alternatives),
+            "winograd_n_hw": list(self.winograd_n_hw),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SchemeDecision":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            kind=str(data["kind"]),
+            winograd_n=int(data.get("winograd_n", 1)),
+            cost=float(data.get("cost", 0.0)),
+            alternatives={str(k): float(v)
+                          for k, v in dict(data.get("alternatives", {})).items()},
+            winograd_n_hw=tuple(data.get("winograd_n_hw", (1, 1))),
+        )
+
 
 def winograd_plane_cost(
     n: int,

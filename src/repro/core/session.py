@@ -32,10 +32,17 @@ from ..ir.graph import Graph, GraphError, Node
 from ..ir.ops import Op
 from ..sim.clock import VirtualClock
 from .cost import BackendCostModel, node_muls
-from .memory import Arena, MemoryPlan, plan_memory
+from .memory import Arena, MemoryPlan, compute_lifetimes, plan_memory
 from .schemes import SchemeConfig, SchemeDecision, select_graph_schemes
 
-__all__ = ["SessionConfig", "RunStats", "OpProfile", "Session", "choose_backend"]
+__all__ = [
+    "SessionConfig",
+    "SessionArtifacts",
+    "RunStats",
+    "OpProfile",
+    "Session",
+    "choose_backend",
+]
 
 
 @dataclass
@@ -94,6 +101,28 @@ class SessionConfig:
 
 
 @dataclass
+class SessionArtifacts:
+    """Reusable pre-inference results (paper Section 3.2's outputs).
+
+    Everything here is a pure function of (graph structure, shapes,
+    config) — not of weight values or run-time feeds — so it can be
+    computed once, persisted, and replayed to skip the scheme search,
+    Eq. 4 backend selection and memory planning on the next session over
+    the same graph.  Produced by :meth:`Session.export_artifacts`,
+    persisted/keyed by :class:`repro.serving.PreInferenceCache`, consumed
+    via ``Session(graph, config, artifacts=...)``.
+
+    A session never trusts artifacts blindly: scheme coverage and the
+    memory plan are cheaply re-validated against the live graph, and any
+    mismatch falls back to recomputation (stale-cache tolerance).
+    """
+
+    backend_kind: Optional[str] = None
+    schemes: Optional[Dict[str, SchemeDecision]] = None
+    memory_plan: Optional[MemoryPlan] = None
+
+
+@dataclass
 class RunStats:
     """Timing of one inference run."""
 
@@ -147,7 +176,12 @@ def choose_backend(
 class Session:
     """A prepared inference instance over one graph (see module docstring)."""
 
-    def __init__(self, graph: Graph, config: Optional[SessionConfig] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[SessionConfig] = None,
+        artifacts: Optional[SessionArtifacts] = None,
+    ) -> None:
         self.graph = graph
         self.config = config or SessionConfig()
         self.clock = VirtualClock()
@@ -157,6 +191,7 @@ class Session:
         self.schemes: Dict[str, SchemeDecision] = {}
         self.memory_plan: Optional[MemoryPlan] = None
         self._arena: Optional[Arena] = None
+        self._artifacts = artifacts
         self.prepare_wall_ms = 0.0
         self.last_run: Optional[RunStats] = None
         self._prepare()
@@ -192,8 +227,17 @@ class Session:
             n for n in self.graph.toposort() if n.op_type not in (Op.INPUT, Op.CONSTANT)
         ]
 
-        # (1) computation scheme selection (auto-tuned overrides win)
-        self.schemes = select_graph_schemes(self.graph, cfg.scheme_config)
+        artifacts = self._artifacts
+
+        # (1) computation scheme selection (auto-tuned overrides win).
+        # Cached decisions replace the Eq. 2/3 search when they cover every
+        # conv in the live graph; partial/stale coverage falls back.
+        cached_schemes = artifacts.schemes if artifacts is not None else None
+        conv_nodes = {n.name for n in self._order if n.op_type == Op.CONV2D}
+        if cached_schemes is not None and conv_nodes <= set(cached_schemes):
+            self.schemes = dict(cached_schemes)
+        else:
+            self.schemes = select_graph_schemes(self.graph, cfg.scheme_config)
         if cfg.scheme_overrides:
             self.schemes.update(cfg.scheme_overrides)
 
@@ -210,10 +254,16 @@ class Session:
             if cfg.auto_backend:
                 if cfg.device is None:
                     raise BackendError("auto_backend requires a DeviceSpec")
-                candidates = cfg.candidate_backends or ("sim_cpu",) + cfg.device.gpu_apis
-                primary_kind = choose_backend(
-                    self.graph, cfg.device, cfg.threads, candidates
-                )
+                if artifacts is not None and artifacts.backend_kind:
+                    # Cached Eq. 4 winner: skip re-costing every candidate.
+                    primary_kind = artifacts.backend_kind
+                else:
+                    candidates = (
+                        cfg.candidate_backends or ("sim_cpu",) + cfg.device.gpu_apis
+                    )
+                    primary_kind = choose_backend(
+                        self.graph, cfg.device, cfg.threads, candidates
+                    )
             self.primary = self._make_backend(primary_kind)
             if primary_kind in ("cpu", "sim_cpu"):
                 self.fallback = self.primary
@@ -236,7 +286,13 @@ class Session:
         if cfg.decouple:
             for node in self._order:
                 self._executions[node.name].prepare(self.graph)
-            self.memory_plan = plan_memory(self.graph, self._order)
+            cached_plan = artifacts.memory_plan if artifacts is not None else None
+            if cached_plan is not None and cached_plan.matches(
+                compute_lifetimes(self.graph, self._order)
+            ):
+                self.memory_plan = cached_plan
+            else:
+                self.memory_plan = plan_memory(self.graph, self._order)
             if cfg.paranoid:
                 from ..analysis.memcheck import check_memory_plan
 
@@ -256,30 +312,75 @@ class Session:
         plan, command buffers — is recomputed once here, keeping ``run``
         pure compute afterwards.
 
+        Resizing is **atomic** and **session-local**: shape inference runs
+        on a shallow clone of the graph, so a failing resize leaves this
+        session (and its current graph) fully usable at the old shapes,
+        and other sessions sharing the same :class:`~repro.ir.Graph`
+        object never observe the new descriptors.
+
         Raises:
-            GraphError: for unknown inputs or shapes the graph cannot take.
+            GraphError: for unknown inputs or shapes the graph cannot
+                take; the session is unchanged when this is raised.
         """
         from ..ir.shape_inference import infer_shapes
         from ..ir.tensor import TensorDesc
 
-        for name, shape in input_shapes.items():
+        for name in input_shapes:
             if name not in self.graph.inputs:
                 raise GraphError(f"{name!r} is not a graph input")
-        # Drop every derived descriptor, keep inputs (updated) + constants.
-        graph = self.graph
+        # Re-infer on a clone: drop every derived descriptor, keep inputs
+        # (updated) + constants.  The shared graph is never mutated.
+        old_graph = self.graph
+        new_graph = old_graph.shallow_clone()
         kept = {}
-        for name in graph.inputs:
-            old = graph.desc(name)
+        for name in new_graph.inputs:
+            old = old_graph.desc(name)
             shape = tuple(input_shapes.get(name, old.shape))
             kept[name] = TensorDesc(name, shape, old.dtype)
-        for name in graph.constants:
-            kept[name] = graph.tensor_descs[name]
-        graph.tensor_descs = kept
-        infer_shapes(graph)
-        self._placement.clear()
-        self._executions.clear()
+        for name in new_graph.constants:
+            kept[name] = old_graph.tensor_descs[name]
+        new_graph.tensor_descs = kept
+        infer_shapes(new_graph)  # raises before any session state changes
+
+        # Cached artifacts describe the old shapes; drop them for re-prepare.
+        snapshot = (
+            self._order, self._executions, self._placement, self.schemes,
+            self.memory_plan, self._arena, self._artifacts,
+            self.prepare_wall_ms, getattr(self, "primary", None),
+            getattr(self, "fallback", None),
+        )
+        self.graph = new_graph
+        self._placement = {}
+        self._executions = {}
+        self._artifacts = None
         self.clock.reset()
-        self._prepare()
+        try:
+            self._prepare()
+        except BaseException:
+            # Restore every piece of pre-inference state so the session
+            # keeps serving at the old shapes.
+            self.graph = old_graph
+            (self._order, self._executions, self._placement, self.schemes,
+             self.memory_plan, self._arena, self._artifacts,
+             self.prepare_wall_ms, self.primary, self.fallback) = snapshot
+            raise
+
+    def export_artifacts(self) -> SessionArtifacts:
+        """Snapshot this session's pre-inference results for reuse.
+
+        The returned :class:`SessionArtifacts` can be passed to a new
+        ``Session`` over the same graph/config to skip the scheme search,
+        backend selection and memory planning (the serving cache persists
+        it to disk; see :mod:`repro.serving.cache`).
+        """
+        return SessionArtifacts(
+            backend_kind=(
+                None if isinstance(self.config.backend, Backend)
+                else self.backend_kind
+            ),
+            schemes=dict(self.schemes),
+            memory_plan=self.memory_plan,
+        )
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -315,11 +416,32 @@ class Session:
         return total
 
     # -- inference --------------------------------------------------------------
+    def _check_feeds(self, feeds: Dict[str, np.ndarray]) -> None:
+        """Validate feeds against the input descriptors (shape *and* dtype)."""
+        graph = self.graph
+        for name in graph.inputs:
+            if name not in feeds:
+                raise GraphError(f"missing input {name!r}")
+            desc = graph.desc(name)
+            array = feeds[name]
+            if tuple(array.shape) != desc.shape:
+                raise GraphError(
+                    f"input {name!r}: expected shape {desc.shape}, got {array.shape}"
+                )
+            if array.dtype != desc.dtype.np_dtype:
+                raise GraphError(
+                    f"input {name!r}: expected dtype {desc.dtype.value}, "
+                    f"got {array.dtype}"
+                )
+
     def run(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Execute one inference.
 
         Args:
-            feeds: input name -> array, matching the graph input descriptors.
+            feeds: input name -> array, matching the graph input
+                descriptors exactly — shape and dtype (a float64 feed to a
+                float32 input raises rather than silently widening every
+                kernel downstream).
 
         Returns:
             output name -> array.
@@ -336,19 +458,20 @@ class Session:
         return self._execute(feeds, profile=None)
 
     def _execute_parallel(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Dataflow execution on a thread pool (independent branches overlap)."""
+        """Dataflow execution on a thread pool (independent branches overlap).
+
+        Concurrency contract: ``env`` (the tensor environment) is only read
+        and written while holding ``lock``; a first failure sets ``failed``
+        so in-flight and queued nodes drain without doing further work, and
+        *every* worker error is collected — multiple simultaneous failures
+        raise one aggregate ``GraphError`` instead of silently dropping all
+        but the first.
+        """
         import concurrent.futures
         import threading
 
         graph = self.graph
-        for name in graph.inputs:
-            if name not in feeds:
-                raise GraphError(f"missing input {name!r}")
-            if tuple(feeds[name].shape) != graph.desc(name).shape:
-                raise GraphError(
-                    f"input {name!r}: expected shape {graph.desc(name).shape}, "
-                    f"got {feeds[name].shape}"
-                )
+        self._check_feeds(feeds)
         start_wall = time.perf_counter()
         env: Dict[str, np.ndarray] = dict(feeds)
         lock = threading.Lock()
@@ -366,12 +489,16 @@ class Session:
 
         errors: List[BaseException] = []
         done = threading.Event()
+        failed = threading.Event()
         remaining = [len(self._order)]
 
         def run_node(node: Node, pool) -> None:
+            if failed.is_set():  # drain: a sibling already failed
+                return
             try:
                 execution = self._executions[node.name]
-                inputs = [env[name] for name in execution.runner.dynamic_inputs]
+                with lock:  # producers write env under this lock
+                    inputs = [env[name] for name in execution.runner.dynamic_inputs]
                 outputs = execution.run(inputs)
                 ready: List[Node] = []
                 with lock:
@@ -384,10 +511,14 @@ class Session:
                     remaining[0] -= 1
                     if remaining[0] == 0:
                         done.set()
+                if failed.is_set():
+                    return
                 for consumer in ready:
                     pool.submit(run_node, consumer, pool)
             except BaseException as exc:  # propagate to the caller
-                errors.append(exc)
+                with lock:
+                    errors.append(exc)
+                failed.set()
                 done.set()
 
         with concurrent.futures.ThreadPoolExecutor(max_workers=self.config.threads) as pool:
@@ -398,7 +529,14 @@ class Session:
                 pool.submit(run_node, node, pool)
             done.wait()
         if errors:
-            raise errors[0]
+            if len(errors) == 1:
+                raise errors[0]
+            aggregate = GraphError(
+                f"parallel execution failed with {len(errors)} worker errors: "
+                + "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+            )
+            aggregate.errors = list(errors)
+            raise aggregate from errors[0]
         self.last_run = RunStats(
             wall_ms=(time.perf_counter() - start_wall) * 1000.0,
             virtual_ms=0.0,
@@ -422,14 +560,7 @@ class Session:
         self, feeds: Dict[str, np.ndarray], profile: Optional[List["OpProfile"]]
     ) -> Dict[str, np.ndarray]:
         graph = self.graph
-        for name in graph.inputs:
-            if name not in feeds:
-                raise GraphError(f"missing input {name!r}")
-            desc = graph.desc(name)
-            if tuple(feeds[name].shape) != desc.shape:
-                raise GraphError(
-                    f"input {name!r}: expected shape {desc.shape}, got {feeds[name].shape}"
-                )
+        self._check_feeds(feeds)
 
         start_wall = time.perf_counter()
         start_virtual = self.clock.now_ms

@@ -4,7 +4,14 @@ from .tensor import DataType, Layout, TensorDesc, SIMD_WIDTH, buffer_nbytes, ele
 from .ops import Op, OpSchema, all_op_types, get_schema, register_op
 from .graph import Graph, GraphBuilder, GraphError, Node
 from .shape_inference import conv_output_hw, infer_node, infer_shapes, resolve_padding
-from .serialization import FormatError, dumps, load_model, loads, save_model
+from .serialization import (
+    FormatError,
+    dumps,
+    graph_signature,
+    load_model,
+    loads,
+    save_model,
+)
 
 __all__ = [
     "DataType",
@@ -28,6 +35,7 @@ __all__ = [
     "resolve_padding",
     "FormatError",
     "dumps",
+    "graph_signature",
     "load_model",
     "loads",
     "save_model",

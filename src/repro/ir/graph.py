@@ -126,6 +126,23 @@ class Graph:
         if name not in self.outputs:
             self.outputs.append(name)
 
+    def shallow_clone(self) -> "Graph":
+        """A structural alias with independent descriptor/IO containers.
+
+        Nodes and the constant table are *shared* (they are treated as
+        immutable by inference); ``inputs``/``outputs``/``tensor_descs``
+        are copied so shape inference on the clone — e.g. a
+        :meth:`~repro.core.Session.resize` — cannot corrupt descriptors
+        seen by other sessions holding the original graph.
+        """
+        clone = Graph(self.name)
+        clone.nodes = self.nodes
+        clone.constants = self.constants
+        clone.inputs = list(self.inputs)
+        clone.outputs = list(self.outputs)
+        clone.tensor_descs = dict(self.tensor_descs)
+        return clone
+
     # -- queries -------------------------------------------------------------
     def producer_map(self) -> Dict[str, Node]:
         """Map each tensor name to the node that produces it."""

@@ -17,6 +17,7 @@ weight-embedding single-file format with cheap partial parsing).
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import struct
@@ -27,7 +28,16 @@ import numpy as np
 from .graph import Graph, GraphError
 from .tensor import DataType, TensorDesc
 
-__all__ = ["save_model", "load_model", "dumps", "loads", "FormatError", "MAGIC", "VERSION"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "dumps",
+    "loads",
+    "graph_signature",
+    "FormatError",
+    "MAGIC",
+    "VERSION",
+]
 
 MAGIC = b"RMNN"
 VERSION = 1
@@ -173,6 +183,51 @@ def loads(data: Union[bytes, BinaryIO]) -> Graph:
         )
     graph.validate()
     return graph
+
+
+def graph_signature(graph: Graph) -> str:
+    """A stable content digest of a graph, for cache keying.
+
+    Covers the full structure (nodes, edges, attrs), every tensor
+    descriptor (shapes and dtypes — the inputs to scheme selection and
+    memory planning), and a cheap fingerprint of each constant: shape,
+    dtype and a sample of the payload (first/last 1 KiB) rather than the
+    full weight bytes, so signing a many-MiB model stays microseconds.
+    Pre-inference artifacts keyed by this signature (schemes, memory plan,
+    Winograd matrices) depend only on structure and shapes, so the sampled
+    weight fingerprint is strictly extra safety margin.
+    """
+    h = hashlib.sha256()
+    meta = {
+        "name": graph.name,
+        "inputs": graph.inputs,
+        "outputs": graph.outputs,
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "inputs": n.inputs,
+                "outputs": n.outputs,
+                "attrs": _jsonable_attrs(n.attrs),
+            }
+            for n in graph.nodes
+        ],
+        "descs": {
+            name: [list(d.shape), d.dtype.value]
+            for name, d in sorted(graph.tensor_descs.items())
+        },
+    }
+    h.update(json.dumps(meta, separators=(",", ":"), sort_keys=True).encode("utf-8"))
+    for name in sorted(graph.constants):
+        value = np.ascontiguousarray(graph.constants[name])
+        h.update(name.encode("utf-8"))
+        h.update(str((value.shape, value.dtype.str, value.nbytes)).encode("ascii"))
+        if value.size:
+            flat = value.reshape(-1)
+            sample = max(1, 1024 // value.itemsize)
+            h.update(flat[:sample].tobytes())
+            h.update(flat[-sample:].tobytes())
+    return h.hexdigest()
 
 
 def save_model(graph: Graph, path: str) -> None:

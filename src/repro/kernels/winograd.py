@@ -27,8 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +39,11 @@ __all__ = [
     "winograd_conv2d",
     "winograd_conv2d_rect",
     "winograd_conv2d_with_kernel",
+    "transform_cache_entries",
+    "preload_transforms",
+    "clear_transform_cache",
+    "transforms_to_json",
+    "transforms_from_json",
 ]
 
 
@@ -120,8 +124,87 @@ class WinogradTransforms:
     bt: np.ndarray
 
 
-@lru_cache(maxsize=None)
+#: Process-wide transform cache keyed by (n, k, f_num, f_den).  Solving for
+#: the matrices is exact rational Gaussian elimination — by far the most
+#: expensive part of conv pre-inference — so the cache is exposed for
+#: snapshotting (``transform_cache_entries``) and re-seeding
+#: (``preload_transforms``): a warm serving process restores the matrices
+#: from disk instead of re-deriving them (see :mod:`repro.serving.cache`).
+_TRANSFORM_CACHE: Dict[Tuple[int, int, int, int], WinogradTransforms] = {}
+
+
 def _generate_cached(n: int, k: int, f_num: int, f_den: int) -> WinogradTransforms:
+    key = (n, k, f_num, f_den)
+    cached = _TRANSFORM_CACHE.get(key)
+    if cached is None:
+        cached = _TRANSFORM_CACHE.setdefault(key, _generate(n, k, f_num, f_den))
+    return cached
+
+
+def transform_cache_entries() -> Dict[Tuple[int, int, int, int], WinogradTransforms]:
+    """A snapshot of every transform generated so far (for persistence)."""
+    return dict(_TRANSFORM_CACHE)
+
+
+def preload_transforms(
+    entries: Mapping[Tuple[int, int, int, int], WinogradTransforms],
+) -> int:
+    """Seed the cache with previously generated transforms.
+
+    Returns the number of entries actually inserted (existing keys win —
+    an in-process transform is never replaced by a deserialized one).
+    """
+    inserted = 0
+    for key, tr in entries.items():
+        n, k, _, _ = key
+        if tr.n != n or tr.k != k or tr.t != n + k - 1:
+            raise ValueError(f"transform entry {key} does not match its matrices")
+        if key not in _TRANSFORM_CACHE:
+            _TRANSFORM_CACHE[key] = tr
+            inserted += 1
+    return inserted
+
+
+def clear_transform_cache() -> None:
+    """Drop every cached transform (tests and cold-start benchmarks)."""
+    _TRANSFORM_CACHE.clear()
+
+
+def transforms_to_json(
+    entries: Mapping[Tuple[int, int, int, int], WinogradTransforms],
+) -> List[Dict[str, Any]]:
+    """JSON-serializable form of a transform-cache snapshot.
+
+    The matrices are tiny (``t <= 10``), so nested float lists keep the
+    cache file human-inspectable.
+    """
+    return [
+        {
+            "n": n, "k": k, "f_num": f_num, "f_den": f_den,
+            "at": tr.at.tolist(), "g": tr.g.tolist(), "bt": tr.bt.tolist(),
+        }
+        for (n, k, f_num, f_den), tr in sorted(entries.items())
+    ]
+
+
+def transforms_from_json(
+    data: Iterable[Mapping[str, Any]],
+) -> Dict[Tuple[int, int, int, int], WinogradTransforms]:
+    """Inverse of :func:`transforms_to_json`."""
+    entries: Dict[Tuple[int, int, int, int], WinogradTransforms] = {}
+    for item in data:
+        n, k = int(item["n"]), int(item["k"])
+        key = (n, k, int(item["f_num"]), int(item["f_den"]))
+        entries[key] = WinogradTransforms(
+            n=n, k=k, t=n + k - 1,
+            at=np.asarray(item["at"], dtype=np.float64),
+            g=np.asarray(item["g"], dtype=np.float64),
+            bt=np.asarray(item["bt"], dtype=np.float64),
+        )
+    return entries
+
+
+def _generate(n: int, k: int, f_num: int, f_den: int) -> WinogradTransforms:
     f = Fraction(f_num, f_den)
     t = n + k - 1
     points = interpolation_points(t - 1, f)

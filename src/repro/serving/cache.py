@@ -1,0 +1,244 @@
+"""Persistent pre-inference cache (the serving layer's cold-start killer).
+
+The paper's pre-inference (Section 3.2) — scheme search, Eq. 4 backend
+selection, Winograd transform generation, memory planning — dominates
+session creation, and *Boosting DNN Cold Inference on Edge Devices* shows
+exactly this cost dominating cold start in production engines.  All of it
+is a pure function of (graph structure, shapes, config), so this module
+persists the results to disk and replays them: a warm process creates
+sessions in a fraction of the cold ``prepare_wall_ms``.
+
+Cache key
+---------
+``sha256`` over:
+
+* the cache format version (bumping it invalidates every entry);
+* :func:`repro.ir.graph_signature` — graph structure, every tensor
+  descriptor (shapes + dtypes) and a weight fingerprint, so editing the
+  model invalidates its entries;
+* a config fingerprint — every ``SessionConfig`` field that influences
+  pre-inference decisions (backend, device, threads, decoupling,
+  Strassen, scheme tunables, auto-backend candidates);
+* optional extra input shapes (used by the batcher: one entry per
+  micro-batch bucket).
+
+Entries are single JSON files written atomically (tmp + rename), so
+concurrent warmers cannot corrupt each other; a corrupt or stale entry
+deserializes to a miss, never an error.  The cache directory defaults to
+``$REPRO_CACHE_DIR``, then ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..backends.base import Backend
+from ..core.memory import MemoryPlan
+from ..core.schemes import SchemeDecision
+from ..core.session import Session, SessionArtifacts, SessionConfig
+from ..ir.graph import Graph
+from ..ir.serialization import graph_signature
+from ..kernels import winograd as winograd_mod
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CACHE_VERSION",
+    "PreInferenceArtifacts",
+    "PreInferenceCache",
+    "default_cache_dir",
+]
+
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class PreInferenceArtifacts:
+    """Everything a warm process needs to skip pre-inference work.
+
+    Extends :class:`repro.core.SessionArtifacts` (the in-process form)
+    with the globally cached Winograd transform matrices and bookkeeping
+    for cache-hit statistics.
+    """
+
+    backend_kind: Optional[str] = None
+    schemes: Dict[str, SchemeDecision] = field(default_factory=dict)
+    memory_plan: Optional[MemoryPlan] = None
+    winograd: List[Dict[str, Any]] = field(default_factory=list)
+    cold_prepare_ms: float = 0.0
+
+    @classmethod
+    def from_session(cls, session: Session) -> "PreInferenceArtifacts":
+        """Snapshot a (typically cold) session's pre-inference results."""
+        base = session.export_artifacts()
+        return cls(
+            backend_kind=base.backend_kind,
+            schemes=base.schemes or {},
+            memory_plan=base.memory_plan,
+            winograd=winograd_mod.transforms_to_json(
+                winograd_mod.transform_cache_entries()
+            ),
+            cold_prepare_ms=session.prepare_wall_ms,
+        )
+
+    def apply(self) -> SessionArtifacts:
+        """Pre-seed process-global state and return per-session artifacts.
+
+        Loads the persisted Winograd matrices into the kernel-level
+        transform cache (so ``generate_transforms`` is a dict lookup, not
+        rational Gaussian elimination), then hands back the session-level
+        artifacts for ``Session(graph, config, artifacts=...)``.
+        """
+        if self.winograd:
+            winograd_mod.preload_transforms(
+                winograd_mod.transforms_from_json(self.winograd)
+            )
+        return SessionArtifacts(
+            backend_kind=self.backend_kind,
+            schemes=dict(self.schemes) or None,
+            memory_plan=self.memory_plan,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": CACHE_VERSION,
+            "backend_kind": self.backend_kind,
+            "schemes": {name: d.to_json() for name, d in self.schemes.items()},
+            "memory_plan": (
+                self.memory_plan.to_json() if self.memory_plan is not None else None
+            ),
+            "winograd": self.winograd,
+            "cold_prepare_ms": self.cold_prepare_ms,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "PreInferenceArtifacts":
+        if data.get("version") != CACHE_VERSION:
+            raise ValueError(f"cache entry version {data.get('version')!r} != {CACHE_VERSION}")
+        plan = data.get("memory_plan")
+        return cls(
+            backend_kind=data.get("backend_kind"),
+            schemes={
+                str(name): SchemeDecision.from_json(d)
+                for name, d in dict(data.get("schemes", {})).items()
+            },
+            memory_plan=MemoryPlan.from_json(plan) if plan is not None else None,
+            winograd=list(data.get("winograd", [])),
+            cold_prepare_ms=float(data.get("cold_prepare_ms", 0.0)),
+        )
+
+
+def _config_fingerprint(config: SessionConfig) -> Dict[str, Any]:
+    """The SessionConfig fields that influence pre-inference decisions."""
+    backend = config.backend
+    sc = config.scheme_config
+    return {
+        "backend": (
+            f"instance:{backend.forward_type}" if isinstance(backend, Backend)
+            else backend
+        ),
+        "device": config.device.name if config.device is not None else None,
+        "threads": config.threads,
+        "decouple": config.decouple,
+        "use_strassen": config.use_strassen,
+        "auto_backend": config.auto_backend,
+        "candidate_backends": list(config.candidate_backends),
+        "scheme_config": [
+            list(sc.winograd_candidates), sc.max_tile, sc.transform_weight,
+            sc.sliding_weight, sc.gemm_efficiency_u0,
+        ],
+        "overrides": (
+            sorted(config.scheme_overrides) if config.scheme_overrides else None
+        ),
+        "paranoid": config.paranoid,
+    }
+
+
+class PreInferenceCache:
+    """File-backed store of :class:`PreInferenceArtifacts`, one JSON per key."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keying ------------------------------------------------------------
+    def key(
+        self,
+        graph: Graph,
+        config: SessionConfig,
+        input_shapes: Optional[Dict[str, Sequence[int]]] = None,
+    ) -> str:
+        """Deterministic cache key for (graph, config[, resized shapes])."""
+        h = hashlib.sha256()
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "graph": graph_signature(graph),
+            "config": _config_fingerprint(config),
+            "input_shapes": (
+                {name: list(shape) for name, shape in sorted(input_shapes.items())}
+                if input_shapes else None
+            ),
+        }
+        h.update(json.dumps(payload, separators=(",", ":"), sort_keys=True).encode())
+        return h.hexdigest()
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- IO ----------------------------------------------------------------
+    def load(self, key: str) -> Optional[PreInferenceArtifacts]:
+        """The artifacts for ``key``, or ``None`` (missing/corrupt/stale)."""
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            return PreInferenceArtifacts.from_json(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, artifacts: PreInferenceArtifacts) -> Path:
+        """Atomically persist ``artifacts`` under ``key``; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(artifacts.to_json(), fh, separators=(",", ":"))
+            os.replace(tmp, path)  # atomic on POSIX: readers see old or new
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> List[str]:
+        """Keys currently present on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("*.json")) if self.root.is_dir() else []:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

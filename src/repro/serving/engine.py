@@ -1,0 +1,193 @@
+"""The concurrent serving engine: cache + pool + batcher in one front door.
+
+``Engine`` is what a model server embeds.  On construction it builds a
+pool of worker sessions over one graph, consulting the persistent
+pre-inference cache so that every process after the first creates its
+sessions warm (a fraction of the cold ``prepare_wall_ms``); at request
+time it either checks a session out of the pool (isolation: each worker
+owns its clock/arena/executions) or routes single-sample requests through
+the dynamic micro-batcher.
+
+Typical use::
+
+    engine = Engine(graph, EngineConfig(pool_size=4))
+    with engine:
+        out = engine.infer({"data": x})          # thread-safe
+    print(engine.stats.describe())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.session import Session, SessionConfig
+from ..ir.graph import Graph
+from .batching import MicroBatcher
+from .cache import PreInferenceArtifacts, PreInferenceCache
+from .pool import SessionPool
+
+__all__ = ["EngineConfig", "EngineStats", "Engine"]
+
+
+@dataclass
+class EngineConfig:
+    """Serving-layer options (wraps a per-worker :class:`SessionConfig`).
+
+    Attributes:
+        session: configuration applied to every pooled session.
+        pool_size: number of concurrently runnable worker sessions.
+        use_cache: consult/populate the persistent pre-inference cache.
+        cache_dir: cache location override (default: ``$REPRO_CACHE_DIR``
+            or ``~/.cache/repro``).
+        batching: coalesce requests into micro-batches instead of running
+            each on its own pooled session.
+        max_batch: micro-batch sample cap.
+        batch_timeout_ms: how long a lone request waits for company.
+    """
+
+    session: SessionConfig = field(default_factory=SessionConfig)
+    pool_size: int = 2
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    batching: bool = False
+    max_batch: int = 8
+    batch_timeout_ms: float = 2.0
+
+
+@dataclass
+class EngineStats:
+    """Cache and traffic counters for one engine."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cold_prepare_ms: List[float] = field(default_factory=list)
+    warm_prepare_ms: List[float] = field(default_factory=list)
+    requests: int = 0
+
+    def record_prepare(self, hit: bool, prepare_ms: float) -> None:
+        if hit:
+            self.cache_hits += 1
+            self.warm_prepare_ms.append(prepare_ms)
+        else:
+            self.cache_misses += 1
+            self.cold_prepare_ms.append(prepare_ms)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def describe(self) -> str:
+        cold = np.mean(self.cold_prepare_ms) if self.cold_prepare_ms else 0.0
+        warm = np.mean(self.warm_prepare_ms) if self.warm_prepare_ms else 0.0
+        parts = [
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.hit_rate * 100:.0f}% hit rate)",
+            f"prepare cold {cold:.1f} ms / warm {warm:.1f} ms",
+            f"{self.requests} requests served",
+        ]
+        return "; ".join(parts)
+
+
+class Engine:
+    """A thread-safe, cache-warmed, optionally batching inference server."""
+
+    def __init__(self, graph: Graph, config: Optional[EngineConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.stats = EngineStats()
+        self.cache = (
+            PreInferenceCache(self.config.cache_dir)
+            if self.config.use_cache else None
+        )
+        self._cache_key: Optional[str] = None
+        self._count_lock = threading.Lock()
+        self.pool = SessionPool(self._create_session, self.config.pool_size)
+        self.batcher = (
+            MicroBatcher(
+                self._create_session,
+                max_batch=self.config.max_batch,
+                timeout_ms=self.config.batch_timeout_ms,
+            )
+            if self.config.batching else None
+        )
+
+    # -- session creation (the cache-warmed factory) -------------------------
+    def _create_session(self) -> Session:
+        """Build one worker session, warm when the cache has the artifacts.
+
+        The first creation in a cold process is the only one paying full
+        pre-inference; it immediately persists its artifacts, so the
+        remaining pool workers — and every future process — come up warm.
+        """
+        artifacts = None
+        hit = False
+        if self.cache is not None:
+            if self._cache_key is None:
+                self._cache_key = self.cache.key(self.graph, self.config.session)
+            cached = self.cache.load(self._cache_key)
+            if cached is not None:
+                artifacts = cached.apply()
+                hit = True
+        start = time.perf_counter()
+        session = Session(self.graph, self.config.session, artifacts=artifacts)
+        prepare_ms = (time.perf_counter() - start) * 1000.0
+        self.stats.record_prepare(hit, prepare_ms)
+        if self.cache is not None and not hit:
+            self.cache.store(
+                self._cache_key, PreInferenceArtifacts.from_session(session)
+            )
+        return session
+
+    @property
+    def cache_key(self) -> Optional[str]:
+        """The engine's pre-inference cache key (``None`` when uncached)."""
+        return self._cache_key
+
+    # -- inference ----------------------------------------------------------
+    def infer(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run one inference; safe to call from many threads at once."""
+        with self._count_lock:
+            self.stats.requests += 1
+        if self.batcher is not None:
+            return self.batcher.infer(feeds)
+        with self.pool.acquire() as session:
+            return session.run(feeds)
+
+    def infer_many(
+        self,
+        requests: Sequence[Dict[str, np.ndarray]],
+        clients: int = 4,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Run ``requests`` from ``clients`` concurrent threads, in order.
+
+        Convenience driver for load tests and ``cli serve``: results are
+        returned in request order regardless of completion order.
+        """
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            return list(pool.map(self.infer, requests))
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop the batcher thread (pooled sessions need no teardown).
+
+        The batcher object — and its :class:`~repro.serving.BatchStats` —
+        stays accessible for post-run reporting; only new submissions are
+        rejected.
+        """
+        if self.batcher is not None:
+            self.batcher.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,68 @@
+"""Session pool: N independently prepared sessions over one shared graph.
+
+A single :class:`~repro.core.Session` is not safe for concurrent ``run``
+calls — each run mutates per-session state (the virtual ``clock``,
+``last_run``, and in ``arena_execution`` mode the one pre-allocated
+:class:`~repro.core.Arena`).  The pool therefore checks out a *whole
+session* per in-flight request: every worker owns its own executions,
+clock and arena, while the immutable inputs (the graph's nodes, the
+constant table) are shared, and warm pool construction shares one cached
+:class:`~repro.serving.PreInferenceArtifacts` across all workers.
+"""
+
+from __future__ import annotations
+
+import queue
+from contextlib import contextmanager
+from typing import Callable, Iterator, List
+
+from ..core.session import Session
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    """A fixed-size blocking pool of ready-to-run sessions."""
+
+    def __init__(self, factory: Callable[[], Session], size: int) -> None:
+        """Build ``size`` sessions eagerly via ``factory``.
+
+        Eager construction keeps the failure mode simple (a broken model
+        fails at pool creation, not mid-traffic) and lets the serving
+        cache amortize pre-inference across all workers: the first
+        ``factory()`` call is the only potentially cold one.
+        """
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self._sessions: List[Session] = [factory() for _ in range(size)]
+        self._free: "queue.Queue[Session]" = queue.Queue()
+        for session in self._sessions:
+            self._free.put(session)
+
+    @property
+    def size(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def sessions(self) -> List[Session]:
+        """All pooled sessions (introspection/stats; do not run directly)."""
+        return list(self._sessions)
+
+    @contextmanager
+    def acquire(self, timeout: float = None) -> Iterator[Session]:
+        """Check out a session; blocks when all workers are busy.
+
+        Raises:
+            queue.Empty: if ``timeout`` (seconds) elapses with no free
+                worker — backpressure instead of unbounded queueing.
+        """
+        session = self._free.get(timeout=timeout) if timeout is not None \
+            else self._free.get()
+        try:
+            yield session
+        finally:
+            self._free.put(session)
+
+    def idle(self) -> int:
+        """Approximate number of currently free sessions."""
+        return self._free.qsize()

@@ -11,6 +11,8 @@ Usage::
     python -m repro.tools.cli prune model.rmnn -o pruned.rmnn --sparsity 0.6
     python -m repro.tools.cli fp16 model.rmnn -o half.rmnn
     python -m repro.tools.cli benchmark model.rmnn --threads 4 --repeats 10
+    python -m repro.tools.cli warm model.rmnn [--cache-dir DIR]
+    python -m repro.tools.cli serve model.rmnn --requests 64 --clients 4 [--selftest]
     python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
     python -m repro.tools.cli devices
     python -m repro.tools.cli schemes model.rmnn
@@ -197,6 +199,93 @@ def cmd_benchmark(args) -> int:
     return 0
 
 
+def cmd_warm(args) -> int:
+    """Populate the pre-inference cache for a model (cold once, warm after)."""
+    import time as _time
+
+    from ..core import Session, SessionConfig
+    from ..kernels.winograd import clear_transform_cache
+    from ..serving import Engine, EngineConfig, PreInferenceCache
+
+    graph = _load(args.model)
+    config = EngineConfig(
+        session=SessionConfig(threads=args.threads),
+        pool_size=1,
+        cache_dir=args.cache_dir,
+    )
+    engine = Engine(graph, config)
+    cache = engine.cache
+    print(f"cache dir: {cache.root}")
+    print(f"cache key: {engine.cache_key}")
+    if engine.stats.cache_misses:
+        cold = engine.stats.cold_prepare_ms[0]
+        print(f"cold prepare: {cold:.1f} ms (entry written)")
+        # Verify the warm path immediately, from a cleared transform cache.
+        clear_transform_cache()
+        artifacts = cache.load(engine.cache_key).apply()
+        start = _time.perf_counter()
+        Session(graph, config.session, artifacts=artifacts)
+        warm = (_time.perf_counter() - start) * 1000.0
+        print(f"warm prepare: {warm:.1f} ms ({cold / max(warm, 1e-9):.1f}x faster)")
+    else:
+        warm = engine.stats.warm_prepare_ms[0]
+        print(f"already warm: prepare {warm:.1f} ms (cache hit)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Drive concurrent traffic through a pooled engine and report stats."""
+    import time as _time
+
+    from ..core import Session, SessionConfig
+    from ..serving import Engine, EngineConfig
+
+    graph = _load(args.model)
+    config = EngineConfig(
+        session=SessionConfig(threads=args.threads),
+        pool_size=args.pool,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        batching=args.batch > 0,
+        max_batch=max(args.batch, 1),
+        batch_timeout_ms=args.batch_timeout_ms,
+    )
+    requests = [_random_feeds(graph, seed) for seed in range(args.requests)]
+    with Engine(graph, config) as engine:
+        start = _time.perf_counter()
+        outputs = engine.infer_many(requests, clients=args.clients)
+        elapsed = _time.perf_counter() - start
+        throughput = len(requests) / elapsed if elapsed else float("inf")
+        print(f"pool:       {engine.pool.size} sessions, {args.clients} clients")
+        print(f"cache:      {engine.stats.describe()}")
+        if engine.batcher is not None:
+            bs = engine.batcher.stats
+            print(f"batching:   {bs.requests} requests in {bs.batches} batches "
+                  f"(mean {bs.mean_batch_size():.1f}/batch, "
+                  f"max {bs.max_batch_seen}, {bs.resizes} resizes)")
+        print(f"throughput: {len(requests)} requests in {elapsed * 1000:.0f} ms "
+              f"= {throughput:.1f} req/s")
+
+        if args.selftest:
+            gold = Session(graph, SessionConfig(threads=args.threads))
+            for feeds, got in zip(requests, outputs):
+                want = gold.run(feeds)
+                for name in want:
+                    ok = (
+                        np.array_equal(want[name], got[name])
+                        if args.batch <= 0
+                        else np.allclose(want[name], got[name], atol=1e-5)
+                    )
+                    if not ok:
+                        print(f"selftest FAILED: output {name!r} diverges "
+                              f"from serial execution", file=sys.stderr)
+                        return 1
+            mode = "allclose (batched)" if args.batch > 0 else "bit-identical"
+            print(f"selftest:   ok — {len(requests)} concurrent results "
+                  f"{mode} vs serial")
+    return 0
+
+
 def cmd_estimate(args) -> int:
     from ..baselines import ENGINES
     from ..devices import DEVICES, get_device
@@ -329,6 +418,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", type=int, default=0, metavar="N",
                    help="also print the N slowest operators")
     p.set_defaults(fn=cmd_benchmark)
+
+    p = sub.add_parser("warm", help="populate the pre-inference cache")
+    p.add_argument("model")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--cache-dir", default=None,
+                   help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.set_defaults(fn=cmd_warm)
+
+    p = sub.add_parser("serve", help="drive concurrent traffic through an engine")
+    p.add_argument("model")
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--pool", type=int, default=2)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--batch", type=int, default=0, metavar="N",
+                   help="coalesce requests into micro-batches of up to N (0 = off)")
+    p.add_argument("--batch-timeout-ms", type=float, default=2.0)
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the pre-inference cache entirely")
+    p.add_argument("--selftest", action="store_true",
+                   help="verify concurrent results against serial execution")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("estimate", help="model latency on a phone (simulator)")
     p.add_argument("model")

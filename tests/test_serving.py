@@ -1,0 +1,352 @@
+"""Tests for the serving layer: cache, pool, batching, engine, CLI."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import Session, SessionConfig
+from repro.ir import GraphBuilder, save_model
+from repro.kernels.winograd import (
+    clear_transform_cache,
+    transform_cache_entries,
+)
+from repro.serving import (
+    CACHE_ENV_VAR,
+    Engine,
+    EngineConfig,
+    MicroBatcher,
+    PreInferenceArtifacts,
+    PreInferenceCache,
+    SessionPool,
+    default_cache_dir,
+)
+from repro.tools.cli import main
+
+RNG = np.random.default_rng(11)
+
+
+def serving_net(hw=32):
+    """Small conv net with a 3x3 conv (so Winograd artifacts exist) that
+    resizes cleanly to any spatial/batch size (GAP before the fc)."""
+    b = GraphBuilder("servenet", seed=3)
+    x = b.input("data", (1, 3, hw, hw))
+    x = b.conv(x, oc=16, kernel=3, pad_mode="same", activation="relu")
+    x = b.conv(x, oc=16, kernel=3, pad_mode="same", activation="relu")
+    x = b.max_pool(x, 2)
+    x = b.conv(x, oc=32, kernel=1)
+    x = b.fc(b.global_avg_pool(x), units=10)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+def feed(hw=32, batch=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return {"data": rng.standard_normal((batch, 3, hw, hw)).astype(np.float32)}
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestPreInferenceCache:
+    def test_artifacts_roundtrip_through_json(self):
+        session = Session(serving_net())
+        artifacts = PreInferenceArtifacts.from_session(session)
+        assert artifacts.schemes  # the 3x3 convs got scheme decisions
+        wire = json.loads(json.dumps(artifacts.to_json()))
+        restored = PreInferenceArtifacts.from_json(wire)
+        warm = Session(serving_net(), artifacts=restored.apply())
+        x = feed()
+        np.testing.assert_array_equal(
+            list(warm.run(x).values())[0], list(session.run(x).values())[0]
+        )
+
+    def test_key_sensitive_to_graph_and_config(self):
+        cache = PreInferenceCache("/nonexistent")
+        g = serving_net()
+        base = cache.key(g, SessionConfig())
+        assert base == cache.key(serving_net(), SessionConfig())  # deterministic
+        assert base != cache.key(serving_net(16), SessionConfig())
+        assert base != cache.key(g, SessionConfig(threads=8))
+        assert base != cache.key(g, SessionConfig(use_strassen=False))
+        assert base != cache.key(g, SessionConfig(), {"data": (4, 3, 32, 32)})
+
+    def test_store_load_roundtrip(self, cache_dir):
+        cache = PreInferenceCache(cache_dir)
+        session = Session(serving_net())
+        key = cache.key(session.graph, SessionConfig())
+        assert cache.load(key) is None
+        cache.store(key, PreInferenceArtifacts.from_session(session))
+        assert cache.entries() == [key]
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert set(loaded.schemes) == set(session.schemes or {})
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        cache = PreInferenceCache(cache_dir)
+        key = cache.key(serving_net(), SessionConfig())
+        cache.root.mkdir(parents=True)
+        cache.path(key).write_text("{not json", encoding="utf-8")
+        assert cache.load(key) is None
+        # the engine shrugs it off too: miss, recompute, overwrite
+        engine = Engine(serving_net(), EngineConfig(
+            pool_size=1, cache_dir=cache_dir))
+        assert engine.stats.cache_misses == 1
+        assert cache.load(key) is not None
+
+    def test_version_mismatch_is_a_miss(self, cache_dir):
+        cache = PreInferenceCache(cache_dir)
+        session = Session(serving_net())
+        key = cache.key(session.graph, SessionConfig())
+        cache.store(key, PreInferenceArtifacts.from_session(session))
+        data = json.loads(cache.path(key).read_text())
+        data["version"] = 999
+        cache.path(key).write_text(json.dumps(data))
+        assert cache.load(key) is None
+
+    def test_env_var_sets_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        assert PreInferenceCache().root == tmp_path / "envcache"
+
+    def test_stale_artifacts_fall_back_to_recompute(self, cache_dir):
+        """Artifacts for the wrong graph under the right key: the session
+        must detect the mismatch and silently recompute, not crash."""
+        cache = PreInferenceCache(cache_dir)
+        other = Session(serving_net(16))  # different shapes => alien plan
+        g = serving_net(32)
+        key = cache.key(g, SessionConfig())
+        cache.store(key, PreInferenceArtifacts.from_session(other))
+        engine = Engine(g, EngineConfig(pool_size=1, cache_dir=cache_dir))
+        assert engine.stats.cache_hits == 1  # it *was* applied...
+        out = engine.infer(feed())  # ...but inference is still correct
+        gold = list(Session(serving_net(32)).run(feed()).values())[0]
+        np.testing.assert_array_equal(list(out.values())[0], gold)
+
+
+class TestEngineWarmup:
+    def test_cold_then_warm_process(self, cache_dir):
+        g = serving_net()
+        cold = Engine(g, EngineConfig(pool_size=2, cache_dir=cache_dir))
+        # first worker cold, second already warm from the fresh entry
+        assert cold.stats.cache_misses == 1
+        assert cold.stats.cache_hits == 1
+
+        # simulate a new process: blow away the in-memory transform cache
+        clear_transform_cache()
+        warm = Engine(g, EngineConfig(pool_size=2, cache_dir=cache_dir))
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.cache_hits == 2
+        assert transform_cache_entries()  # preloaded from disk
+        x = feed()
+        np.testing.assert_array_equal(
+            list(warm.infer(x).values())[0], list(cold.infer(x).values())[0]
+        )
+
+    def test_warm_prepare_is_faster(self, cache_dir):
+        g = serving_net(64)
+        clear_transform_cache()  # make the cold engine genuinely cold
+        cold = Engine(g, EngineConfig(pool_size=1, cache_dir=cache_dir))
+        clear_transform_cache()
+        warm = Engine(g, EngineConfig(pool_size=1, cache_dir=cache_dir))
+        assert warm.stats.warm_prepare_ms[0] < cold.stats.cold_prepare_ms[0]
+
+    def test_cache_disabled(self, cache_dir):
+        engine = Engine(serving_net(), EngineConfig(
+            pool_size=2, use_cache=False, cache_dir=cache_dir))
+        assert engine.cache is None and engine.cache_key is None
+        # uncached prepares all count as cold
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 2
+        assert list(engine.infer(feed()).values())[0].shape == (1, 10)
+
+
+class TestSessionPool:
+    def test_checkout_and_return(self, cache_dir):
+        pool = SessionPool(lambda: Session(serving_net()), size=2)
+        assert pool.size == 2 and pool.idle() == 2
+        with pool.acquire() as s:
+            assert isinstance(s, Session)
+            assert pool.idle() == 1
+        assert pool.idle() == 2
+
+    def test_acquire_timeout_backpressure(self):
+        import queue
+
+        pool = SessionPool(lambda: Session(serving_net(16)), size=1)
+        with pool.acquire():
+            with pytest.raises(queue.Empty):
+                with pool.acquire(timeout=0.05):
+                    pass
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="pool size"):
+            SessionPool(lambda: Session(serving_net(16)), size=0)
+
+
+class TestConcurrentStress:
+    def test_pooled_engine_bit_identical_to_serial(self, cache_dir):
+        """ISSUE acceptance: N threads hammering one pooled engine must
+        produce results bit-identical to a serial session."""
+        g = serving_net()
+        requests = [feed(seed=i) for i in range(24)]
+        serial = Session(g)
+        gold = [list(serial.run(x).values())[0] for x in requests]
+
+        engine = Engine(g, EngineConfig(pool_size=3, cache_dir=cache_dir))
+        results = engine.infer_many(requests, clients=6)
+        assert engine.stats.requests == len(requests)
+        for got, want in zip(results, gold):
+            np.testing.assert_array_equal(list(got.values())[0], want)
+
+    def test_raw_threads_against_engine(self, cache_dir):
+        g = serving_net()
+        x = feed(seed=42)
+        gold = list(Session(g).run(x).values())[0]
+        engine = Engine(g, EngineConfig(pool_size=2, cache_dir=cache_dir))
+        outs = [None] * 8
+
+        def client(i):
+            outs[i] = list(engine.infer(x).values())[0]
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for got in outs:
+            np.testing.assert_array_equal(got, gold)
+
+
+class TestMicroBatching:
+    def test_coalesces_into_one_batch(self):
+        g = serving_net()
+        with MicroBatcher(lambda: Session(g), max_batch=4,
+                          timeout_ms=200.0) as batcher:
+            futures = [batcher.submit(feed(seed=i)) for i in range(4)]
+            results = [f.result(timeout=30) for f in futures]
+        assert batcher.stats.requests == 4
+        assert batcher.stats.batches == 1  # all 4 fit before the deadline
+        assert batcher.stats.batched_requests == 4
+        assert batcher.stats.max_batch_seen == 4
+        serial = Session(serving_net())
+        for i, out in enumerate(results):
+            got = list(out.values())[0]
+            assert got.shape == (1, 10)
+            want = list(serial.run(feed(seed=i)).values())[0]
+            np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_mixed_shapes_bucket_separately(self):
+        g = serving_net()
+        with MicroBatcher(lambda: Session(g), max_batch=4,
+                          timeout_ms=50.0) as batcher:
+            small = [batcher.submit(feed(hw=32, seed=i)) for i in range(2)]
+            large = [batcher.submit(feed(hw=48, seed=i)) for i in range(2)]
+            outs = [f.result(timeout=30) for f in small + large]
+        for out in outs:
+            assert list(out.values())[0].shape == (1, 10)
+        assert batcher.stats.requests == 4
+        assert batcher.stats.batches >= 2  # shapes never share a batch
+
+    def test_multi_sample_requests_and_split(self):
+        g = serving_net()
+        with MicroBatcher(lambda: Session(g), max_batch=8,
+                          timeout_ms=100.0) as batcher:
+            f2 = batcher.submit(feed(batch=2, seed=1))
+            f3 = batcher.submit(feed(batch=3, seed=2))
+            out2, out3 = f2.result(timeout=30), f3.result(timeout=30)
+        assert list(out2.values())[0].shape == (2, 10)
+        assert list(out3.values())[0].shape == (3, 10)
+
+    def test_batch_failure_hits_only_that_batch(self):
+        g = serving_net()
+        with MicroBatcher(lambda: Session(g), max_batch=2,
+                          timeout_ms=20.0) as batcher:
+            from repro.ir import GraphError
+
+            with pytest.raises(GraphError):
+                batcher.infer({"data": np.zeros((1, 3, 32, 32), np.float64)})
+            # the batcher survives: the next well-formed request succeeds
+            out = batcher.infer(feed())
+            assert list(out.values())[0].shape == (1, 10)
+
+    def test_rejects_mismatched_leading_dims(self):
+        from repro.ir import GraphError
+
+        b = GraphBuilder("two_in", seed=0)
+        x = b.input("a", (2, 4))
+        y = b.input("b", (3, 4))
+        b.output(b.fc(x, units=2), b.fc(y, units=2))
+        g = b.finish()
+        with MicroBatcher(lambda: Session(g), max_batch=2) as batcher:
+            with pytest.raises(GraphError, match="leading batch dimension"):
+                batcher.submit({
+                    "a": np.zeros((2, 4), np.float32),
+                    "b": np.zeros((3, 4), np.float32),
+                })
+
+    def test_closed_batcher_rejects_submissions(self):
+        batcher = MicroBatcher(lambda: Session(serving_net(16)), max_batch=2)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(feed(hw=16))
+
+    def test_engine_batched_matches_serial(self, cache_dir):
+        g = serving_net()
+        requests = [feed(seed=i) for i in range(12)]
+        serial = Session(g)
+        gold = [list(serial.run(x).values())[0] for x in requests]
+        with Engine(g, EngineConfig(
+            pool_size=1, cache_dir=cache_dir, batching=True,
+            max_batch=4, batch_timeout_ms=20.0,
+        )) as engine:
+            results = engine.infer_many(requests, clients=6)
+        stats = engine.batcher.stats
+        assert stats.requests == 12
+        assert stats.batches <= 12
+        for got, want in zip(results, gold):
+            np.testing.assert_allclose(
+                list(got.values())[0], want, atol=1e-5)
+
+
+class TestServingCli:
+    @pytest.fixture()
+    def model_path(self, tmp_path):
+        path = str(tmp_path / "serve.rmnn")
+        save_model(serving_net(), path)
+        return path
+
+    def test_warm_cold_then_hit(self, model_path, cache_dir, capsys):
+        assert main(["warm", model_path, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cold prepare" in out and "warm prepare" in out
+        assert main(["warm", model_path, "--cache-dir", cache_dir]) == 0
+        assert "already warm" in capsys.readouterr().out
+
+    def test_serve_selftest(self, model_path, cache_dir, capsys):
+        assert main([
+            "serve", model_path, "--requests", "8", "--clients", "3",
+            "--pool", "2", "--cache-dir", cache_dir, "--selftest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "req/s" in out
+
+    def test_serve_selftest_batched(self, model_path, cache_dir, capsys):
+        assert main([
+            "serve", model_path, "--requests", "8", "--clients", "4",
+            "--batch", "4", "--cache-dir", cache_dir, "--selftest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "allclose (batched)" in out
+
+    def test_serve_honors_env_cache_dir(self, model_path, tmp_path,
+                                        monkeypatch, capsys):
+        cache = tmp_path / "envcache"
+        monkeypatch.setenv(CACHE_ENV_VAR, str(cache))
+        assert main(["warm", model_path]) == 0
+        capsys.readouterr()
+        assert cache.is_dir() and list(cache.glob("*.json"))
