@@ -49,6 +49,9 @@ def test_ablation_autotune_vs_cost_model(net, report_table, benchmark):
             ["auto-tuned session (ms)", round(t_tuned, 1)],
             ["speedup", f"{t_base / t_tuned:.2f}x"],
         ],
+        config={"model": "squeezenet_v1.1", "input_size": SIZE, "tune_repeats": 2},
+        tuned_ms=t_tuned,
+        base_ms=t_base,
     )
     # tuning cost stays in the interactive regime (vs TVM's hours, Table 5)
     assert report.tuning_ms < 60_000

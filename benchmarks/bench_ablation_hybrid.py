@@ -55,6 +55,8 @@ def test_ablation_hybrid_correctness_and_placement(net, feed, report_table, benc
             ["copied bytes per run (KiB)", round(hybrid.last_run.copy_bytes / 1024)],
             ["max |hybrid - cpu| output delta", float(np.abs(ref - got).max())],
         ],
+        config={"model": "mobilenet_v1", "input_size": SIZE,
+                "device": "MI6", "backend": "opengl"},
     )
     assert placement.get("opengl", 0) > 0 and placement.get("sim_cpu", 0) > 0
     np.testing.assert_allclose(ref, got, atol=1e-4)

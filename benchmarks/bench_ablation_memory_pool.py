@@ -40,6 +40,7 @@ def test_ablation_memory_reuse(model, report_table, benchmark):
         "Ablation — activation memory: naive vs planned arena (MiB)",
         ["model", "naive total", "arena", "reuse"],
         rows,
+        config={"models": [name for name, _ in MODELS]},
     )
     # every architecture reuses memory; chains reuse more than DAG-heavy nets
     assert all(r > 1.8 for r in ratios.values())

@@ -65,6 +65,9 @@ def test_ablation_tile_search(report_table, benchmark):
         ["conv (k,ic,oc,size)", "scheme", "model n", "best n",
          "best ms", "chosen ms", "regret"],
         rows,
+        config={"shapes": [str(s) for s in SHAPES],
+                "candidates": list(CFG.winograd_candidates)},
+        max_regret=max(regrets),
     )
     # the model's pick costs at most ~50% over the measured optimum (wall
     # clock jitters on a shared host), with zero measurement cost

@@ -36,6 +36,7 @@ def test_ablation_f_choice(report_table, benchmark):
         "Ablation — Winograd generator numerical error (relative, f x n)",
         ["tile n"] + [f"f={f}" for f in fs],
         [[n] + [f"{errors[(n, f)]:.2e}" for f in fs] for n in ns],
+        config={"fs": [str(f) for f in fs], "tiles": ns},
     )
     for n in ns:
         # the paper's f=1/2 beats (or matches) integer points f=1

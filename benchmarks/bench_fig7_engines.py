@@ -65,6 +65,7 @@ def test_fig7_cpu(network, threads, model, report_table, benchmark):
         f"Figure 7 — {network}, CPU {threads} threads (ms)",
         ["device"] + engines,
         rows,
+        config={"network": network, "threads": threads, "devices": DEVICES},
     )
     # Observation 1: MNN best (or within 5%) everywhere it competes.
     for device in DEVICES:

@@ -46,6 +46,7 @@ def test_fig8_bottleneck(model, report_table, benchmark):
         "Figure 8 — Inception-v3 on Kirin 970 (ms)",
         ["engine", "sim ms", "paper ms"],
         [[name, round(sims[name]), PAPER[name]] for name in PAPER],
+        config={"network": "inception_v3", "device": "P20"},
     )
     # the cliff: NCNN an order of magnitude behind MNN (paper: 15.1x)
     assert sims["NCNN-CPU"] > 8 * sims["MNN-CPU"]

@@ -43,6 +43,7 @@ def test_fig9_mnn_vs_tvm(model, report_table, benchmark):
         ["network", "MNN (sim)", "TVM (sim)", "MNN (paper)", "TVM (paper)",
          "ratio (sim)", "ratio (paper)"],
         rows,
+        config={"device": "P20Pro", "threads": 4, "networks": list(PAPER)},
     )
     for network, (mnn, tvm) in sims.items():
         assert mnn < tvm, network                   # MNN ahead everywhere

@@ -73,6 +73,8 @@ def test_cold_vs_warm_prepare(net, cache_dir, report_table, benchmark):
             ["winograd entries replayed", len(entry.winograd)],
             ["cached schemes", len(entry.schemes)],
         ],
+        config={"model": "squeezenet_v1.1", "input_size": SIZE},
+        metrics=warm.metrics.snapshot(),
     )
     assert warm_ms < cold_ms  # the headline acceptance criterion
     x = _feeds(1)[0]
@@ -93,9 +95,10 @@ def test_concurrent_throughput(net, cache_dir, report_table, benchmark):
     results = pooled.infer_many(requests, clients=CLIENTS)
     for got, want in zip(results, gold):  # concurrency must not change bits
         np.testing.assert_array_equal(list(got.values())[0], want)
-    t_pooled = time_callable(
+    pooled_timing = time_callable(
         lambda: pooled.infer_many(requests, clients=CLIENTS), repeats=3
-    ).median_ms
+    )
+    t_pooled = pooled_timing.median_ms
     benchmark(lambda: pooled.infer_many(requests, clients=CLIENTS))
 
     with Engine(net, EngineConfig(
@@ -119,6 +122,10 @@ def test_concurrent_throughput(net, cache_dir, report_table, benchmark):
             [f"micro-batch <=8 (mean {stats.mean_batch_size():.1f})",
              round(t_batched), round(rps(t_batched))],
         ],
+        config={"model": "squeezenet_v1.1", "input_size": SIZE,
+                "requests": REQUESTS, "clients": CLIENTS},
+        timing=pooled_timing,
+        metrics=pooled.metrics.snapshot(),
     )
     # batching must actually coalesce on this traffic pattern
     assert stats.batches < stats.requests

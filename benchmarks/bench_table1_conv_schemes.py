@@ -92,6 +92,8 @@ def test_table1_per_setting(case, report_table, benchmark):
             [name, modeled[name] / 1e6, measured[name], paper[i]]
             for i, name in enumerate(("Sliding", "WinoMin", "WinoMax", "Ours"))
         ],
+        config={"case": case, "selected": decision.kind,
+                "winograd_n": decision.winograd_n},
     )
     # Shape claim 1: "Ours" is the modeled best, by construction and in fact.
     assert modeled["Ours"] <= min(modeled.values()) * 1.0001

@@ -67,6 +67,8 @@ def test_table2_decoupling(net, report_table, benchmark):
         ["setting", "sim w/o", "sim w/", "sim drop",
          "paper w/o", "paper w/", "paper drop"],
         rows,
+        config={"model": "mobilenet_v1", "input_size": SIZE,
+                "settings": [f"{d}/{b}" for d, b in PAPER]},
     )
 
     session = Session(

@@ -64,6 +64,7 @@ def test_table3_strassen(size, report_table, benchmark):
             ["paper ms", paper_wo, paper_w,
              f"{(1 - paper_w / paper_wo) * 100:.1f}%"],
         ],
+        config={"size": size, "tile": TILE},
     )
 
     if min(n, k, m) >= 512:

@@ -34,6 +34,7 @@ def test_table4_mnn_backend_coverage(report_table, benchmark):
         "Table 4 — MNN operator counts per backend (repro registry vs paper)",
         ["backend", "#ops (repro)", "#ops (paper)", "share (repro)", "share (paper)"],
         rows,
+        config={"backends": list(PAPER_MNN)},
     )
     assert counts["cpu"] > counts["metal"] > counts["vulkan"]
     assert counts["vulkan"] >= counts["opencl"] > counts["opengl"]

@@ -30,6 +30,7 @@ def test_table5_tuning_cost(model, report_table, benchmark):
         ["#Trial", "auto-tuning (sim)", "compiling (sim)",
          "auto-tuning (paper)", "compiling (paper)"],
         rows,
+        config={"model": "resnet18", "trials": list(PAPER)},
     )
 
 

@@ -51,6 +51,8 @@ def test_table6_stable_ait_across_devices(model, report_table, benchmark):
         "Table 6 — top-5 production devices, average inference time (ms)",
         ["device", "CPU", "GPU", "chosen backend", "sim AIT", "paper AIT"],
         rows,
+        config={"model": "mobilenet_v1", "input_size": 320,
+                "devices": list(PAPER_AIT)},
     )
     # stability claim: across very different SoCs, spread stays bounded
     spread = max(aits.values()) / min(aits.values())

@@ -41,6 +41,8 @@ def test_table8_pixel_inception(model, report_table, benchmark):
         ["phone", "#threads", "TF-Lite (sim)", "MNN (sim)",
          "TF-Lite (paper)", "MNN (paper)"],
         rows,
+        config={"network": "inception_v3",
+                "settings": [f"{p}x{t}" for p, t in PAPER]},
     )
     for key, (tfl, mnn) in sims.items():
         assert mnn < tfl, key                      # MNN consistently faster

@@ -3,8 +3,18 @@
 Every bench records its paper-style result table through ``report_table``;
 the tables are printed in the terminal summary (visible even under pytest's
 output capture) so `pytest benchmarks/ --benchmark-only | tee` preserves
-them.
+them.  Each recorded table is also appended as a machine-readable record to
+``BENCH_<name>.json`` (see :func:`repro.bench.write_bench_result`), so
+repeated benchmark runs accumulate a performance trajectory.
+
+Benchmark graphs are sanity-checked twice before any timing: once by the
+static linter (``_lint_or_fail``) and once by a traced session
+(``_trace_or_fail``) that proves the observability instrumentation still
+covers pre-inference and every executed operator — tracing that silently
+stopped recording would otherwise rot unnoticed.
 """
+
+import os
 
 import pytest
 
@@ -13,6 +23,7 @@ from repro.models import build_model
 
 _TABLES = []
 _MODEL_CACHE = {}
+_TRACED = set()
 
 
 def _lint_or_fail(name, graph):
@@ -25,12 +36,73 @@ def _lint_or_fail(name, graph):
         )
 
 
-@pytest.fixture
-def report_table():
-    """Record a (title, headers, rows) table for the terminal summary."""
+def _trace_or_fail(name, graph):
+    """Run one traced session per benchmark graph; fail if coverage slipped.
 
-    def _record(title, headers, rows):
+    Asserts the two invariants every trace consumer relies on: the
+    pre-inference stages appear as spans, and there is one ``op`` span per
+    runnable node.
+    """
+    from repro.analysis.verify_passes import random_feeds
+    from repro.core import Session, SessionConfig
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    session = Session(graph, SessionConfig(threads=2, trace=tracer))
+    session.run(random_feeds(graph))
+    names = {span.name for span in tracer.spans}
+    missing = {"session.prepare", "session.run"} - names
+    if missing:
+        pytest.fail(
+            f"traced session over benchmark graph {name!r} recorded no "
+            f"{sorted(missing)} spans — tracing instrumentation has rotted",
+            pytrace=False,
+        )
+    op_spans = sum(1 for span in tracer.spans if span.category == "op")
+    runnable = len(session._order)
+    if op_spans != runnable:
+        pytest.fail(
+            f"traced session over benchmark graph {name!r} recorded "
+            f"{op_spans} op spans for {runnable} runnable nodes",
+            pytrace=False,
+        )
+
+
+@pytest.fixture
+def report_table(request):
+    """Record a (title, headers, rows) table for the terminal summary.
+
+    Also appends a machine-readable record to ``BENCH_<bench>.json``
+    (``$REPRO_BENCH_DIR`` or the repo root).  Benches may pass extra
+    keyword context — ``config=``, ``timing=``, ``metrics=`` — which lands
+    in the JSON record under the shared schema.
+    """
+    from repro.bench import bench_record, write_bench_result
+
+    bench_name = request.node.name
+
+    def _record(title, headers, rows, **context):
+        from repro.obs import get_metrics
+
         _TABLES.append((title, headers, [list(r) for r in rows]))
+        metrics = context.pop("metrics", None)
+        if metrics is None:
+            # Default to the process-wide registry: sessions run by the
+            # bench land their run/prepare histograms there.
+            metrics = get_metrics().snapshot()
+        record = bench_record(
+            context.pop("name", bench_name),
+            config=context.pop("config", None),
+            timing=context.pop("timing", None),
+            metrics=metrics,
+            title=title,
+            table={"headers": list(headers), "rows": [list(r) for r in rows]},
+            **context,
+        )
+        out_dir = os.environ.get("REPRO_BENCH_DIR") or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        write_bench_result(record, out_dir)
 
     return _record
 
@@ -45,6 +117,9 @@ def model(request):
             graph = build_model(name, **kwargs)
             _lint_or_fail(name, graph)  # every benchmark graph is linted once
             _MODEL_CACHE[key] = graph
+        if key not in _TRACED:
+            _TRACED.add(key)
+            _trace_or_fail(name, _MODEL_CACHE[key])  # ... and traced once
         return _MODEL_CACHE[key]
 
     return _get

@@ -187,19 +187,25 @@ class VerifyingPassManager(PassManager):
             PassVerificationError: naming the pass (and round) that broke
                 structure, shapes, or numerics.
         """
-        baseline = self._baseline(graph)
-        for round_idx in range(self.max_rounds):
-            changed = 0
-            for p in self.passes:
-                result = p.run(graph)
-                if result:
-                    self.log.append(
-                        f"round {round_idx}: {p.name} changed {result.changed}"
-                    )
-                    self._check_after(graph, p, round_idx, baseline)
-                changed += result.changed
-            if not changed:
-                break
-        graph.validate()
-        infer_shapes(graph)
+        from ..obs.tracer import get_tracer
+
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        with tracer.span("optimizer.verified", "optimizer", graph=graph.name):
+            baseline = self._baseline(graph)
+            for round_idx in range(self.max_rounds):
+                changed = 0
+                for p in self.passes:
+                    result = self._apply(p, graph, round_idx)
+                    if result:
+                        self.log.append(
+                            f"round {round_idx}: {p.name} changed {result.changed}"
+                        )
+                        with tracer.span(f"verify:{p.name}", "optimizer",
+                                         round=round_idx):
+                            self._check_after(graph, p, round_idx, baseline)
+                    changed += result.changed
+                if not changed:
+                    break
+            graph.validate()
+            infer_shapes(graph)
         return graph

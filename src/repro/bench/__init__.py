@@ -1,13 +1,22 @@
 """Benchmark harness: timing helpers, tables, MLPerf-style loadgen."""
 
-from .harness import TimingResult, format_table, print_table, time_callable
+from .harness import (
+    TimingResult,
+    bench_record,
+    format_table,
+    print_table,
+    time_callable,
+    write_bench_result,
+)
 from .loadgen import LoadgenReport, run_single_stream
 
 __all__ = [
     "TimingResult",
+    "bench_record",
     "format_table",
     "print_table",
     "time_callable",
+    "write_bench_result",
     "LoadgenReport",
     "run_single_stream",
 ]

@@ -1,14 +1,30 @@
-"""Benchmark harness utilities: wall-clock timing and paper-style tables."""
+"""Benchmark harness utilities: wall-clock timing, paper-style tables, and
+machine-readable result records.
+
+Besides the human-facing tables, every benchmark can persist a JSON record
+(:func:`bench_record` + :func:`write_bench_result`) so repeated runs
+accumulate a performance trajectory per benchmark — ``BENCH_<name>.json``
+is a list of records, one appended per run.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["TimingResult", "time_callable", "format_table", "print_table"]
+__all__ = [
+    "TimingResult",
+    "time_callable",
+    "format_table",
+    "print_table",
+    "bench_record",
+    "write_bench_result",
+]
 
 
 @dataclass
@@ -32,6 +48,16 @@ class TimingResult:
     @property
     def std_ms(self) -> float:
         return float(np.std(self.times_ms))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (for :func:`bench_record`)."""
+        return {
+            "repeats": len(self.times_ms),
+            "mean_ms": self.mean_ms,
+            "median_ms": self.median_ms,
+            "min_ms": self.min_ms,
+            "std_ms": self.std_ms,
+        }
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 10, warmup: int = 1) -> TimingResult:
@@ -77,3 +103,78 @@ def _fmt(value: object) -> str:
 
 def print_table(headers, rows, title=None) -> None:
     print("\n" + format_table(headers, rows, title) + "\n")
+
+
+# -- machine-readable bench results -----------------------------------------
+
+def _jsonable(value: object) -> object:
+    """Best-effort coercion to a JSON-serializable value."""
+    if isinstance(value, TimingResult):
+        return value.as_dict()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def bench_record(
+    name: str,
+    config: Optional[Dict[str, object]] = None,
+    timing: Optional[TimingResult] = None,
+    metrics: Optional[Dict[str, object]] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """Build one machine-readable benchmark record.
+
+    Schema (stable across benches so trajectories are comparable):
+    ``name`` (the bench id), ``config`` (the knobs that shaped the run),
+    ``timing`` (wall-clock stats from :class:`TimingResult`), ``metrics``
+    (a :meth:`repro.obs.MetricsRegistry.snapshot`), plus any bench-specific
+    ``extra`` keys.
+    """
+    record: Dict[str, object] = {"name": name, "config": _jsonable(config or {})}
+    if timing is not None:
+        record["timing"] = timing.as_dict()
+    if metrics is not None:
+        record["metrics"] = _jsonable(metrics)
+    for key, value in extra.items():
+        record[key] = _jsonable(value)
+    return record
+
+
+def write_bench_result(
+    record: Dict[str, object], out_dir: Optional[str] = None
+) -> str:
+    """Append ``record`` to ``BENCH_<name>.json`` and return the path.
+
+    The file holds a JSON list — one record per historical run — so
+    re-running a benchmark accumulates a trajectory instead of clobbering
+    the previous result.  ``out_dir`` defaults to ``$REPRO_BENCH_DIR`` or
+    the current directory; an unreadable/corrupt existing file is treated
+    as empty rather than failing the bench.
+    """
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR") or "."
+    os.makedirs(out_dir, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in str(record["name"]))
+    path = os.path.join(out_dir, f"BENCH_{safe}.json")
+    history: List[object] = []
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, list):
+                history = loaded
+        except (OSError, ValueError):
+            history = []
+    history.append(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -17,6 +17,7 @@ Quantization lives in :mod:`repro.converter.quantize`.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -25,6 +26,8 @@ import numpy as np
 from ...ir.graph import Graph, GraphError, Node
 from ...ir.ops import Op
 from ...ir.shape_inference import infer_shapes
+from ...obs.metrics import get_metrics
+from ...obs.tracer import Tracer, get_tracer
 
 __all__ = [
     "Pass",
@@ -245,25 +248,59 @@ def default_passes() -> List[Pass]:
 
 
 class PassManager:
-    """Applies passes to fixpoint (bounded), re-inferring shapes after."""
+    """Applies passes to fixpoint (bounded), re-inferring shapes after.
 
-    def __init__(self, passes: Optional[Sequence[Pass]] = None, max_rounds: int = 4) -> None:
+    Every pass application is traced (``"pass:<name>"`` spans in the
+    ``optimizer`` category, carrying round index and change count) and its
+    latency lands in the ``optimizer.pass_ms`` histogram of the process
+    metrics registry — so ``cli trace`` over an unoptimized model shows
+    the converter's cost next to pre-inference's.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[Pass]] = None,
+        max_rounds: int = 4,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.passes = list(passes) if passes is not None else default_passes()
         self.max_rounds = max_rounds
+        self.tracer = tracer
         self.log: List[str] = []
 
+    def _apply(self, p: Pass, graph: Graph, round_idx: int) -> PassResult:
+        """Run one pass with span + metrics accounting."""
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        start = time.perf_counter()
+        result = p.run(graph)
+        end = time.perf_counter()
+        tracer.record(
+            f"pass:{p.name}", "optimizer", start, end,
+            round=round_idx, changed=result.changed,
+        )
+        metrics = get_metrics()
+        metrics.histogram("optimizer.pass_ms").observe((end - start) * 1000.0)
+        if result.changed:
+            metrics.counter(f"optimizer.changed.{p.name}").inc(result.changed)
+        return result
+
     def run(self, graph: Graph) -> Graph:
-        for round_idx in range(self.max_rounds):
-            changed = 0
-            for p in self.passes:
-                result = p.run(graph)
-                if result:
-                    self.log.append(f"round {round_idx}: {p.name} changed {result.changed}")
-                changed += result.changed
-            if not changed:
-                break
-        graph.validate()
-        infer_shapes(graph)
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        with tracer.span("optimizer", "optimizer", graph=graph.name):
+            for round_idx in range(self.max_rounds):
+                changed = 0
+                for p in self.passes:
+                    result = self._apply(p, graph, round_idx)
+                    if result:
+                        self.log.append(
+                            f"round {round_idx}: {p.name} changed {result.changed}"
+                        )
+                    changed += result.changed
+                if not changed:
+                    break
+            graph.validate()
+            with tracer.span("shape_inference", "optimizer"):
+                infer_shapes(graph)
         return graph
 
 

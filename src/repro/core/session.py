@@ -30,6 +30,8 @@ from ..backends.cpu import CPUBackend
 from ..devices.specs import DeviceSpec, GpuApi
 from ..ir.graph import Graph, GraphError, Node
 from ..ir.ops import Op
+from ..obs.metrics import get_metrics
+from ..obs.tracer import Tracer, get_tracer
 from ..sim.clock import VirtualClock
 from .cost import BackendCostModel, node_muls
 from .memory import Arena, MemoryPlan, compute_lifetimes, plan_memory
@@ -84,6 +86,11 @@ class SessionConfig:
             session builds, and bounds/alignment-check every arena view
             handed out during execution.  A planner bug then fails loudly
             at prepare time instead of corrupting activations silently.
+        trace: a :class:`repro.obs.Tracer` receiving spans for every
+            pre-inference stage and every executed operator (serial and
+            parallel paths, with worker-thread ids).  ``None`` falls back
+            to the process-wide tracer, which defaults to a no-op — so an
+            untraced session pays only an ``enabled`` check per run.
     """
 
     backend: Union[str, Backend] = "cpu"
@@ -98,6 +105,7 @@ class SessionConfig:
     parallel_branches: bool = False
     arena_execution: bool = False
     paranoid: bool = False
+    trace: Optional[Tracer] = None
 
 
 @dataclass
@@ -124,7 +132,12 @@ class SessionArtifacts:
 
 @dataclass
 class RunStats:
-    """Timing of one inference run."""
+    """Timing of one inference run.
+
+    When the session is traced, these numbers are the ``session.run``
+    span's view of the same clock readings; the trace additionally carries
+    per-operator spans with thread attribution.
+    """
 
     wall_ms: float
     virtual_ms: float
@@ -134,13 +147,19 @@ class RunStats:
 
 @dataclass
 class OpProfile:
-    """Per-operator timing from :meth:`Session.run_profiled`."""
+    """Per-operator timing from :meth:`Session.run_profiled`.
+
+    A thin view over the run's ``"op"``-category trace spans: one row per
+    recorded operator span, in recording order (execution order on the
+    serial path, completion order on the parallel path).
+    """
 
     node: str
     op_type: str
     backend: str
     wall_ms: float
     virtual_ms: float
+    thread: Optional[int] = None
 
 
 def choose_backend(
@@ -184,6 +203,7 @@ class Session:
     ) -> None:
         self.graph = graph
         self.config = config or SessionConfig()
+        self.tracer = self.config.trace if self.config.trace is not None else get_tracer()
         self.clock = VirtualClock()
         self._order: List[Node] = []
         self._executions = {}
@@ -222,85 +242,115 @@ class Session:
     def _prepare(self) -> None:
         start = time.perf_counter()
         cfg = self.config
-        self.graph.validate()
-        self._order = [
-            n for n in self.graph.toposort() if n.op_type not in (Op.INPUT, Op.CONSTANT)
-        ]
+        tracer = self.tracer
+        with tracer.span("session.prepare", "session", graph=self.graph.name) as prep:
+            with tracer.span("graph.validate", "pre_inference"):
+                self.graph.validate()
+                self._order = [
+                    n for n in self.graph.toposort()
+                    if n.op_type not in (Op.INPUT, Op.CONSTANT)
+                ]
 
-        artifacts = self._artifacts
+            artifacts = self._artifacts
 
-        # (1) computation scheme selection (auto-tuned overrides win).
-        # Cached decisions replace the Eq. 2/3 search when they cover every
-        # conv in the live graph; partial/stale coverage falls back.
-        cached_schemes = artifacts.schemes if artifacts is not None else None
-        conv_nodes = {n.name for n in self._order if n.op_type == Op.CONV2D}
-        if cached_schemes is not None and conv_nodes <= set(cached_schemes):
-            self.schemes = dict(cached_schemes)
-        else:
-            self.schemes = select_graph_schemes(self.graph, cfg.scheme_config)
-        if cfg.scheme_overrides:
-            self.schemes.update(cfg.scheme_overrides)
-
-        # (2) backend selection + hybrid placement
-        if isinstance(cfg.backend, Backend):
-            # user-supplied backend instance (NPU/FPGA extension point)
-            self.primary = cfg.backend
-            self.fallback = (
-                self._make_backend("sim_cpu") if cfg.device is not None
-                else self._make_backend("cpu")
-            )
-        else:
-            primary_kind = cfg.backend
-            if cfg.auto_backend:
-                if cfg.device is None:
-                    raise BackendError("auto_backend requires a DeviceSpec")
-                if artifacts is not None and artifacts.backend_kind:
-                    # Cached Eq. 4 winner: skip re-costing every candidate.
-                    primary_kind = artifacts.backend_kind
+            # (1) computation scheme selection (auto-tuned overrides win).
+            # Cached decisions replace the Eq. 2/3 search when they cover every
+            # conv in the live graph; partial/stale coverage falls back.
+            with tracer.span("scheme_selection", "pre_inference") as sp:
+                cached_schemes = artifacts.schemes if artifacts is not None else None
+                conv_nodes = {n.name for n in self._order if n.op_type == Op.CONV2D}
+                if cached_schemes is not None and conv_nodes <= set(cached_schemes):
+                    self.schemes = dict(cached_schemes)
+                    sp.set(cached=True)
                 else:
-                    candidates = (
-                        cfg.candidate_backends or ("sim_cpu",) + cfg.device.gpu_apis
+                    self.schemes = select_graph_schemes(self.graph, cfg.scheme_config)
+                    sp.set(cached=False)
+                if cfg.scheme_overrides:
+                    self.schemes.update(cfg.scheme_overrides)
+                sp.set(convs=len(conv_nodes))
+
+            # (2) backend selection + hybrid placement
+            with tracer.span("backend_selection", "pre_inference") as sp:
+                if isinstance(cfg.backend, Backend):
+                    # user-supplied backend instance (NPU/FPGA extension point)
+                    self.primary = cfg.backend
+                    self.fallback = (
+                        self._make_backend("sim_cpu") if cfg.device is not None
+                        else self._make_backend("cpu")
                     )
-                    primary_kind = choose_backend(
-                        self.graph, cfg.device, cfg.threads, candidates
+                else:
+                    primary_kind = cfg.backend
+                    if cfg.auto_backend:
+                        if cfg.device is None:
+                            raise BackendError("auto_backend requires a DeviceSpec")
+                        if artifacts is not None and artifacts.backend_kind:
+                            # Cached Eq. 4 winner: skip re-costing every candidate.
+                            primary_kind = artifacts.backend_kind
+                        else:
+                            candidates = (
+                                cfg.candidate_backends
+                                or ("sim_cpu",) + cfg.device.gpu_apis
+                            )
+                            primary_kind = choose_backend(
+                                self.graph, cfg.device, cfg.threads, candidates
+                            )
+                    self.primary = self._make_backend(primary_kind)
+                    if primary_kind in ("cpu", "sim_cpu"):
+                        self.fallback = self.primary
+                    elif cfg.device is not None:
+                        self.fallback = self._make_backend("sim_cpu")
+                    else:
+                        self.fallback = self._make_backend("cpu")
+                sp.set(primary=self.primary.forward_type)
+
+            with tracer.span("create_executions", "pre_inference", ops=len(self._order)):
+                for node in self._order:
+                    backend = (
+                        self.primary if self.primary.supports(node.op_type)
+                        else self.fallback
                     )
-            self.primary = self._make_backend(primary_kind)
-            if primary_kind in ("cpu", "sim_cpu"):
-                self.fallback = self.primary
-            elif cfg.device is not None:
-                self.fallback = self._make_backend("sim_cpu")
-            else:
-                self.fallback = self._make_backend("cpu")
+                    if not backend.supports(node.op_type):
+                        raise BackendError(
+                            f"op {node.op_type!r} ({node.name!r}) unsupported "
+                            f"on every backend"
+                        )
+                    self._placement[node.name] = backend
+                    scheme = self.schemes.get(node.name)
+                    self._executions[node.name] = backend.on_create(
+                        node, self.graph, scheme
+                    )
 
-        for node in self._order:
-            backend = self.primary if self.primary.supports(node.op_type) else self.fallback
-            if not backend.supports(node.op_type):
-                raise BackendError(
-                    f"op {node.op_type!r} ({node.name!r}) unsupported on every backend"
-                )
-            self._placement[node.name] = backend
-            scheme = self.schemes.get(node.name)
-            self._executions[node.name] = backend.on_create(node, self.graph, scheme)
+            # (3) decoupling: prepare executions + plan memory up front
+            if cfg.decouple:
+                with tracer.span("prepare_executions", "pre_inference"):
+                    for node in self._order:
+                        self._executions[node.name].prepare(self.graph)
+                with tracer.span("memory_plan", "pre_inference") as sp:
+                    cached_plan = (
+                        artifacts.memory_plan if artifacts is not None else None
+                    )
+                    if cached_plan is not None and cached_plan.matches(
+                        compute_lifetimes(self.graph, self._order)
+                    ):
+                        self.memory_plan = cached_plan
+                        sp.set(cached=True)
+                    else:
+                        self.memory_plan = plan_memory(self.graph, self._order)
+                        sp.set(cached=False)
+                    sp.set(arena_bytes=self.memory_plan.arena_bytes)
+                if cfg.paranoid:
+                    from ..analysis.memcheck import check_memory_plan
 
-        # (3) decoupling: prepare executions + plan memory up front
-        if cfg.decouple:
-            for node in self._order:
-                self._executions[node.name].prepare(self.graph)
-            cached_plan = artifacts.memory_plan if artifacts is not None else None
-            if cached_plan is not None and cached_plan.matches(
-                compute_lifetimes(self.graph, self._order)
-            ):
-                self.memory_plan = cached_plan
-            else:
-                self.memory_plan = plan_memory(self.graph, self._order)
-            if cfg.paranoid:
-                from ..analysis.memcheck import check_memory_plan
-
-                check_memory_plan(
-                    self.graph, self.memory_plan, self._order
-                ).raise_if_failed()
-            self._arena = Arena(self.memory_plan, paranoid=cfg.paranoid)
-        self.prepare_wall_ms = (time.perf_counter() - start) * 1000.0
+                    with tracer.span("memcheck", "pre_inference"):
+                        check_memory_plan(
+                            self.graph, self.memory_plan, self._order
+                        ).raise_if_failed()
+                self._arena = Arena(self.memory_plan, paranoid=cfg.paranoid)
+            self.prepare_wall_ms = (time.perf_counter() - start) * 1000.0
+            prep.set(wall_ms=self.prepare_wall_ms)
+        metrics = get_metrics()
+        metrics.counter("session.prepares").inc()
+        metrics.histogram("session.prepare_ms").observe(self.prepare_wall_ms)
 
     # -- resizing ----------------------------------------------------------------
     def resize(self, input_shapes: Dict[str, Sequence[int]]) -> None:
@@ -449,15 +499,21 @@ class Session:
         Raises:
             GraphError: on missing inputs or shape/dtype mismatches.
         """
-        if (
+        if self._parallel_active():
+            return self._execute_parallel(feeds, self.tracer)
+        return self._execute(feeds, self.tracer)
+
+    def _parallel_active(self) -> bool:
+        """Whether ``run`` takes the thread-pool dataflow path."""
+        return (
             self.config.parallel_branches
             and self.primary.forward_type == "cpu"
             and self.config.decouple
-        ):
-            return self._execute_parallel(feeds)
-        return self._execute(feeds, profile=None)
+        )
 
-    def _execute_parallel(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    def _execute_parallel(
+        self, feeds: Dict[str, np.ndarray], tracer: Tracer
+    ) -> Dict[str, np.ndarray]:
         """Dataflow execution on a thread pool (independent branches overlap).
 
         Concurrency contract: ``env`` (the tensor environment) is only read
@@ -472,6 +528,7 @@ class Session:
 
         graph = self.graph
         self._check_feeds(feeds)
+        trace_on = tracer.enabled
         start_wall = time.perf_counter()
         env: Dict[str, np.ndarray] = dict(feeds)
         lock = threading.Lock()
@@ -499,7 +556,19 @@ class Session:
                 execution = self._executions[node.name]
                 with lock:  # producers write env under this lock
                     inputs = [env[name] for name in execution.runner.dynamic_inputs]
-                outputs = execution.run(inputs)
+                if trace_on:
+                    # Per-op span from inside the worker: the recording
+                    # thread id gives the trace its parallel lanes.
+                    op_start = time.perf_counter()
+                    outputs = execution.run(inputs)
+                    tracer.record(
+                        node.name, "op", op_start, time.perf_counter(),
+                        op=node.op_type,
+                        backend=self._placement[node.name].forward_type,
+                        virtual_ms=0.0,
+                    )
+                else:
+                    outputs = execution.run(inputs)
                 ready: List[Node] = []
                 with lock:
                     for name, value in zip(node.outputs, outputs):
@@ -537,12 +606,22 @@ class Session:
             )
             aggregate.errors = list(errors)
             raise aggregate from errors[0]
+        end_wall = time.perf_counter()
+        if trace_on:
+            tracer.record(
+                "session.run", "session", start_wall, end_wall,
+                backend=self.backend_kind, parallel=True,
+                threads=self.config.threads,
+            )
         self.last_run = RunStats(
-            wall_ms=(time.perf_counter() - start_wall) * 1000.0,
+            wall_ms=(end_wall - start_wall) * 1000.0,
             virtual_ms=0.0,
             copies=0,
             copy_bytes=0,
         )
+        metrics = get_metrics()
+        metrics.counter("session.runs").inc()
+        metrics.histogram("session.run_ms").observe(self.last_run.wall_ms)
         missing = [name for name in graph.outputs if name not in env]
         if missing:
             raise GraphError(f"outputs never produced: {missing}")
@@ -551,17 +630,42 @@ class Session:
     def run_profiled(
         self, feeds: Dict[str, np.ndarray]
     ) -> Tuple[Dict[str, np.ndarray], List["OpProfile"]]:
-        """Like :meth:`run` but also returns a per-operator time profile."""
-        profile: List[OpProfile] = []
-        outputs = self._execute(feeds, profile=profile)
+        """Like :meth:`run` but also returns a per-operator time profile.
+
+        The profile is a thin view over the run's ``"op"``-category trace
+        spans.  With ``parallel_branches`` active, the run goes through
+        the thread-pool path and every profile row carries the worker
+        thread id that executed the operator (``OpProfile.thread``).
+        When the session has no enabled tracer configured, an ephemeral
+        one records just this run.
+        """
+        tracer = self.tracer if self.tracer.enabled else Tracer()
+        mark = tracer.mark()
+        if self._parallel_active():
+            outputs = self._execute_parallel(feeds, tracer)
+        else:
+            outputs = self._execute(feeds, tracer)
+        profile = [
+            OpProfile(
+                node=span.name,
+                op_type=span.args["op"],
+                backend=span.args["backend"],
+                wall_ms=span.dur_ms,
+                virtual_ms=span.args.get("virtual_ms", 0.0),
+                thread=span.tid,
+            )
+            for span in tracer.spans_since(mark)
+            if span.category == "op"
+        ]
         return outputs, profile
 
     def _execute(
-        self, feeds: Dict[str, np.ndarray], profile: Optional[List["OpProfile"]]
+        self, feeds: Dict[str, np.ndarray], tracer: Tracer
     ) -> Dict[str, np.ndarray]:
         graph = self.graph
         self._check_feeds(feeds)
 
+        trace_on = tracer.enabled
         start_wall = time.perf_counter()
         start_virtual = self.clock.now_ms
         copies = 0
@@ -596,18 +700,15 @@ class Session:
                 # Interleaved memory management (left-hand side of Figure 3).
                 for out in node.outputs:
                     backend.on_acquire_buffer(graph.desc(out), StorageType.DYNAMIC)
-            if profile is not None:
+            if trace_on:
                 op_wall = time.perf_counter()
                 op_virtual = self.clock.now_ms
                 outputs = execution.run(inputs)
-                profile.append(
-                    OpProfile(
-                        node=node.name,
-                        op_type=node.op_type,
-                        backend=backend.forward_type,
-                        wall_ms=(time.perf_counter() - op_wall) * 1000.0,
-                        virtual_ms=self.clock.now_ms - op_virtual,
-                    )
+                tracer.record(
+                    node.name, "op", op_wall, time.perf_counter(),
+                    op=node.op_type,
+                    backend=backend.forward_type,
+                    virtual_ms=self.clock.now_ms - op_virtual,
                 )
             else:
                 outputs = execution.run(inputs)
@@ -645,12 +746,22 @@ class Session:
         for backend in {id(b): b for b in self._placement.values()}.values():
             backend.on_execute_end()
 
+        end_wall = time.perf_counter()
+        if trace_on:
+            tracer.record(
+                "session.run", "session", start_wall, end_wall,
+                backend=self.backend_kind, parallel=False,
+                copies=copies,
+            )
         self.last_run = RunStats(
-            wall_ms=(time.perf_counter() - start_wall) * 1000.0,
+            wall_ms=(end_wall - start_wall) * 1000.0,
             virtual_ms=self.clock.now_ms - start_virtual,
             copies=copies,
             copy_bytes=copy_bytes,
         )
+        metrics = get_metrics()
+        metrics.counter("session.runs").inc()
+        metrics.histogram("session.run_ms").observe(self.last_run.wall_ms)
         missing = [name for name in graph.outputs if name not in env]
         if missing:
             raise GraphError(f"outputs never produced: {missing}")

@@ -1,0 +1,53 @@
+"""Observability: span tracing, metrics, and trace export.
+
+The paper's central claim — pre-inference work pays for itself at
+execution time — is only checkable with end-to-end measurement.  This
+package provides the three pieces:
+
+* :mod:`repro.obs.tracer` — a low-overhead, thread-safe span tracer with
+  a process-wide no-op default (``SessionConfig(trace=...)`` /
+  ``EngineConfig(trace=...)`` opt in per session/engine);
+* :mod:`repro.obs.metrics` — counters, gauges and p50/p90/p99 histograms
+  behind :class:`MetricsRegistry`; the serving stats objects are thin
+  views over one of these;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) plus text top-K-ops and waterfall reports.
+
+Surfaced on the command line as ``cli trace <model>``, ``cli metrics
+<model>`` and ``cli serve --trace``.
+"""
+
+from .export import (
+    chrome_trace_events,
+    save_chrome_trace,
+    to_chrome_trace,
+    top_ops_report,
+    waterfall_report,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from .tracer import Span, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "top_ops_report",
+    "waterfall_report",
+]

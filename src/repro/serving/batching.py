@@ -32,19 +32,56 @@ import numpy as np
 
 from ..core.session import Session
 from ..ir.graph import GraphError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, get_tracer
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
 
-@dataclass
 class BatchStats:
-    """Counters describing how well coalescing is working."""
+    """Coalescing counters: a thin view over a metrics registry.
 
-    requests: int = 0
-    batches: int = 0
-    batched_requests: int = 0  # requests that shared a batch with another
-    resizes: int = 0
-    max_batch_seen: int = 0
+    Backed by ``batch.requests`` / ``batch.batches`` /
+    ``batch.batched_requests`` / ``batch.resizes`` counters, the
+    ``batch.max_seen`` gauge and the ``batch.size`` histogram, so the
+    batcher's self-description and an exported metrics snapshot are the
+    same numbers.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def requests(self) -> int:
+        return int(self.metrics.counter("batch.requests").value)
+
+    @property
+    def batches(self) -> int:
+        return int(self.metrics.counter("batch.batches").value)
+
+    @property
+    def batched_requests(self) -> int:
+        """Requests that shared a batch with at least one other."""
+        return int(self.metrics.counter("batch.batched_requests").value)
+
+    @property
+    def resizes(self) -> int:
+        return int(self.metrics.counter("batch.resizes").value)
+
+    @property
+    def max_batch_seen(self) -> int:
+        return int(self.metrics.gauge("batch.max_seen").value)
+
+    def record_batch(self, n_requests: int, total_samples: int) -> None:
+        self.metrics.counter("batch.requests").inc(n_requests)
+        self.metrics.counter("batch.batches").inc()
+        if n_requests > 1:
+            self.metrics.counter("batch.batched_requests").inc(n_requests)
+        self.metrics.gauge("batch.max_seen").track_max(total_samples)
+        self.metrics.histogram("batch.size").observe(total_samples)
+
+    def record_resize(self) -> None:
+        self.metrics.counter("batch.resizes").inc()
 
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
@@ -73,6 +110,8 @@ class MicroBatcher:
         session_factory: Callable[[], Session],
         max_batch: int = 8,
         timeout_ms: float = 2.0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """Args:
             session_factory: builds a batch-execution session at the
@@ -82,13 +121,18 @@ class MicroBatcher:
             max_batch: dispatch as soon as this many samples are pending.
             timeout_ms: how long the first request in a bucket waits for
                 company before running alone.
+            metrics: registry backing :class:`BatchStats` (the engine
+                passes its own so all serving stats share one snapshot).
+            tracer: receives batch assembly/run spans on the dispatcher
+                thread; defaults to the process-wide tracer.
         """
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._factory = session_factory
         self.max_batch = max_batch
         self.timeout_ms = timeout_ms
-        self.stats = BatchStats()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.stats = BatchStats(metrics)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._pending: Dict[Tuple, List[_Pending]] = {}
@@ -196,35 +240,42 @@ class MicroBatcher:
     def _run_batch(
         self, sig: Tuple, items: List[_Pending]
     ) -> List[Dict[str, np.ndarray]]:
-        session = self._sessions.get(sig)
-        if session is None:
-            session = self._sessions[sig] = self._factory()
+        tracer = self.tracer
         total = sum(item.batch_dim for item in items)
-        feeds = {
-            name: np.concatenate([item.feeds[name] for item in items], axis=0)
-            for name in items[0].feeds
-        }
-        # Resize the bucket session once per new micro-batch size; the
-        # pre-inference rerun is amortized across every later batch of
-        # that size.
-        current = {
-            name: session.graph.desc(name).shape for name in session.graph.inputs
-        }
-        wanted = {name: tuple(arr.shape) for name, arr in feeds.items()}
-        if current != wanted:
-            session.resize(wanted)
-            self.stats.resizes += 1
-        outputs = session.run(feeds)
-        self.stats.requests += len(items)
-        self.stats.batches += 1
-        if len(items) > 1:
-            self.stats.batched_requests += len(items)
-        self.stats.max_batch_seen = max(self.stats.max_batch_seen, total)
-        # Split along axis 0 by each request's batch dim.
-        results: List[Dict[str, np.ndarray]] = []
-        start = 0
-        for item in items:
-            stop = start + item.batch_dim
-            results.append({name: arr[start:stop] for name, arr in outputs.items()})
-            start = stop
+        with tracer.span("batch.run", "serving",
+                         requests=len(items), samples=total) as batch_span:
+            session = self._sessions.get(sig)
+            if session is None:
+                session = self._sessions[sig] = self._factory()
+            with tracer.span("batch.assemble", "serving"):
+                feeds = {
+                    name: np.concatenate(
+                        [item.feeds[name] for item in items], axis=0
+                    )
+                    for name in items[0].feeds
+                }
+            # Resize the bucket session once per new micro-batch size; the
+            # pre-inference rerun is amortized across every later batch of
+            # that size.
+            current = {
+                name: session.graph.desc(name).shape for name in session.graph.inputs
+            }
+            wanted = {name: tuple(arr.shape) for name, arr in feeds.items()}
+            if current != wanted:
+                with tracer.span("batch.resize", "serving"):
+                    session.resize(wanted)
+                self.stats.record_resize()
+                batch_span.set(resized=True)
+            outputs = session.run(feeds)
+            self.stats.record_batch(len(items), total)
+            # Split along axis 0 by each request's batch dim.
+            with tracer.span("batch.split", "serving"):
+                results: List[Dict[str, np.ndarray]] = []
+                start = 0
+                for item in items:
+                    stop = start + item.batch_dim
+                    results.append(
+                        {name: arr[start:stop] for name, arr in outputs.items()}
+                    )
+                    start = stop
         return results

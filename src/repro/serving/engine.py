@@ -18,16 +18,17 @@ Typical use::
 
 from __future__ import annotations
 
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.session import Session, SessionConfig
 from ..ir.graph import Graph
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, get_tracer
 from .batching import MicroBatcher
 from .cache import PreInferenceArtifacts, PreInferenceCache
 from .pool import SessionPool
@@ -49,6 +50,14 @@ class EngineConfig:
             each on its own pooled session.
         max_batch: micro-batch sample cap.
         batch_timeout_ms: how long a lone request waits for company.
+        trace: a :class:`repro.obs.Tracer` receiving serving spans (cache
+            hit/miss, session creation, pool checkout waits, batch
+            assembly) and — unless the session config carries its own
+            tracer — every worker session's pre-inference and per-op
+            spans.  ``None`` falls back to the process-wide tracer.
+        metrics: the :class:`repro.obs.MetricsRegistry` backing this
+            engine's :class:`EngineStats`, pool and batcher counters.
+            ``None`` creates a private registry per engine.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -58,25 +67,55 @@ class EngineConfig:
     batching: bool = False
     max_batch: int = 8
     batch_timeout_ms: float = 2.0
+    trace: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
 
-@dataclass
 class EngineStats:
-    """Cache and traffic counters for one engine."""
+    """Cache and traffic stats: a thin view over the engine's metrics.
 
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cold_prepare_ms: List[float] = field(default_factory=list)
-    warm_prepare_ms: List[float] = field(default_factory=list)
-    requests: int = 0
+    Historically a plain dataclass of counters; now every number lives in
+    a :class:`repro.obs.MetricsRegistry` (counters ``engine.cache.hits``/
+    ``engine.cache.misses``/``engine.requests``, histograms
+    ``engine.prepare.cold_ms``/``engine.prepare.warm_ms``) and this class
+    keeps the old attribute API as read-only properties, so
+    ``engine.stats.cache_hits`` and ``cli metrics``' snapshot can never
+    disagree.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.metrics.counter("engine.cache.hits").value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.metrics.counter("engine.cache.misses").value)
+
+    @property
+    def cold_prepare_ms(self) -> List[float]:
+        return self.metrics.histogram("engine.prepare.cold_ms").values
+
+    @property
+    def warm_prepare_ms(self) -> List[float]:
+        return self.metrics.histogram("engine.prepare.warm_ms").values
+
+    @property
+    def requests(self) -> int:
+        return int(self.metrics.counter("engine.requests").value)
 
     def record_prepare(self, hit: bool, prepare_ms: float) -> None:
         if hit:
-            self.cache_hits += 1
-            self.warm_prepare_ms.append(prepare_ms)
+            self.metrics.counter("engine.cache.hits").inc()
+            self.metrics.histogram("engine.prepare.warm_ms").observe(prepare_ms)
         else:
-            self.cache_misses += 1
-            self.cold_prepare_ms.append(prepare_ms)
+            self.metrics.counter("engine.cache.misses").inc()
+            self.metrics.histogram("engine.prepare.cold_ms").observe(prepare_ms)
+
+    def record_request(self) -> None:
+        self.metrics.counter("engine.requests").inc()
 
     @property
     def hit_rate(self) -> float:
@@ -101,19 +140,35 @@ class Engine:
     def __init__(self, graph: Graph, config: Optional[EngineConfig] = None) -> None:
         self.graph = graph
         self.config = config or EngineConfig()
-        self.stats = EngineStats()
+        self.tracer = (
+            self.config.trace if self.config.trace is not None else get_tracer()
+        )
+        self.metrics = (
+            self.config.metrics if self.config.metrics is not None
+            else MetricsRegistry()
+        )
+        self.stats = EngineStats(self.metrics)
         self.cache = (
             PreInferenceCache(self.config.cache_dir)
             if self.config.use_cache else None
         )
         self._cache_key: Optional[str] = None
-        self._count_lock = threading.Lock()
-        self.pool = SessionPool(self._create_session, self.config.pool_size)
+        # Worker sessions inherit the engine's tracer unless the session
+        # config pins its own, so one trace shows serving + execution.
+        self._session_config = self.config.session
+        if self.tracer.enabled and self._session_config.trace is None:
+            self._session_config = replace(self._session_config, trace=self.tracer)
+        self.pool = SessionPool(
+            self._create_session, self.config.pool_size,
+            metrics=self.metrics, tracer=self.tracer,
+        )
         self.batcher = (
             MicroBatcher(
                 self._create_session,
                 max_batch=self.config.max_batch,
                 timeout_ms=self.config.batch_timeout_ms,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             if self.config.batching else None
         )
@@ -126,23 +181,31 @@ class Engine:
         pre-inference; it immediately persists its artifacts, so the
         remaining pool workers — and every future process — come up warm.
         """
-        artifacts = None
-        hit = False
-        if self.cache is not None:
-            if self._cache_key is None:
-                self._cache_key = self.cache.key(self.graph, self.config.session)
-            cached = self.cache.load(self._cache_key)
-            if cached is not None:
-                artifacts = cached.apply()
-                hit = True
-        start = time.perf_counter()
-        session = Session(self.graph, self.config.session, artifacts=artifacts)
-        prepare_ms = (time.perf_counter() - start) * 1000.0
-        self.stats.record_prepare(hit, prepare_ms)
-        if self.cache is not None and not hit:
-            self.cache.store(
-                self._cache_key, PreInferenceArtifacts.from_session(session)
-            )
+        with self.tracer.span("engine.create_session", "serving") as span:
+            artifacts = None
+            hit = False
+            if self.cache is not None:
+                if self._cache_key is None:
+                    self._cache_key = self.cache.key(self.graph, self.config.session)
+                with self.tracer.span("cache.lookup", "serving"):
+                    cached = self.cache.load(self._cache_key)
+                if cached is not None:
+                    artifacts = cached.apply()
+                    hit = True
+                self.tracer.instant(
+                    "cache.hit" if hit else "cache.miss", "serving",
+                    key=self._cache_key,
+                )
+            start = time.perf_counter()
+            session = Session(self.graph, self._session_config, artifacts=artifacts)
+            prepare_ms = (time.perf_counter() - start) * 1000.0
+            self.stats.record_prepare(hit, prepare_ms)
+            span.set(cache_hit=hit, prepare_ms=prepare_ms)
+            if self.cache is not None and not hit:
+                with self.tracer.span("cache.store", "serving"):
+                    self.cache.store(
+                        self._cache_key, PreInferenceArtifacts.from_session(session)
+                    )
         return session
 
     @property
@@ -153,12 +216,13 @@ class Engine:
     # -- inference ----------------------------------------------------------
     def infer(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Run one inference; safe to call from many threads at once."""
-        with self._count_lock:
-            self.stats.requests += 1
-        if self.batcher is not None:
-            return self.batcher.infer(feeds)
-        with self.pool.acquire() as session:
-            return session.run(feeds)
+        self.stats.record_request()
+        with self.tracer.span("engine.infer", "serving",
+                              batched=self.batcher is not None):
+            if self.batcher is not None:
+                return self.batcher.infer(feeds)
+            with self.pool.acquire() as session:
+                return session.run(feeds)
 
     def infer_many(
         self,

@@ -13,18 +13,35 @@ constant table) are shared, and warm pool construction shares one cached
 from __future__ import annotations
 
 import queue
+import time
 from contextlib import contextmanager
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Optional
 
 from ..core.session import Session
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, get_tracer
 
 __all__ = ["SessionPool"]
 
 
 class SessionPool:
-    """A fixed-size blocking pool of ready-to-run sessions."""
+    """A fixed-size blocking pool of ready-to-run sessions.
 
-    def __init__(self, factory: Callable[[], Session], size: int) -> None:
+    Checkout pressure is observable: every acquire increments the
+    ``pool.checkouts`` counter and lands its wait in the ``pool.wait_ms``
+    histogram (with a ``pool.checkout_wait`` span when waiting actually
+    blocked and tracing is on), and ``pool.idle`` gauges the free-worker
+    count — the numbers that say whether the pool, not the kernels, is
+    the serving bottleneck.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Session],
+        size: int,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         """Build ``size`` sessions eagerly via ``factory``.
 
         Eager construction keeps the failure mode simple (a broken model
@@ -34,10 +51,13 @@ class SessionPool:
         """
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._sessions: List[Session] = [factory() for _ in range(size)]
         self._free: "queue.Queue[Session]" = queue.Queue()
         for session in self._sessions:
             self._free.put(session)
+        self.metrics.gauge("pool.idle").set(size)
 
     @property
     def size(self) -> int:
@@ -56,12 +76,23 @@ class SessionPool:
             queue.Empty: if ``timeout`` (seconds) elapses with no free
                 worker — backpressure instead of unbounded queueing.
         """
+        start = time.perf_counter()
         session = self._free.get(timeout=timeout) if timeout is not None \
             else self._free.get()
+        acquired = time.perf_counter()
+        self.metrics.counter("pool.checkouts").inc()
+        self.metrics.histogram("pool.wait_ms").observe((acquired - start) * 1000.0)
+        self.metrics.gauge("pool.idle").set(self._free.qsize())
+        if self.tracer.enabled:
+            self.tracer.record(
+                "pool.checkout_wait", "serving", start, acquired,
+                idle=self._free.qsize(),
+            )
         try:
             yield session
         finally:
             self._free.put(session)
+            self.metrics.gauge("pool.idle").set(self._free.qsize())
 
     def idle(self) -> int:
         """Approximate number of currently free sessions."""

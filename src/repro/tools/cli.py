@@ -11,6 +11,8 @@ Usage::
     python -m repro.tools.cli prune model.rmnn -o pruned.rmnn --sparsity 0.6
     python -m repro.tools.cli fp16 model.rmnn -o half.rmnn
     python -m repro.tools.cli benchmark model.rmnn --threads 4 --repeats 10
+    python -m repro.tools.cli trace model.rmnn -o trace.json [--runs 3]
+    python -m repro.tools.cli metrics model.rmnn [--runs 10] [-o metrics.json]
     python -m repro.tools.cli warm model.rmnn [--cache-dir DIR]
     python -m repro.tools.cli serve model.rmnn --requests 64 --clients 4 [--selftest]
     python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
@@ -199,6 +201,65 @@ def cmd_benchmark(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Record a Chrome trace of pre-inference + execution (serial and parallel)."""
+    from ..core import Session, SessionConfig
+    from ..obs import Tracer, save_chrome_trace, top_ops_report, waterfall_report
+
+    graph = _load(args.model)
+    tracer = Tracer()
+    feeds = _random_feeds(graph)
+    # Serial session: pre-inference stage spans + per-op spans on one lane.
+    session = Session(graph, SessionConfig(threads=args.threads, trace=tracer))
+    for _ in range(args.runs):
+        session.run(feeds)
+    if not args.no_parallel:
+        # Parallel session: same graph on the thread-pool dataflow path, so
+        # the trace shows independent branches overlapping on worker lanes.
+        parallel = Session(
+            graph,
+            SessionConfig(
+                threads=args.threads, trace=tracer, parallel_branches=True
+            ),
+        )
+        for _ in range(args.runs):
+            parallel.run(feeds)
+    save_chrome_trace(tracer, args.output)
+    lanes = len({s.tid for s in tracer.spans})
+    print(f"wrote {args.output}: {len(tracer.spans)} spans on {lanes} thread lanes "
+          f"(load in Perfetto or chrome://tracing)")
+    print(top_ops_report(tracer, k=args.top))
+    if args.waterfall:
+        print(waterfall_report(tracer, min_dur_ms=args.waterfall_min_ms))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run a model and print/export the metrics registry snapshot."""
+    import json as _json
+
+    from ..core import Session, SessionConfig
+    from ..obs import MetricsRegistry, set_metrics
+
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        graph = _load(args.model)
+        session = Session(graph, SessionConfig(threads=args.threads))
+        feeds = _random_feeds(graph)
+        for _ in range(args.runs):
+            session.run(feeds)
+    finally:
+        set_metrics(previous)
+    print(f"metrics after {args.runs} runs of {graph.name}:")
+    print(registry.describe())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_warm(args) -> int:
     """Populate the pre-inference cache for a model (cold once, warm after)."""
     import time as _time
@@ -241,6 +302,11 @@ def cmd_serve(args) -> int:
     from ..serving import Engine, EngineConfig
 
     graph = _load(args.model)
+    tracer = None
+    if args.trace:
+        from ..obs import Tracer
+
+        tracer = Tracer()
     config = EngineConfig(
         session=SessionConfig(threads=args.threads),
         pool_size=args.pool,
@@ -249,6 +315,7 @@ def cmd_serve(args) -> int:
         batching=args.batch > 0,
         max_batch=max(args.batch, 1),
         batch_timeout_ms=args.batch_timeout_ms,
+        trace=tracer,
     )
     requests = [_random_feeds(graph, seed) for seed in range(args.requests)]
     with Engine(graph, config) as engine:
@@ -283,6 +350,15 @@ def cmd_serve(args) -> int:
             mode = "allclose (batched)" if args.batch > 0 else "bit-identical"
             print(f"selftest:   ok — {len(requests)} concurrent results "
                   f"{mode} vs serial")
+            print("metrics:")
+            print(engine.metrics.describe())
+    if tracer is not None:
+        from ..obs import save_chrome_trace
+
+        save_chrome_trace(tracer, args.trace)
+        lanes = len({s.tid for s in tracer.spans})
+        print(f"trace:      wrote {args.trace} "
+              f"({len(tracer.spans)} spans, {lanes} lanes)")
     return 0
 
 
@@ -419,6 +495,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the N slowest operators")
     p.set_defaults(fn=cmd_benchmark)
 
+    p = sub.add_parser("trace", help="record a Chrome trace of pre-inference "
+                                     "+ execution")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", default="trace.json")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--runs", type=int, default=1)
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="print the K most expensive operators")
+    p.add_argument("--no-parallel", action="store_true",
+                   help="skip the parallel-branches session")
+    p.add_argument("--waterfall", action="store_true",
+                   help="also print a per-lane text waterfall")
+    p.add_argument("--waterfall-min-ms", type=float, default=0.05)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("metrics", help="print the metrics snapshot for N runs")
+    p.add_argument("model")
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("-o", "--output", default=None,
+                   help="also write the snapshot as JSON")
+    p.set_defaults(fn=cmd_metrics)
+
     p = sub.add_parser("warm", help="populate the pre-inference cache")
     p.add_argument("model")
     p.add_argument("--threads", type=int, default=4)
@@ -440,6 +539,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the pre-inference cache entirely")
     p.add_argument("--selftest", action="store_true",
                    help="verify concurrent results against serial execution")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record serving + execution spans to a Chrome trace")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("estimate", help="model latency on a phone (simulator)")

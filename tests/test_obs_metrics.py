@@ -1,0 +1,233 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_metrics, set_metrics
+
+RNG = np.random.default_rng(42)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_thread_safe(self):
+        c = Counter("c")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_track_max(self):
+        g = Gauge("g")
+        for v in (2, 9, 4):
+            g.track_max(v)
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        s = h.summary()
+        assert s["min"] == 1.0 and s["max"] == 4.0
+
+    def test_percentiles_match_numpy(self):
+        """The interpolation must agree exactly with np.percentile's default."""
+        h = Histogram("h")
+        values = RNG.standard_normal(501) * 10.0
+        for v in values:
+            h.observe(float(v))
+        for q in (0, 10, 25, 50, 75, 90, 99, 99.9, 100):
+            assert h.percentile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12, abs=1e-12
+            ), q
+
+    def test_percentile_bounds(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        s = h.summary()
+        assert s == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_window_bounds_raw_values_not_aggregates(self):
+        h = Histogram("h", window=16)
+        for i in range(100):
+            h.observe(float(i))
+        assert len(h.values) == 16            # window capped
+        assert h.values == [float(i) for i in range(84, 100)]
+        assert h.count == 100                 # aggregates exact
+        assert h.sum == pytest.approx(sum(range(100)))
+        assert h.summary()["min"] == 0.0      # min survives eviction
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.gauge("alpha")
+        assert reg.names() == ["alpha", "zeta"]
+
+    def test_snapshot_shape_and_stability(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.gauge("idle").set(2)
+        reg.histogram("lat_ms").observe(1.5)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] == {"requests": 3}
+        assert snap["gauges"] == {"idle": 2}
+        assert set(snap["histograms"]["lat_ms"]) == {
+            "count", "sum", "mean", "min", "max", "p50", "p90", "p99"
+        }
+        # identical state -> identical serialization (stable for BENCH_*.json)
+        a = json.dumps(reg.snapshot(), sort_keys=True)
+        b = json.dumps(reg.snapshot(), sort_keys=True)
+        assert a == b
+        assert json.loads(a) == snap  # round-trips through JSON untouched
+
+    def test_describe_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.histogram("ms").observe(2.0)
+        text = reg.describe()
+        assert "hits" in text and "ms" in text and "p99" in text
+
+    def test_describe_empty(self):
+        assert MetricsRegistry().describe() == "(no metrics recorded)"
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.clear()
+        assert reg.names() == []
+
+
+class TestGlobalRegistry:
+    def test_set_metrics_returns_previous(self):
+        mine = MetricsRegistry()
+        previous = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+            get_metrics().counter("probe").inc()
+            assert mine.counter("probe").value == 1
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous
+
+    def test_session_records_to_global_registry(self):
+        """A default-configured session lands prepare/run metrics globally."""
+        from repro.core import Session
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("tiny", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        x = b.conv(x, oc=4, kernel=3)
+        b.output(x)
+        graph = b.finish()
+
+        mine = MetricsRegistry()
+        previous = set_metrics(mine)
+        try:
+            session = Session(graph)
+            session.run({"x": np.zeros((1, 4, 8, 8), np.float32)})
+        finally:
+            set_metrics(previous)
+        assert mine.counter("session.prepares").value == 1
+        assert mine.counter("session.runs").value == 1
+        assert mine.histogram("session.prepare_ms").count == 1
+        assert mine.histogram("session.run_ms").count == 1
+
+
+class TestBenchResultHelpers:
+    def test_bench_record_schema(self):
+        from repro.bench import TimingResult, bench_record
+
+        record = bench_record(
+            "demo",
+            config={"threads": 4},
+            timing=TimingResult([1.0, 2.0, 3.0]),
+            metrics=MetricsRegistry().snapshot(),
+            note="extra",
+        )
+        assert record["name"] == "demo"
+        assert record["config"] == {"threads": 4}
+        assert record["timing"]["repeats"] == 3
+        assert record["timing"]["median_ms"] == 2.0
+        assert set(record["metrics"]) == {"counters", "gauges", "histograms"}
+        assert record["note"] == "extra"
+        json.dumps(record)  # fully serializable
+
+    def test_write_bench_result_accumulates(self, tmp_path):
+        from repro.bench import bench_record, write_bench_result
+
+        out = str(tmp_path)
+        path1 = write_bench_result(bench_record("t1", config={"i": 1}), out)
+        path2 = write_bench_result(bench_record("t1", config={"i": 2}), out)
+        assert path1 == path2
+        with open(path1) as fh:
+            history = json.load(fh)
+        assert [r["config"]["i"] for r in history] == [1, 2]
+
+    def test_write_bench_result_tolerates_corrupt_file(self, tmp_path):
+        from repro.bench import bench_record, write_bench_result
+
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        write_bench_result(bench_record("bad"), str(tmp_path))
+        with open(path) as fh:
+            history = json.load(fh)
+        assert len(history) == 1 and history[0]["name"] == "bad"

@@ -1,0 +1,193 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Span, Tracer, get_tracer, set_tracer
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestSpanRecording:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        with tracer.span("work", "test", flavor="unit"):
+            time.sleep(0.001)
+        spans = tracer.spans
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.name == "work"
+        assert span.category == "test"
+        assert span.args == {"flavor": "unit"}
+        assert span.dur_ms >= 1.0
+        assert span.tid == threading.get_ident()
+        assert not span.instant
+
+    def test_nesting_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("innermost"):
+                    pass
+        depths = {s.name: s.depth for s in tracer.spans}
+        assert depths == {"outer": 0, "inner": 1, "innermost": 2}
+
+    def test_nested_spans_contained_in_time(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.start_us <= inner.start_us
+        assert inner.end_us <= outer.end_us
+
+    def test_depth_restored_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        with tracer.span("after"):
+            pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["boom"].args["error"] == "RuntimeError"
+        assert by_name["after"].depth == 0
+
+    def test_set_attaches_args(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set(cached=True, n=3)
+        assert tracer.spans[0].args == {"cached": True, "n": 3}
+
+    def test_record_endpoint_api(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        time.sleep(0.001)
+        end = time.perf_counter()
+        tracer.record("op_a", "op", start, end, op="Conv2D")
+        span = tracer.spans[0]
+        assert span.name == "op_a"
+        assert span.dur_ms == pytest.approx((end - start) * 1000.0, rel=1e-6)
+        assert span.args["op"] == "Conv2D"
+
+    def test_record_inherits_open_span_depth(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            now = time.perf_counter()
+            tracer.record("op_a", "op", now, now)
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["op_a"].depth == 1
+
+    def test_instant(self):
+        tracer = Tracer()
+        tracer.instant("cache.hit", "serving", key="abc")
+        span = tracer.spans[0]
+        assert span.instant
+        assert span.dur_us == 0.0
+        assert span.args["key"] == "abc"
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        handle = tracer.span("x", "y", a=1)
+        assert handle is _NULL_SPAN
+        assert tracer.span("other") is handle  # no allocation per call
+        with handle as h:
+            h.set(anything=1)
+        assert len(tracer) == 0
+
+    def test_disabled_record_and_instant_are_noops(self):
+        tracer = Tracer(enabled=False)
+        now = time.perf_counter()
+        tracer.record("op", "op", now, now)
+        tracer.instant("evt")
+        assert len(tracer) == 0
+
+    def test_global_default_is_disabled(self):
+        assert not get_tracer().enabled
+
+
+class TestGlobalTracer:
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestThreadSafety:
+    def test_concurrent_recording(self):
+        tracer = Tracer()
+        n_threads, per_thread = 8, 50
+        # OS thread idents are recycled as threads exit; the barrier keeps
+        # all workers alive at once so each records under a distinct tid.
+        barrier = threading.Barrier(n_threads)
+
+        def work(i):
+            barrier.wait()
+            for j in range(per_thread):
+                with tracer.span(f"t{i}.{j}", "stress"):
+                    pass
+            barrier.wait()
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans
+        assert len(spans) == n_threads * per_thread
+        assert len({s.tid for s in spans}) == n_threads
+        # per-thread nesting is independent: every span here is depth 0
+        assert all(s.depth == 0 for s in spans)
+
+    def test_thread_names_captured(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def work():
+            with tracer.span("named"):
+                pass
+            done.set()
+
+        t = threading.Thread(target=work, name="my-worker")
+        t.start()
+        t.join()
+        assert done.is_set()
+        names = tracer.thread_names
+        assert "my-worker" in names.values()
+
+
+class TestMarkAndClear:
+    def test_mark_and_spans_since(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after1"):
+            pass
+        with tracer.span("after2"):
+            pass
+        since = tracer.spans_since(mark)
+        assert [s.name for s in since] == ["after1", "after2"]
+        assert len(tracer) == 3
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.spans == []
+
+
+class TestSpanDataclass:
+    def test_derived_properties(self):
+        span = Span(name="s", category="c", start_us=100.0, dur_us=2500.0, tid=1)
+        assert span.end_us == 2600.0
+        assert span.dur_ms == 2.5
