@@ -7,11 +7,14 @@ them.  Each recorded table is also appended as a machine-readable record to
 ``BENCH_<name>.json`` (see :func:`repro.bench.write_bench_result`), so
 repeated benchmark runs accumulate a performance trajectory.
 
-Benchmark graphs are sanity-checked twice before any timing: once by the
-static linter (``_lint_or_fail``) and once by a traced session
+Benchmark graphs are sanity-checked three times before any timing: once
+by the static linter (``_lint_or_fail``), once by a traced session
 (``_trace_or_fail``) that proves the observability instrumentation still
 covers pre-inference and every executed operator — tracing that silently
-stopped recording would otherwise rot unnoticed.
+stopped recording would otherwise rot unnoticed — and once by a seeded
+fault-storm session (``_chaos_or_fail``) that injects transient kernel
+failures and NaN-poisons every Winograd convolution, asserting the
+resilience layer still produces finite outputs matching a fault-free run.
 """
 
 import os
@@ -24,6 +27,7 @@ from repro.models import build_model
 _TABLES = []
 _MODEL_CACHE = {}
 _TRACED = set()
+_STORMED = set()
 
 
 def _lint_or_fail(name, graph):
@@ -66,6 +70,45 @@ def _trace_or_fail(name, graph):
             f"{op_spans} op spans for {runnable} runnable nodes",
             pytrace=False,
         )
+
+
+def _chaos_or_fail(name, graph):
+    """Run one seeded fault-storm session per benchmark graph.
+
+    Transient kernel faults must be retried away and NaN-poisoned
+    Winograd convolutions must be re-run on the direct scheme: the
+    session has to return finite outputs numerically matching a
+    fault-free run, or the resilience layer has rotted.
+    """
+    import numpy as np
+
+    from repro.analysis.verify_passes import random_feeds
+    from repro.core import Session, SessionConfig
+    from repro.faults import FaultPlan, FaultRule
+
+    feeds = random_feeds(graph)
+    gold = Session(graph, SessionConfig(threads=2)).run(feeds)
+    plan = FaultPlan([
+        FaultRule("kernel.execute", "nan",
+                  match={"scheme": ("winograd", "winograd_rect")}),
+        FaultRule("kernel.execute", "transient", p=0.1, times=8),
+    ], seed=0)
+    session = Session(graph, SessionConfig(threads=2, faults=plan))
+    out = session.run(feeds)
+    for key, arr in out.items():
+        if not np.isfinite(arr).all():
+            pytest.fail(
+                f"fault-storm session over benchmark graph {name!r} produced "
+                f"non-finite output {key!r} — numeric fallback has rotted",
+                pytrace=False,
+            )
+        if not np.allclose(arr, gold[key], rtol=1e-4, atol=1e-5):
+            pytest.fail(
+                f"fault-storm session over benchmark graph {name!r} diverged "
+                f"from the fault-free run on output {key!r} "
+                f"({plan.injected} faults injected)",
+                pytrace=False,
+            )
 
 
 @pytest.fixture
@@ -120,6 +163,9 @@ def model(request):
         if key not in _TRACED:
             _TRACED.add(key)
             _trace_or_fail(name, _MODEL_CACHE[key])  # ... and traced once
+        if key not in _STORMED:
+            _STORMED.add(key)
+            _chaos_or_fail(name, _MODEL_CACHE[key])  # ... and stormed once
         return _MODEL_CACHE[key]
 
     return _get

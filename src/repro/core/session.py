@@ -25,11 +25,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..backends.base import Backend, BackendError, StorageType
+from ..backends.base import Backend, BackendError, BackendTransientError, StorageType
 from ..backends.cpu import CPUBackend
 from ..devices.specs import DeviceSpec, GpuApi
+from ..faults import FaultPlan, InjectedFault, TransientFault, get_fault_plan, retry_transient
+from ..faults.resilience import CircuitBreaker, Deadline
 from ..ir.graph import Graph, GraphError, Node
 from ..ir.ops import Op
+from ..kernels import nonfinite_count
 from ..obs.metrics import get_metrics
 from ..obs.tracer import Tracer, get_tracer
 from ..sim.clock import VirtualClock
@@ -91,6 +94,25 @@ class SessionConfig:
             parallel paths, with worker-thread ids).  ``None`` falls back
             to the process-wide tracer, which defaults to a no-op — so an
             untraced session pays only an ``enabled`` check per run.
+        faults: a :class:`repro.faults.FaultPlan` evaluated at this
+            session's fault points (``session.prepare``,
+            ``backend.dispatch``, ``kernel.execute``).  ``None`` falls
+            back to the process-wide plan (``$REPRO_FAULTS``, default
+            disabled — one ``enabled`` check per run).
+        resilience: route every op through the resilient executor (retry
+            with backoff, circuit breaker, per-op CPU fallback, numeric
+            guards).  ``None`` = auto: on exactly when the fault plan is
+            enabled; ``True`` forces it on for real backend failures
+            (:class:`~repro.backends.BackendTransientError` and friends).
+        numeric_guards: under the resilient executor, re-run an op whose
+            output came back non-finite via its direct scheme
+            (sliding-window conv / non-Strassen GEMM), once.
+        retries: extra attempts for transient per-op failures before
+            escalating to the backend fallback.
+        breaker_threshold: consecutive op failures on the primary
+            backend before its circuit breaker opens.
+        breaker_cooldown_s: how long an open breaker short-circuits the
+            primary before probing it again.
     """
 
     backend: Union[str, Backend] = "cpu"
@@ -106,6 +128,12 @@ class SessionConfig:
     arena_execution: bool = False
     paranoid: bool = False
     trace: Optional[Tracer] = None
+    faults: Optional[FaultPlan] = None
+    resilience: Optional[bool] = None
+    numeric_guards: bool = True
+    retries: int = 3
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 0.25
 
 
 @dataclass
@@ -192,6 +220,19 @@ def choose_backend(
     return best
 
 
+def _poison_outputs(outputs: List[np.ndarray]) -> List[np.ndarray]:
+    """Corrupt one element of the first float output with NaN (``nan`` faults)."""
+    poisoned: List[np.ndarray] = []
+    done = False
+    for arr in outputs:
+        if not done and arr.dtype.kind == "f" and arr.size:
+            arr = arr.copy()
+            arr.flat[0] = np.nan
+            done = True
+        poisoned.append(arr)
+    return poisoned
+
+
 class Session:
     """A prepared inference instance over one graph (see module docstring)."""
 
@@ -204,6 +245,9 @@ class Session:
         self.graph = graph
         self.config = config or SessionConfig()
         self.tracer = self.config.trace if self.config.trace is not None else get_tracer()
+        self.faults = (
+            self.config.faults if self.config.faults is not None else get_fault_plan()
+        )
         self.clock = VirtualClock()
         self._order: List[Node] = []
         self._executions = {}
@@ -214,6 +258,17 @@ class Session:
         self._artifacts = artifacts
         self.prepare_wall_ms = 0.0
         self.last_run: Optional[RunStats] = None
+        # Resilient-executor state (see _run_resilient): lazily created
+        # fallback executions / direct-scheme runners, the recovery
+        # backend behind them, and the primary's circuit breaker.
+        self._fallback_execs: Dict[str, object] = {}
+        self._direct_runners: Dict[str, object] = {}
+        self._recovery: Optional[Backend] = None
+        self._breaker: Optional[CircuitBreaker] = None
+        self._resilient = (
+            self.config.resilience if self.config.resilience is not None
+            else self.faults.enabled
+        )
         self._prepare()
 
     # -- pre-inference -----------------------------------------------------
@@ -244,6 +299,10 @@ class Session:
         cfg = self.config
         tracer = self.tracer
         with tracer.span("session.prepare", "session", graph=self.graph.name) as prep:
+            if self.faults.enabled:
+                # A transient/fatal fault here fails session creation —
+                # or, mid-resize, exercises the snapshot/rollback path.
+                self.faults.fire("session.prepare", graph=self.graph.name)
             with tracer.span("graph.validate", "pre_inference"):
                 self.graph.validate()
                 self._order = [
@@ -302,6 +361,10 @@ class Session:
                     else:
                         self.fallback = self._make_backend("cpu")
                 sp.set(primary=self.primary.forward_type)
+                self._breaker = CircuitBreaker(
+                    cfg.breaker_threshold, cfg.breaker_cooldown_s,
+                    name=self.primary.forward_type,
+                )
 
             with tracer.span("create_executions", "pre_inference", ops=len(self._order)):
                 for node in self._order:
@@ -398,11 +461,16 @@ class Session:
             self.memory_plan, self._arena, self._artifacts,
             self.prepare_wall_ms, getattr(self, "primary", None),
             getattr(self, "fallback", None),
+            self._fallback_execs, self._direct_runners, self._recovery,
+            self._breaker,
         )
         self.graph = new_graph
         self._placement = {}
         self._executions = {}
         self._artifacts = None
+        self._fallback_execs = {}
+        self._direct_runners = {}
+        self._recovery = None
         self.clock.reset()
         try:
             self._prepare()
@@ -412,7 +480,9 @@ class Session:
             self.graph = old_graph
             (self._order, self._executions, self._placement, self.schemes,
              self.memory_plan, self._arena, self._artifacts,
-             self.prepare_wall_ms, self.primary, self.fallback) = snapshot
+             self.prepare_wall_ms, self.primary, self.fallback,
+             self._fallback_execs, self._direct_runners, self._recovery,
+             self._breaker) = snapshot
             raise
 
     def export_artifacts(self) -> SessionArtifacts:
@@ -484,7 +554,205 @@ class Session:
                     f"got {array.dtype}"
                 )
 
-    def run(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    # -- resilient per-op execution ---------------------------------------------
+    def _recovery_backend(self) -> Backend:
+        """The backend behind per-op fallback executions (lazily built).
+
+        The hybrid-placement fallback backend when it differs from the
+        primary (the paper's CPU-fallback rule re-applied at execution
+        time); for CPU-primary sessions, a *fresh* backend of the same
+        kind — same NumPy numerics, so degraded outputs stay
+        bit-identical — standing in for "restart the delegate".
+        """
+        if self._recovery is None:
+            if self.fallback is not self.primary:
+                self._recovery = self.fallback
+            else:
+                kind = (
+                    "cpu" if self.fallback.forward_type == "cpu" else "sim_cpu"
+                )
+                self._recovery = self._make_backend(kind)
+        return self._recovery
+
+    def _fallback_op(
+        self, node: Node, inputs: List[np.ndarray], reason: str
+    ) -> List[np.ndarray]:
+        """Re-dispatch one op onto the recovery backend (Parallax-style).
+
+        The execution is created lazily per node, *preserving the scheme
+        decision* of the original placement, and cached for later
+        failures of the same op.  Counted in ``fallback.ops`` — except
+        for breaker short-circuits, which fired no fault and are counted
+        by the breaker itself.
+        """
+        execution = self._fallback_execs.get(node.name)
+        if execution is None:
+            backend = self._recovery_backend()
+            execution = backend.on_create(node, self.graph, self.schemes.get(node.name))
+            execution.prepare(self.graph)
+            self._fallback_execs[node.name] = execution
+        outputs = execution.run(inputs)
+        if reason != "breaker_open":
+            get_metrics().counter("fallback.ops").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fallback.op", "session", node=node.name, reason=reason
+            )
+        return outputs
+
+    def _direct_runner(self, node: Node):
+        """The direct-scheme alternative for ``node`` (``None`` if none).
+
+        Convolutions running Winograd/Strassen-flavoured schemes get a
+        sliding-window (im2col) runner; Strassen GEMM/FC ops get a plain
+        tiled GEMM.  Built on first use, cached (including the negative
+        answer) per node.
+        """
+        if node.name in self._direct_runners:
+            return self._direct_runners[node.name]
+        from ..backends.op_runners import build_runner
+
+        runner = None
+        if node.op_type == Op.CONV2D:
+            scheme = self.schemes.get(node.name)
+            if scheme is not None and scheme.kind != "sliding":
+                runner = build_runner(
+                    node, self.graph, SchemeDecision(kind="sliding"),
+                    use_strassen=False,
+                )
+        elif self.config.use_strassen and node.op_type in (
+            Op.MATMUL, Op.FULLY_CONNECTED
+        ):
+            runner = build_runner(node, self.graph, None, use_strassen=False)
+        self._direct_runners[node.name] = runner
+        return runner
+
+    def _numeric_fallback(
+        self,
+        node: Node,
+        execution,
+        inputs: List[np.ndarray],
+        outputs: List[np.ndarray],
+        injected: bool,
+    ) -> List[np.ndarray]:
+        """One-shot re-run of an op whose output came back non-finite.
+
+        Eligible ops re-run via their direct scheme (the numerically
+        plain path); an injected corruption on an op with no alternative
+        scheme re-runs the original execution (the corruption was not
+        the kernel's).  Genuine non-finite output with no alternative is
+        returned as-is — the guard degrades, it never masks.
+        """
+        runner = self._direct_runner(node)
+        if runner is not None:
+            clean = runner.fn(inputs)
+        elif injected:
+            clean = execution.run(inputs)
+        else:
+            return outputs
+        get_metrics().counter("fallback.numeric").inc()
+        self.tracer.instant(
+            "numeric_fallback", "session",
+            node=node.name, op=node.op_type, injected=injected,
+        )
+        return clean
+
+    def _run_resilient(
+        self, node: Node, execution, inputs: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Run one op under the full resilience stack.
+
+        Order of defenses: circuit breaker (skip a demoted primary) →
+        fault-point evaluation + retry-with-backoff for transient
+        failures → per-op fallback re-dispatch for persistent ones →
+        numeric guard on the outputs.  The fallback path itself is not
+        fault-injected: it is the trusted last resort, as in the paper's
+        hybrid scheduling where CPU is assumed always-viable.
+        """
+        plan = self.faults
+        cfg = self.config
+        backend = self._placement[node.name]
+        scheme = self.schemes.get(node.name)
+        scheme_kind = scheme.kind if scheme is not None else None
+        breaker = self._breaker
+        nan_fault = [False]
+
+        def attempt() -> List[np.ndarray]:
+            nan_fault[0] = False
+            fault = None
+            if plan.enabled:
+                ctx = dict(
+                    op=node.op_type, node=node.name,
+                    backend=backend.forward_type, scheme=scheme_kind,
+                )
+                plan.fire("backend.dispatch", **ctx)
+                fault = plan.fire("kernel.execute", **ctx)
+            outputs = execution.run(inputs)
+            if fault is not None and fault.kind == "nan":
+                nan_fault[0] = True
+                outputs = _poison_outputs(outputs)
+            return outputs
+
+        if breaker is not None and not breaker.allow():
+            return self._fallback_op(node, inputs, reason="breaker_open")
+        try:
+            outputs = retry_transient(
+                attempt,
+                retries=cfg.retries,
+                rng=plan.rng_for("kernel.execute"),
+                label=node.name,
+                transient=(TransientFault, BackendTransientError),
+            )
+        except (InjectedFault, BackendError) as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            outputs = self._fallback_op(node, inputs, reason=type(exc).__name__)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            if cfg.numeric_guards and nonfinite_count(outputs):
+                outputs = self._numeric_fallback(
+                    node, execution, inputs, outputs, injected=nan_fault[0]
+                )
+        return outputs
+
+    def _run_injected(
+        self, node: Node, execution, inputs: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Fire the per-op fault points with every defense disabled.
+
+        Used when a fault plan is enabled but the session was configured
+        with ``resilience=False``: injected failures escape to the
+        caller undefended — exactly what a test asserting raw failure
+        modes wants.
+        """
+        plan = self.faults
+        scheme = self.schemes.get(node.name)
+        ctx = dict(
+            op=node.op_type, node=node.name,
+            backend=self._placement[node.name].forward_type,
+            scheme=scheme.kind if scheme is not None else None,
+        )
+        plan.fire("backend.dispatch", **ctx)
+        fault = plan.fire("kernel.execute", **ctx)
+        outputs = execution.run(inputs)
+        if fault is not None and fault.kind == "nan":
+            outputs = _poison_outputs(outputs)
+        return outputs
+
+    def _op_executor(self):
+        """The per-op run function, or ``None`` for the plain fast path."""
+        if self._resilient:
+            return self._run_resilient
+        if self.faults.enabled:
+            return self._run_injected
+        return None
+
+    def run(
+        self,
+        feeds: Dict[str, np.ndarray],
+        deadline: Optional[Deadline] = None,
+    ) -> Dict[str, np.ndarray]:
         """Execute one inference.
 
         Args:
@@ -492,16 +760,21 @@ class Session:
                 descriptors exactly — shape and dtype (a float64 feed to a
                 float32 input raises rather than silently widening every
                 kernel downstream).
+            deadline: optional remaining-budget deadline for this run;
+                checked before every operator, so a stalled kernel makes
+                the *next* checkpoint raise instead of the request
+                hanging unboundedly.
 
         Returns:
             output name -> array.
 
         Raises:
             GraphError: on missing inputs or shape/dtype mismatches.
+            DeadlineExceeded: when ``deadline``'s budget runs out.
         """
         if self._parallel_active():
-            return self._execute_parallel(feeds, self.tracer)
-        return self._execute(feeds, self.tracer)
+            return self._execute_parallel(feeds, self.tracer, deadline)
+        return self._execute(feeds, self.tracer, deadline)
 
     def _parallel_active(self) -> bool:
         """Whether ``run`` takes the thread-pool dataflow path."""
@@ -512,7 +785,10 @@ class Session:
         )
 
     def _execute_parallel(
-        self, feeds: Dict[str, np.ndarray], tracer: Tracer
+        self,
+        feeds: Dict[str, np.ndarray],
+        tracer: Tracer,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[str, np.ndarray]:
         """Dataflow execution on a thread pool (independent branches overlap).
 
@@ -528,6 +804,7 @@ class Session:
 
         graph = self.graph
         self._check_feeds(feeds)
+        run_op = self._op_executor()
         trace_on = tracer.enabled
         start_wall = time.perf_counter()
         env: Dict[str, np.ndarray] = dict(feeds)
@@ -553,6 +830,8 @@ class Session:
             if failed.is_set():  # drain: a sibling already failed
                 return
             try:
+                if deadline is not None:
+                    deadline.check(node.name)
                 execution = self._executions[node.name]
                 with lock:  # producers write env under this lock
                     inputs = [env[name] for name in execution.runner.dynamic_inputs]
@@ -560,7 +839,10 @@ class Session:
                     # Per-op span from inside the worker: the recording
                     # thread id gives the trace its parallel lanes.
                     op_start = time.perf_counter()
-                    outputs = execution.run(inputs)
+                    outputs = (
+                        run_op(node, execution, inputs)
+                        if run_op is not None else execution.run(inputs)
+                    )
                     tracer.record(
                         node.name, "op", op_start, time.perf_counter(),
                         op=node.op_type,
@@ -568,7 +850,10 @@ class Session:
                         virtual_ms=0.0,
                     )
                 else:
-                    outputs = execution.run(inputs)
+                    outputs = (
+                        run_op(node, execution, inputs)
+                        if run_op is not None else execution.run(inputs)
+                    )
                 ready: List[Node] = []
                 with lock:
                     for name, value in zip(node.outputs, outputs):
@@ -660,11 +945,15 @@ class Session:
         return outputs, profile
 
     def _execute(
-        self, feeds: Dict[str, np.ndarray], tracer: Tracer
+        self,
+        feeds: Dict[str, np.ndarray],
+        tracer: Tracer,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[str, np.ndarray]:
         graph = self.graph
         self._check_feeds(feeds)
 
+        run_op = self._op_executor()
         trace_on = tracer.enabled
         start_wall = time.perf_counter()
         start_virtual = self.clock.now_ms
@@ -684,6 +973,8 @@ class Session:
             backend.on_execute_begin()
 
         for node in self._order:
+            if deadline is not None:
+                deadline.check(node.name)
             backend = self._placement[node.name]
             execution = self._executions[node.name]
             runner = execution.runner
@@ -703,7 +994,10 @@ class Session:
             if trace_on:
                 op_wall = time.perf_counter()
                 op_virtual = self.clock.now_ms
-                outputs = execution.run(inputs)
+                outputs = (
+                    run_op(node, execution, inputs)
+                    if run_op is not None else execution.run(inputs)
+                )
                 tracer.record(
                     node.name, "op", op_wall, time.perf_counter(),
                     op=node.op_type,
@@ -711,7 +1005,10 @@ class Session:
                     virtual_ms=self.clock.now_ms - op_virtual,
                 )
             else:
-                outputs = execution.run(inputs)
+                outputs = (
+                    run_op(node, execution, inputs)
+                    if run_op is not None else execution.run(inputs)
+                )
             for name, value in zip(node.outputs, outputs):
                 if (
                     self.config.arena_execution

@@ -1,0 +1,441 @@
+"""The chaos self-test: a seeded fault storm the engine must survive.
+
+``run_chaos_storm`` drives four phases over a small CNN, each activating
+a different slice of the fault-point catalog, and checks three things:
+
+1. **No crashes** — every request either returns or fails alone with a
+   typed :class:`~repro.faults.ResilienceError`; the engine keeps
+   serving.
+2. **Degraded ≡ correct** — every response produced under injection
+   matches a fault-free gold run: bit-identically in the cache, pool and
+   numeric phases (the gold is the *same* computation, so CPU fallback
+   re-dispatch and the direct-scheme rerun are exact), and to a tight
+   numeric tolerance in the batch phase, where bisection legitimately
+   re-runs requests in a different batch composition (batched BLAS GEMM
+   is not bitwise batch-invariant; observed drift is ~1e-12).
+3. **The books balance** — every injected fault is absorbed by exactly
+   one resilience counter::
+
+       faults.injected == retry.attempts + fallback.ops
+                        + fallback.numeric + fallback.cache
+                        + faults.isolated
+
+Phases (repeated with per-round seeds until ``target_faults`` is met):
+
+* **cache**  — transient/corrupt loads, transient/torn stores during
+  engine warm-up; later engines read the torn entries back.
+* **pool+dispatch** — transient pool checkouts (retried, occasionally
+  escalating to an isolated request), fatal backend dispatches and
+  flaky kernels absorbed by per-op CPU fallback under the breaker.
+* **batch** — fatal batch assembly cascading through bisect-and-retry
+  until poison requests fail alone; flaky kernels inside batch runs.
+* **numeric** — every Winograd-eligible convolution forced onto
+  Winograd and its output poisoned with NaN, forcing the one-shot
+  direct-scheme re-run (gold: the same model with sliding-window
+  schemes on those convs).
+
+Determinism: all request loops are single-threaded, breakers run with
+``cooldown_s=0`` (every post-open call probes, so no wall-clock-dependent
+short circuits), and batches are submitted in full ``max_batch`` rounds —
+the injection sequence is a pure function of the seed, which the replay
+test exploits.
+
+This module imports ``repro.core``/``repro.serving`` and is therefore
+*not* re-exported from ``repro.faults`` (import cycle); import it lazily,
+as the CLI and tests do.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.schemes import SchemeDecision
+from ..core.session import Session, SessionConfig
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.ops import Op
+from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from .errors import ResilienceError
+from .plan import FaultPlan, FaultRule, set_fault_plan
+
+__all__ = ["PhaseResult", "ChaosReport", "run_chaos_storm", "default_chaos_graph"]
+
+#: The sites the storm must demonstrably cover (the tentpole's five
+#: fault-point groups; cache load and store are distinct sites).
+STORM_SITES = (
+    "backend.dispatch",
+    "kernel.execute",
+    "cache.load",
+    "cache.store",
+    "pool.checkout",
+    "batch.assemble",
+)
+
+
+def default_chaos_graph(batch: int = 1, size: int = 16) -> Graph:
+    """A small CNN with Winograd-eligible 3x3 convs (the storm's model)."""
+    b = GraphBuilder("chaosnet")
+    x = b.input("data", (batch, 3, size, size))
+    y = b.conv(x, 8, kernel=3, name="conv1")
+    y = b.relu(y)
+    y = b.conv(y, 8, kernel=3, name="conv2")
+    y = b.max_pool(y, 2)
+    y = b.conv(y, 16, kernel=1, name="conv3")
+    y = b.global_avg_pool(y)
+    y = b.flatten(y)
+    y = b.fc(y, 10, name="fc")
+    y = b.softmax(y)
+    b.output(y)
+    return b.finish()
+
+
+@dataclass
+class PhaseResult:
+    """Per-phase tally of one storm round."""
+
+    phase: str
+    requests: int = 0
+    failed: int = 0       # requests that failed alone, with a typed error
+    mismatched: int = 0   # responses that were not bit-identical to gold
+    crashes: int = 0      # untyped exceptions — the thing that must not happen
+    injected: int = 0     # faults this phase's plan fired
+
+
+@dataclass
+class ChaosReport:
+    """The storm's verdict: counters, coverage and the balance check."""
+
+    seed: int
+    target: int
+    rounds: int = 0
+    requests: int = 0
+    failed: int = 0
+    mismatched: int = 0
+    crashes: int = 0
+    injected: int = 0
+    retries: int = 0
+    fallback_ops: int = 0
+    fallback_numeric: int = 0
+    fallback_cache: int = 0
+    isolated: int = 0
+    breaker_opens: int = 0
+    short_circuits: int = 0
+    cache_corrupt: int = 0
+    site_counts: Dict[str, int] = field(default_factory=dict)
+    events: List[Tuple[str, str]] = field(default_factory=list)
+    phases: List[PhaseResult] = field(default_factory=list)
+
+    @property
+    def absorbed(self) -> int:
+        """Faults accounted for by exactly one resilience mechanism."""
+        return (
+            self.retries + self.fallback_ops + self.fallback_numeric
+            + self.fallback_cache + self.isolated
+        )
+
+    @property
+    def reconciled(self) -> bool:
+        return self.injected == self.absorbed
+
+    @property
+    def sites_covered(self) -> bool:
+        return all(self.site_counts.get(site, 0) > 0 for site in STORM_SITES)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.crashes == 0
+            and self.mismatched == 0
+            and self.reconciled
+            and self.sites_covered
+            and self.injected >= self.target
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos storm: seed={self.seed} rounds={self.rounds} "
+            f"requests={self.requests}",
+            f"  injected   {self.injected} (target {self.target}) across "
+            + ", ".join(
+                f"{site}={self.site_counts.get(site, 0)}" for site in STORM_SITES
+            ),
+            f"  absorbed   {self.absorbed} = retries {self.retries} "
+            f"+ op fallbacks {self.fallback_ops} "
+            f"+ numeric fallbacks {self.fallback_numeric} "
+            f"+ cache fallbacks {self.fallback_cache} "
+            f"+ isolated {self.isolated}",
+            f"  breaker    {self.breaker_opens} opens, "
+            f"{self.short_circuits} short circuits (outside the equation)",
+            f"  requests   {self.requests - self.failed} served bit-identical, "
+            f"{self.failed} failed alone (typed), {self.mismatched} mismatched, "
+            f"{self.crashes} crashes",
+            f"  reconciled {'yes' if self.reconciled else 'NO'}; "
+            f"verdict {'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def _bit_identical(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]
+) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def _numerically_equal(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]
+) -> bool:
+    """Equality up to batch-recomposition noise (used by the batch phase).
+
+    Bisection re-runs a request at batch sizes 2/1 instead of 4, and
+    batched BLAS GEMM is not bitwise batch-invariant — fault-free drift
+    is ~1e-12, so this tolerance still catches any real corruption.
+    """
+    return set(a) == set(b) and all(
+        np.isfinite(a[k]).all()
+        and np.allclose(a[k], b[k], rtol=1e-6, atol=1e-9)
+        for k in a
+    )
+
+
+def _finish_phase(result: PhaseResult, plan: FaultPlan, report: ChaosReport) -> None:
+    result.injected = plan.injected
+    for site, count in plan.site_counts().items():
+        report.site_counts[site] = report.site_counts.get(site, 0) + count
+    report.events.extend(plan.events())
+    report.requests += result.requests
+    report.failed += result.failed
+    report.mismatched += result.mismatched
+    report.crashes += result.crashes
+    report.phases.append(result)
+
+
+def _phase_cache(graph, feeds, gold, seed, cache_dir, report) -> None:
+    """Cache storm: engine warm-ups under IO faults and torn entries."""
+    from ..serving.engine import Engine, EngineConfig
+
+    plan = FaultPlan([
+        FaultRule("cache.load", "transient", times=3),
+        FaultRule("cache.load", "corrupt", times=2),
+        FaultRule("cache.store", "torn", times=2),
+        FaultRule("cache.store", "transient", times=2),
+    ], seed=seed)
+    result = PhaseResult("cache")
+    for _ in range(3):  # each engine: pool_size load/store cycles
+        engine = Engine(graph, EngineConfig(
+            session=SessionConfig(breaker_cooldown_s=0.0),
+            pool_size=2, use_cache=True, cache_dir=cache_dir,
+            faults=plan, metrics=get_metrics(),
+        ))
+        with engine:
+            result.requests += 1
+            try:
+                out = engine.infer(feeds)
+            except ResilienceError:
+                result.failed += 1
+            except Exception:
+                result.crashes += 1
+            else:
+                if not _bit_identical(out, gold):
+                    result.mismatched += 1
+    _finish_phase(result, plan, report)
+
+
+def _phase_pool_dispatch(graph, feeds, gold, seed, report) -> None:
+    """Pool checkout + backend dispatch + kernel faults, serial requests."""
+    from ..serving.engine import Engine, EngineConfig
+
+    plan = FaultPlan([
+        FaultRule("pool.checkout", "transient", p=0.5, times=10),
+        FaultRule("backend.dispatch", "fatal", times=8),
+        FaultRule("kernel.execute", "transient", p=0.3, times=12),
+    ], seed=seed)
+    result = PhaseResult("pool+dispatch")
+    engine = Engine(graph, EngineConfig(
+        session=SessionConfig(breaker_cooldown_s=0.0),
+        pool_size=2, use_cache=False,
+        faults=plan, metrics=get_metrics(),
+    ))
+    with engine:
+        for _ in range(12):
+            result.requests += 1
+            try:
+                out = engine.infer(feeds)
+            except ResilienceError:
+                result.failed += 1  # typed, counted, engine still up
+            except Exception:
+                result.crashes += 1
+            else:
+                if not _bit_identical(out, gold):
+                    result.mismatched += 1
+    _finish_phase(result, plan, report)
+
+
+def _phase_batch(graph, request_feeds, golds, seed, report) -> None:
+    """Batch storm: poison cohorts bisected until they fail alone."""
+    from ..serving.engine import Engine, EngineConfig
+
+    plan = FaultPlan([
+        FaultRule("batch.assemble", "fatal", times=7),
+        FaultRule("kernel.execute", "transient", p=0.25, times=10),
+    ], seed=seed)
+    result = PhaseResult("batch")
+    engine = Engine(graph, EngineConfig(
+        session=SessionConfig(breaker_cooldown_s=0.0),
+        pool_size=1, use_cache=False,
+        batching=True, max_batch=4, batch_timeout_ms=500.0,
+        faults=plan, metrics=get_metrics(),
+    ))
+    with engine:
+        # Full rounds of max_batch from one thread, resolved before the
+        # next round: batch composition (and so the cascade) is
+        # deterministic.
+        for round_feeds in request_feeds:
+            futures = [engine.batcher.submit(f) for f in round_feeds]
+            for future, feeds in zip(futures, round_feeds):
+                result.requests += 1
+                try:
+                    out = future.result(timeout=60.0)
+                except ResilienceError:
+                    result.failed += 1
+                except Exception:
+                    result.crashes += 1
+                else:
+                    key = next(iter(feeds.values())).tobytes()
+                    if not _numerically_equal(out, golds[key]):
+                        result.mismatched += 1
+    _finish_phase(result, plan, report)
+
+
+def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report) -> None:
+    """NaN-poison every Winograd conv; outputs must match the direct run."""
+    plan = FaultPlan([
+        FaultRule(
+            "kernel.execute", "nan",
+            match={"scheme": ("winograd", "winograd_rect")},
+        ),
+    ], seed=seed)
+    result = PhaseResult("numeric")
+    session = Session(graph, SessionConfig(
+        scheme_overrides=overrides, faults=plan, breaker_cooldown_s=0.0,
+    ))
+    for _ in range(10):
+        result.requests += 1
+        try:
+            out = session.run(feeds)
+        except ResilienceError:
+            result.failed += 1
+        except Exception:
+            result.crashes += 1
+        else:
+            if not np.isfinite(next(iter(out.values()))).all():
+                result.mismatched += 1
+            elif not _bit_identical(out, gold_direct):
+                result.mismatched += 1
+    _finish_phase(result, plan, report)
+
+
+def run_chaos_storm(
+    graph: Optional[Graph] = None,
+    seed: int = 0,
+    target_faults: int = 200,
+    max_rounds: int = 50,
+) -> ChaosReport:
+    """Run the four-phase fault storm until ``target_faults`` have fired.
+
+    Installs a fresh process-wide metrics registry (and a disabled
+    process-wide fault plan, so gold runs stay clean even under
+    ``$REPRO_FAULTS``) for the duration; both are restored on return.
+    """
+    if graph is None:
+        graph = default_chaos_graph()
+    report = ChaosReport(seed=seed, target=target_faults)
+
+    prev_metrics = set_metrics(MetricsRegistry())
+    prev_plan = set_fault_plan(FaultPlan())
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        rng = np.random.default_rng(seed)
+        in_name = graph.inputs[0]
+        in_shape = graph.desc(in_name).shape
+        feeds = {in_name: rng.standard_normal(in_shape).astype(np.float32)}
+
+        # Gold A/B/C: one fault-free session over the same graph.
+        gold = Session(graph).run(feeds)
+
+        # Phase C request set: 2 rounds of 4 distinct requests per storm
+        # round, plus their fault-free per-request golds (computed through
+        # an identically configured fault-free batching engine, so batch
+        # math matches exactly).
+        batch_rounds = []
+        for _ in range(2):
+            batch_rounds.append([
+                {in_name: rng.standard_normal(in_shape).astype(np.float32)}
+                for _ in range(4)
+            ])
+        golds_by_input: Dict[bytes, Dict[str, np.ndarray]] = {}
+        gold_session = Session(graph)
+        for round_feeds in batch_rounds:
+            for f in round_feeds:
+                golds_by_input[f[in_name].tobytes()] = gold_session.run(f)
+
+        # Phase D: force Winograd on every eligible 3x3 conv (unit
+        # stride/dilation, ungrouped); gold runs the same convs direct.
+        # Convs whose natural scheme is already a Winograd flavour keep
+        # it, so the NaN rule hits them too.
+        probe = Session(graph)
+        wino_overrides: Dict[str, SchemeDecision] = {}
+        direct_overrides: Dict[str, SchemeDecision] = {}
+        for node in probe.graph.nodes:
+            if node.op_type != Op.CONV2D:
+                continue
+            attrs = node.attrs
+            eligible = (
+                tuple(attrs.get("kernel", ())) == (3, 3)
+                and tuple(attrs.get("stride", (1, 1))) == (1, 1)
+                and tuple(attrs.get("dilation", (1, 1))) == (1, 1)
+                and attrs.get("groups", 1) == 1
+            )
+            natural = probe.schemes.get(node.name)
+            if eligible:
+                wino_overrides[node.name] = SchemeDecision(
+                    kind="winograd", winograd_n=2
+                )
+                direct_overrides[node.name] = SchemeDecision(kind="sliding")
+            elif natural is not None and natural.kind.startswith("winograd"):
+                wino_overrides[node.name] = natural
+                direct_overrides[node.name] = SchemeDecision(kind="sliding")
+        gold_direct = Session(
+            graph, SessionConfig(scheme_overrides=direct_overrides)
+        ).run(feeds)
+
+        while report.injected < target_faults and report.rounds < max_rounds:
+            base = seed + report.rounds * 1000
+            _phase_cache(graph, feeds, gold, base + 1, tmp, report)
+            _phase_pool_dispatch(graph, feeds, gold, base + 2, report)
+            _phase_batch(graph, batch_rounds, golds_by_input, base + 3, report)
+            _phase_numeric(
+                graph, feeds, gold_direct, base + 4, wino_overrides, report
+            )
+            report.rounds += 1
+            metrics = get_metrics()
+            report.injected = int(metrics.value("faults.injected"))
+
+        metrics = get_metrics()
+        report.injected = int(metrics.value("faults.injected"))
+        report.retries = int(metrics.value("retry.attempts"))
+        report.fallback_ops = int(metrics.value("fallback.ops"))
+        report.fallback_numeric = int(metrics.value("fallback.numeric"))
+        report.fallback_cache = int(metrics.value("fallback.cache"))
+        report.isolated = int(metrics.value("faults.isolated"))
+        report.breaker_opens = int(metrics.value("breaker.opens"))
+        report.short_circuits = int(metrics.value("breaker.short_circuits"))
+        report.cache_corrupt = int(metrics.value("cache.corrupt"))
+        return report
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+        set_metrics(prev_metrics)
+        set_fault_plan(prev_plan)

@@ -1,5 +1,7 @@
 """Optimized compute kernels (the paper's Section 3.3)."""
 
+import numpy as _np
+
 from .layout import conv2d_1x1_packed, pack_nc4hw4, packed_shape, unpack_nc4hw4
 from .matmul import (
     DEFAULT_TILE,
@@ -39,7 +41,23 @@ from .misc import conv_transpose2d, fully_connected, pad_nd, reduce_mean, resize
 from .sequence import gelu, layer_norm, lstm_forward
 from .quantized import qconv2d, quantize_tensor, quantize_weights_per_channel
 
+
+def nonfinite_count(arrays) -> int:
+    """Total NaN/Inf elements across ``arrays`` (the numeric-guard test).
+
+    Fast-path: integer/bool arrays cannot hold non-finite values and are
+    skipped without a scan.
+    """
+    total = 0
+    for arr in arrays:
+        if arr is None or not _np.issubdtype(arr.dtype, _np.floating):
+            continue
+        total += int(arr.size - _np.count_nonzero(_np.isfinite(arr)))
+    return total
+
+
 __all__ = [
+    "nonfinite_count",
     "conv2d_1x1_packed",
     "pack_nc4hw4",
     "packed_shape",

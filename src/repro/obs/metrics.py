@@ -204,6 +204,20 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        """Read a counter/gauge without creating it (absent → ``default``).
+
+        Handy for reconciliation checks: a counter that never fired has
+        no entry, and ``counter(name)`` would materialize a zero.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        raise TypeError(f"metric {name!r} is a {type(metric).__name__}; use summary()")
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A stable JSON-serializable snapshot of every metric.
 

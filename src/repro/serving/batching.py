@@ -31,8 +31,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.session import Session
+from ..faults import FaultPlan, get_fault_plan, mark_isolated
 from ..ir.graph import GraphError
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracer import Tracer, get_tracer
 
 __all__ = ["BatchStats", "MicroBatcher"]
@@ -112,6 +113,7 @@ class MicroBatcher:
         timeout_ms: float = 2.0,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         """Args:
             session_factory: builds a batch-execution session at the
@@ -132,6 +134,7 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.timeout_ms = timeout_ms
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.faults = faults if faults is not None else get_fault_plan()
         self.stats = BatchStats(metrics)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -229,13 +232,57 @@ class MicroBatcher:
             sig, items = bucket
             try:
                 results = self._run_batch(sig, items)
+            except Exception as exc:
+                self._degrade(sig, items, exc)
+                continue
             except BaseException as exc:
+                # KeyboardInterrupt / SystemExit are not per-request
+                # failures: unblock waiters with a plain error, then let
+                # the interrupt take down the dispatcher thread itself.
+                err = RuntimeError(
+                    f"batch dispatcher interrupted by {type(exc).__name__} "
+                    f"(bucket {sig!r}, {len(items)} requests in flight)"
+                )
                 for item in items:
                     if not item.future.done():
-                        item.future.set_exception(exc)
-                continue
+                        item.future.set_exception(err)
+                raise
             for item, result in zip(items, results):
                 item.future.set_result(result)
+
+    def _degrade(self, sig: Tuple, items: List[_Pending], exc: Exception) -> None:
+        """Graceful degradation: bisect a failed batch and retry the halves.
+
+        A poison request thereby fails alone (its future gets the real
+        exception, annotated with the bucket and cohort size) while its
+        batch-mates still get answers.  Each non-terminal retry counts in
+        ``retry.attempts``; a terminal single-request failure of an
+        injected fault counts once in ``faults.isolated``.
+        """
+        try:
+            exc.batch_bucket = sig
+            exc.batch_members = len(items)
+        except AttributeError:  # exceptions with __slots__
+            pass
+        if len(items) == 1:
+            mark_isolated(exc)
+            if not items[0].future.done():
+                items[0].future.set_exception(exc)
+            return
+        get_metrics().counter("retry.attempts").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "batch.bisect", "serving", requests=len(items), error=str(exc)
+            )
+        mid = (len(items) + 1) // 2
+        for half in (items[:mid], items[mid:]):
+            try:
+                results = self._run_batch(sig, half)
+            except Exception as sub:
+                self._degrade(sig, half, sub)
+            else:
+                for item, result in zip(half, results):
+                    item.future.set_result(result)
 
     def _run_batch(
         self, sig: Tuple, items: List[_Pending]
@@ -248,6 +295,10 @@ class MicroBatcher:
             if session is None:
                 session = self._sessions[sig] = self._factory()
             with tracer.span("batch.assemble", "serving"):
+                if self.faults.enabled:
+                    self.faults.fire(
+                        "batch.assemble", requests=len(items), samples=total
+                    )
                 feeds = {
                     name: np.concatenate(
                         [item.feeds[name] for item in items], axis=0

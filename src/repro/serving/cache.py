@@ -42,9 +42,11 @@ from ..backends.base import Backend
 from ..core.memory import MemoryPlan
 from ..core.schemes import SchemeDecision
 from ..core.session import Session, SessionArtifacts, SessionConfig
+from ..faults import FaultPlan, get_fault_plan
 from ..ir.graph import Graph
 from ..ir.serialization import graph_signature
 from ..kernels import winograd as winograd_mod
+from ..obs.metrics import MetricsRegistry, get_metrics
 
 __all__ = [
     "CACHE_ENV_VAR",
@@ -169,10 +171,32 @@ def _config_fingerprint(config: SessionConfig) -> Dict[str, Any]:
 
 
 class PreInferenceCache:
-    """File-backed store of :class:`PreInferenceArtifacts`, one JSON per key."""
+    """File-backed store of :class:`PreInferenceArtifacts`, one JSON per key.
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    Failure semantics (the resilience contract): a *missing* entry is a
+    miss; an *unreadable* entry (truncated JSON, wrong signature, torn
+    write) is also a miss but additionally counts in ``cache.corrupt`` —
+    the cache degrades to recompute, never errors.  An active
+    :class:`~repro.faults.FaultPlan` can inject ``transient`` IO errors
+    (retried by the engine), ``corrupt`` reads and ``torn`` writes at the
+    ``cache.load`` / ``cache.store`` fault points.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        # Resilience counters default to the process-wide registry (the
+        # one the fault plan increments), so reconciliation sees them all.
+        self._metrics = metrics
+        self.faults = faults if faults is not None else get_fault_plan()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_metrics()
 
     # -- keying ------------------------------------------------------------
     def key(
@@ -200,23 +224,61 @@ class PreInferenceCache:
 
     # -- IO ----------------------------------------------------------------
     def load(self, key: str) -> Optional[PreInferenceArtifacts]:
-        """The artifacts for ``key``, or ``None`` (missing/corrupt/stale)."""
+        """The artifacts for ``key``, or ``None`` (missing/corrupt/stale).
+
+        Raises:
+            TransientFault: only under an active fault plan injecting a
+                transient IO error (the engine retries these).
+        """
+        if self.faults.enabled:
+            # ``transient`` raises from fire(); ``corrupt`` makes this
+            # load behave as if the entry were unreadable.
+            fault = self.faults.fire("cache.load", key=key)
+            if fault is not None and fault.kind == "corrupt":
+                self.metrics.counter("cache.corrupt").inc()
+                self.metrics.counter("fallback.cache").inc()
+                return None
         path = self.path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
             return PreInferenceArtifacts.from_json(data)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError, KeyError, TypeError):
+            # Present but unreadable: truncated/torn/stale entry.  Purely
+            # observational (outside the fault reconciliation equation —
+            # an injected *torn* write was already accounted at the
+            # store-side fire).
+            self.metrics.counter("cache.corrupt").inc()
             return None
 
     def store(self, key: str, artifacts: PreInferenceArtifacts) -> Path:
-        """Atomically persist ``artifacts`` under ``key``; returns the path."""
+        """Atomically persist ``artifacts`` under ``key``; returns the path.
+
+        Raises:
+            TransientFault: only under an active fault plan injecting a
+                transient IO error (the engine retries these).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
+        payload = json.dumps(artifacts.to_json(), separators=(",", ":"))
+        if self.faults.enabled:
+            fault = self.faults.fire("cache.store", key=key)
+            if fault is not None and fault.kind == "torn":
+                # Simulate a crash mid-write that bypassed the atomic
+                # rename: a truncated entry lands at the final path.  The
+                # degradation this causes (a later load treats it as a
+                # miss and recomputes) is accounted *now* — the later
+                # read may happen in a different process entirely.
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(payload[: max(1, len(payload) // 2)])
+                self.metrics.counter("fallback.cache").inc()
+                return path
         fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(artifacts.to_json(), fh, separators=(",", ":"))
+                fh.write(payload)
             os.replace(tmp, path)  # atomic on POSIX: readers see old or new
         except BaseException:
             try:

@@ -20,12 +20,23 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.session import Session, SessionConfig
+from ..faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    InjectedFault,
+    TransientFault,
+    get_fault_plan,
+    mark_isolated,
+    retry_transient,
+)
+from ..faults.resilience import Deadline
 from ..ir.graph import Graph
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, get_tracer
@@ -58,6 +69,15 @@ class EngineConfig:
         metrics: the :class:`repro.obs.MetricsRegistry` backing this
             engine's :class:`EngineStats`, pool and batcher counters.
             ``None`` creates a private registry per engine.
+        faults: a :class:`repro.faults.FaultPlan` injected at every
+            serving-layer fault point (cache load/store, pool checkout,
+            batch assembly) and — unless the session config pins its own
+            — into every worker session.  ``None`` falls back to the
+            process-wide plan (``$REPRO_FAULTS``, default disabled).
+        deadline_ms: default per-request deadline budget for
+            :meth:`Engine.infer`; ``None`` means no deadline.
+        retries: extra attempts for transient failures (cache IO, pool
+            checkout) before escalating.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -69,6 +89,9 @@ class EngineConfig:
     batch_timeout_ms: float = 2.0
     trace: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    faults: Optional[FaultPlan] = None
+    deadline_ms: Optional[float] = None
+    retries: int = 3
 
 
 class EngineStats:
@@ -148,19 +171,27 @@ class Engine:
             else MetricsRegistry()
         )
         self.stats = EngineStats(self.metrics)
+        self.faults = (
+            self.config.faults if self.config.faults is not None
+            else get_fault_plan()
+        )
         self.cache = (
-            PreInferenceCache(self.config.cache_dir)
+            PreInferenceCache(self.config.cache_dir, faults=self.faults)
             if self.config.use_cache else None
         )
         self._cache_key: Optional[str] = None
-        # Worker sessions inherit the engine's tracer unless the session
-        # config pins its own, so one trace shows serving + execution.
+        # Worker sessions inherit the engine's tracer and fault plan
+        # unless the session config pins its own, so one trace shows
+        # serving + execution and one plan covers every layer.
         self._session_config = self.config.session
         if self.tracer.enabled and self._session_config.trace is None:
             self._session_config = replace(self._session_config, trace=self.tracer)
+        if self.config.faults is not None and self._session_config.faults is None:
+            self._session_config = replace(self._session_config, faults=self.faults)
         self.pool = SessionPool(
             self._create_session, self.config.pool_size,
             metrics=self.metrics, tracer=self.tracer,
+            faults=self.faults, retries=self.config.retries,
         )
         self.batcher = (
             MicroBatcher(
@@ -169,6 +200,7 @@ class Engine:
                 timeout_ms=self.config.batch_timeout_ms,
                 metrics=self.metrics,
                 tracer=self.tracer,
+                faults=self.faults,
             )
             if self.config.batching else None
         )
@@ -188,7 +220,9 @@ class Engine:
                 if self._cache_key is None:
                     self._cache_key = self.cache.key(self.graph, self.config.session)
                 with self.tracer.span("cache.lookup", "serving"):
-                    cached = self.cache.load(self._cache_key)
+                    cached = self._cache_io(
+                        lambda: self.cache.load(self._cache_key), "cache.load"
+                    )
                 if cached is not None:
                     artifacts = cached.apply()
                     hit = True
@@ -203,10 +237,38 @@ class Engine:
             span.set(cache_hit=hit, prepare_ms=prepare_ms)
             if self.cache is not None and not hit:
                 with self.tracer.span("cache.store", "serving"):
-                    self.cache.store(
-                        self._cache_key, PreInferenceArtifacts.from_session(session)
+                    self._cache_io(
+                        lambda: self.cache.store(
+                            self._cache_key,
+                            PreInferenceArtifacts.from_session(session),
+                        ),
+                        "cache.store",
                     )
         return session
+
+    def _cache_io(self, fn, label: str):
+        """Run a cache operation with transient-retry, degrading on failure.
+
+        Transient IO faults are retried with backoff; if they persist the
+        engine falls back to running cacheless for this call (a miss /
+        skipped store), counted in ``fallback.cache`` — the cache must
+        never be able to take down session creation.
+        """
+        try:
+            return retry_transient(
+                fn,
+                retries=self.config.retries,
+                rng=self.faults.rng_for(label),
+                label=label,
+            )
+        except TransientFault:
+            # Like every reconciliation counter, this lands in the
+            # process-wide registry (the one the fault plan itself
+            # increments ``faults.injected`` in).
+            from ..obs.metrics import get_metrics
+
+            get_metrics().counter("fallback.cache").inc()
+            return None
 
     @property
     def cache_key(self) -> Optional[str]:
@@ -214,15 +276,51 @@ class Engine:
         return self._cache_key
 
     # -- inference ----------------------------------------------------------
-    def infer(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Run one inference; safe to call from many threads at once."""
+    def infer(
+        self,
+        feeds: Dict[str, np.ndarray],
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Run one inference; safe to call from many threads at once.
+
+        ``deadline_ms`` (default: ``EngineConfig.deadline_ms``) bounds the
+        whole request — pool checkout, batch wait and execution all spend
+        from one budget — raising :class:`~repro.faults.DeadlineExceeded`
+        instead of hanging.
+
+        Raises:
+            DeadlineExceeded: the request's deadline budget ran out.
+            PoolTimeout: no pool worker freed up in time.
+            InjectedFault: an injected fault exhausted every resilience
+                path; this request failed alone (``faults.isolated``) —
+                the engine itself keeps serving.
+        """
         self.stats.record_request()
-        with self.tracer.span("engine.infer", "serving",
-                              batched=self.batcher is not None):
-            if self.batcher is not None:
-                return self.batcher.infer(feeds)
-            with self.pool.acquire() as session:
-                return session.run(feeds)
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        deadline = Deadline.from_ms(deadline_ms)
+        try:
+            with self.tracer.span("engine.infer", "serving",
+                                  batched=self.batcher is not None):
+                if self.batcher is not None:
+                    future = self.batcher.submit(feeds)
+                    if deadline is None:
+                        return future.result()
+                    try:
+                        return future.result(timeout=deadline.remaining_s())
+                    except (TimeoutError, _FuturesTimeout):
+                        raise DeadlineExceeded(
+                            deadline.budget_ms, deadline.elapsed_ms(),
+                            "batch.wait",
+                        ) from None
+                with self.pool.acquire(deadline=deadline) as session:
+                    return session.run(feeds, deadline=deadline)
+        except InjectedFault as exc:
+            # The fault beat every resilience layer: this one request
+            # fails alone, counted exactly once across the layers it
+            # crossed (mark_isolated deduplicates via the exception).
+            mark_isolated(exc)
+            raise
 
     def infer_many(
         self,

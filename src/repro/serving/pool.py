@@ -18,6 +18,8 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional
 
 from ..core.session import Session
+from ..faults import FaultPlan, PoolTimeout, get_fault_plan, retry_transient
+from ..faults.resilience import Deadline
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, get_tracer
 
@@ -41,6 +43,8 @@ class SessionPool:
         size: int,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
+        retries: int = 3,
     ) -> None:
         """Build ``size`` sessions eagerly via ``factory``.
 
@@ -53,6 +57,8 @@ class SessionPool:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.faults = faults if faults is not None else get_fault_plan()
+        self.retries = retries
         self._sessions: List[Session] = [factory() for _ in range(size)]
         self._free: "queue.Queue[Session]" = queue.Queue()
         for session in self._sessions:
@@ -69,16 +75,43 @@ class SessionPool:
         return list(self._sessions)
 
     @contextmanager
-    def acquire(self, timeout: float = None) -> Iterator[Session]:
+    def acquire(
+        self, timeout: float = None, deadline: Optional[Deadline] = None
+    ) -> Iterator[Session]:
         """Check out a session; blocks when all workers are busy.
 
+        A ``deadline`` caps the wait at the request's remaining budget
+        (tighter of the two when ``timeout`` is also given).
+
         Raises:
-            queue.Empty: if ``timeout`` (seconds) elapses with no free
+            PoolTimeout: if ``timeout`` (seconds) elapses with no free
                 worker — backpressure instead of unbounded queueing.
+            DeadlineExceeded: if the request's deadline expires first.
         """
+        if deadline is not None:
+            deadline.check("pool.checkout")
+            remaining = deadline.remaining_s()
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        plan = self.faults
+        if plan.enabled:
+            # Transient checkout faults are retried here with backoff;
+            # exhaustion escalates the TransientFault to the caller.
+            retry_transient(
+                lambda: plan.fire("pool.checkout"),
+                retries=self.retries,
+                rng=plan.rng_for("pool.checkout"),
+                deadline=deadline,
+                label="pool.checkout",
+            )
         start = time.perf_counter()
-        session = self._free.get(timeout=timeout) if timeout is not None \
-            else self._free.get()
+        try:
+            session = self._free.get(timeout=timeout) if timeout is not None \
+                else self._free.get()
+        except queue.Empty:
+            wait_s = time.perf_counter() - start
+            if deadline is not None and deadline.expired:
+                deadline.check("pool.checkout")
+            raise PoolTimeout(wait_s, self.size, self._free.qsize()) from None
         acquired = time.perf_counter()
         self.metrics.counter("pool.checkouts").inc()
         self.metrics.histogram("pool.wait_ms").observe((acquired - start) * 1000.0)

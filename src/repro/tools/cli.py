@@ -18,6 +18,7 @@ Usage::
     python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
     python -m repro.tools.cli devices
     python -m repro.tools.cli schemes model.rmnn
+    python -m repro.tools.cli chaos [model.rmnn] --seed 0 --faults 200
 
 Every command returns 0 on success and prints human-readable output; the
 module-level :func:`main` takes an argv list for testability.
@@ -428,6 +429,22 @@ def cmd_dot(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the seeded fault-injection self-test storm (see repro.faults.chaos)."""
+    from ..faults.chaos import run_chaos_storm
+
+    graph = _load(args.model) if args.model else None
+    report = run_chaos_storm(
+        graph=graph, seed=args.seed, target_faults=args.faults
+    )
+    print(report.describe())
+    if args.events:
+        print("injection sequence:")
+        for i, (site, kind) in enumerate(report.events):
+            print(f"  {i:4d} {site}:{kind}")
+    return 0 if report.ok else 1
+
+
 def cmd_schemes(args) -> int:
     from ..core import select_graph_schemes
 
@@ -553,6 +570,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("devices", help="list the device catalog")
     p.set_defaults(fn=cmd_devices)
+
+    p = sub.add_parser("chaos", help="seeded fault-injection self-test storm")
+    p.add_argument("model", nargs="?", default=None,
+                   help=".rmnn model (default: built-in chaos CNN)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", type=int, default=200,
+                   help="keep storming until this many faults have fired")
+    p.add_argument("--events", action="store_true",
+                   help="also print the full injection sequence")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("schemes", help="show per-conv scheme decisions")
     p.add_argument("model")

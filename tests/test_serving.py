@@ -174,13 +174,18 @@ class TestSessionPool:
         assert pool.idle() == 2
 
     def test_acquire_timeout_backpressure(self):
-        import queue
+        from repro.faults import PoolTimeout, ResilienceError
 
         pool = SessionPool(lambda: Session(serving_net(16)), size=1)
         with pool.acquire():
-            with pytest.raises(queue.Empty):
+            with pytest.raises(PoolTimeout) as exc_info:
                 with pool.acquire(timeout=0.05):
                     pass
+        err = exc_info.value
+        assert isinstance(err, ResilienceError)
+        assert err.wait_s >= 0.05
+        assert err.size == 1
+        assert err.idle == 0
 
     def test_invalid_size(self):
         with pytest.raises(ValueError, match="pool size"):
