@@ -15,6 +15,11 @@ stopped recording would otherwise rot unnoticed — and once by a seeded
 fault-storm session (``_chaos_or_fail``) that injects transient kernel
 failures and NaN-poisons every Winograd convolution, asserting the
 resilience layer still produces finite outputs matching a fault-free run.
+
+The generation stack gets the same treatment once per benchmark session
+(``_genai_storm``): a seeded ``kvcache.alloc`` fault storm over a small
+continuous-batching engine, asserting that memory-pressure faults degrade
+to eviction/retry without moving a single output token.
 """
 
 import os
@@ -109,6 +114,50 @@ def _chaos_or_fail(name, graph):
                 f"({plan.injected} faults injected)",
                 pytrace=False,
             )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _genai_storm():
+    """One seeded generation storm per benchmark session.
+
+    KV-slab allocation faults (flaky arena + hard OOM) must be absorbed
+    by retry, LRU eviction or preemption: every request that completes
+    has to emit exactly the fault-free tokens, and failures must be
+    typed per-request errors, never crashes.
+    """
+    import numpy as np
+
+    from repro.faults import FaultPlan, FaultRule
+    from repro.genai import GenerationConfig, GenerationEngine, SamplingParams
+
+    def build(faults=None):
+        return GenerationEngine(GenerationConfig(
+            vocab=32, max_seq=16, d_model=16, heads=2, layers=1, seed=8,
+            max_batch=2, page_tokens=4, capacity_tokens=48, faults=faults,
+        ))
+
+    rng = np.random.default_rng(8)
+    prompts = [[int(t) for t in rng.integers(0, 32, size=int(n))]
+               for n in rng.integers(2, 6, size=4)]
+    params = SamplingParams(max_tokens=4)
+    gold = [r.tokens for r in build().generate(prompts, params)]
+    plan = FaultPlan([
+        FaultRule("kvcache.alloc", "transient", times=2),
+        FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
+    ], seed=8)
+    results = build(plan).generate(prompts, params)
+    if plan.injected == 0:
+        pytest.fail("generation storm injected no kvcache.alloc faults",
+                    pytrace=False)
+    for got, want in zip(results, gold):
+        if got.finish_reason != "error" and got.tokens != want:
+            pytest.fail(
+                f"generation storm moved tokens for {got.request_id!r}: "
+                f"{got.tokens} != {want} — alloc faults must only shuffle "
+                f"memory, never arithmetic",
+                pytrace=False,
+            )
+    yield
 
 
 @pytest.fixture

@@ -23,7 +23,13 @@ from .diagnostics import (
     summarize,
 )
 from .lint import LintContext, LintRule, all_rules, lint_graph, rule
-from .memcheck import Interval, MemCheckReport, check_memory_plan, derive_lifetimes
+from .memcheck import (
+    Interval,
+    MemCheckReport,
+    check_memory_plan,
+    check_slab_plan,
+    derive_lifetimes,
+)
 from .verify_passes import PassVerificationError, VerifyingPassManager, random_feeds
 
 __all__ = [
@@ -41,6 +47,7 @@ __all__ = [
     "Interval",
     "MemCheckReport",
     "check_memory_plan",
+    "check_slab_plan",
     "derive_lifetimes",
     "PassVerificationError",
     "VerifyingPassManager",

@@ -30,7 +30,13 @@ from ..ir.graph import Graph, GraphError, Node
 from ..core.memory import ALIGNMENT, MemoryPlan
 from .diagnostics import Diagnostic, Severity, error, has_errors, sort_diagnostics, warning
 
-__all__ = ["Interval", "MemCheckReport", "derive_lifetimes", "check_memory_plan"]
+__all__ = [
+    "Interval",
+    "MemCheckReport",
+    "derive_lifetimes",
+    "check_memory_plan",
+    "check_slab_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +132,81 @@ def derive_lifetimes(
         desc = graph.desc(name)
         intervals[name] = Interval(name, desc.nbytes, start, last[name])
     return intervals
+
+
+def check_slab_plan(plan: MemoryPlan, page_bytes: int = 0) -> MemCheckReport:
+    """Verify a *dynamic* slab plan (no graph, every slab co-live).
+
+    The KV-cache allocator (:mod:`repro.genai.kvcache`) snapshots its live
+    slabs as a :class:`MemoryPlan` whose lifetimes all cover step 0 — the
+    "execution order" of a serving arena is a single eternal step, because
+    every resident sequence's cache must coexist.  This checker reuses the
+    same proofs as :func:`check_memory_plan` minus the graph-derived parts:
+
+    * no two slabs share arena bytes (``mem-overlap``),
+    * every slab lies inside the arena (``mem-out-of-bounds``),
+    * every offset is 64-byte aligned (``mem-misaligned``) and, when
+      ``page_bytes`` is given, page-granular (``mem-unpaged``),
+
+    plus the usual fragmentation statistics (peak here is simply the sum
+    of live slab bytes).
+    """
+    diags: List[Diagnostic] = []
+    items: List[Tuple[str, int, int]] = []
+    for name, offset in plan.offsets.items():
+        life = plan.lifetimes.get(name)
+        if life is None:
+            diags.append(error(
+                "mem-unplanned",
+                f"slab {name!r} has an offset but no lifetime record",
+                tensor=name,
+            ))
+            continue
+        items.append((name, offset, life.nbytes))
+        if offset % ALIGNMENT != 0:
+            diags.append(error(
+                "mem-misaligned",
+                f"slab {name!r} at offset {offset} is not {ALIGNMENT}-byte aligned",
+                tensor=name,
+            ))
+        if page_bytes and offset % page_bytes != 0:
+            diags.append(error(
+                "mem-unpaged",
+                f"slab {name!r} at offset {offset} is not {page_bytes}-byte "
+                f"page granular",
+                tensor=name,
+            ))
+        if offset < 0 or offset + life.nbytes > plan.arena_bytes:
+            diags.append(error(
+                "mem-out-of-bounds",
+                f"slab {name!r} spans [{offset}, {offset + life.nbytes}) "
+                f"outside arena of {plan.arena_bytes} B",
+                tensor=name,
+            ))
+
+    checked_pairs = 0
+    by_offset = sorted(items, key=lambda it: it[1])
+    for (name_a, off_a, nb_a), (name_b, off_b, nb_b) in zip(by_offset, by_offset[1:]):
+        checked_pairs += 1
+        if off_a + nb_a > off_b:
+            diags.append(error(
+                "mem-overlap",
+                f"live slabs {name_a!r} and {name_b!r} overlap in arena bytes "
+                f"[{off_b}, {min(off_a + nb_a, off_b + nb_b)})",
+                tensor=name_b,
+                hint="the allocator handed out aliasing extents — free-list bug",
+            ))
+
+    peak = sum(nb for _, _, nb in items)
+    return MemCheckReport(
+        diagnostics=sort_diagnostics(diags),
+        arena_bytes=plan.arena_bytes,
+        peak_bytes=peak,
+        utilization=(peak / plan.arena_bytes) if plan.arena_bytes else 1.0,
+        wasted_bytes=max(0, plan.arena_bytes - peak),
+        checked_tensors=len(items),
+        checked_pairs=checked_pairs,
+    )
 
 
 def check_memory_plan(

@@ -163,12 +163,15 @@ def build_runner(node: Node, graph: Graph, scheme=None, use_strassen: bool = Tru
 
     elif op == Op.MATMUL:
         ta, tb = attrs["transpose_a"], attrs["transpose_b"]
+        rowwise = bool(attrs.get("rowwise", False))
 
         def fn(inputs):
             a = const_or_input(node.inputs[0], inputs)
             b = const_or_input(node.inputs[1], inputs)
             a = np.swapaxes(a, -1, -2) if ta else a
             b = np.swapaxes(b, -1, -2) if tb else b
+            if rowwise:
+                return [_rowwise_matmul(node, a, b)]
             if a.ndim == 2 and b.ndim == 2:
                 return [K.matmul(np.ascontiguousarray(a), np.ascontiguousarray(b),
                                  use_strassen=use_strassen)]
@@ -369,6 +372,25 @@ def build_runner(node: Node, graph: Graph, scheme=None, use_strassen: bool = Tru
 
             return [gelu(inputs[0])]
 
+    elif op == Op.ATTENTION:
+        causal = bool(attrs["causal"])
+        scale = attrs["scale"]
+        has_cache = len(node.inputs) > 3
+
+        def fn(inputs):
+            from ..kernels.sequence import attention
+
+            q = const_or_input(node.inputs[0], inputs)
+            k = const_or_input(node.inputs[1], inputs)
+            v = const_or_input(node.inputs[2], inputs)
+            lengths = k_cache = v_cache = None
+            if has_cache:
+                lengths = const_or_input(node.inputs[3], inputs)
+                k_cache = const_or_input(node.inputs[4], inputs)
+                v_cache = const_or_input(node.inputs[5], inputs)
+            return [attention(q, k, v, lengths, k_cache, v_cache,
+                              causal=causal, scale=scale)]
+
     elif op == Op.LSTM:
         w_ih = const_arrays[node.inputs[1]]
         w_hh = const_arrays[node.inputs[2]]
@@ -384,6 +406,27 @@ def build_runner(node: Node, graph: Graph, scheme=None, use_strassen: bool = Tru
         raise BackendError(f"no runner for operator {op!r}")
 
     return OpRunner(node=node, dynamic_inputs=dynamic, fn=fn, muls=muls)
+
+
+def _rowwise_matmul(node: Node, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Token-invariant matmul: one GEMV per output row.
+
+    BLAS GEMM picks different kernels (and summation orders) for different
+    ``M``, so ``(A @ B)[t]`` is not bitwise equal to ``A[t:t+1] @ B`` in
+    general.  Decode-step pre-inference needs exactly that equality, so a
+    ``rowwise`` MatMul computes every output row as an independent
+    ``(K,) @ (K, N)`` product — identical calls whether the activation
+    carries 1 token or the whole sequence.
+    """
+    if b.ndim != 2:
+        raise BackendError(
+            f"{node.name!r}: rowwise matmul requires a 2-D rhs, got {b.shape}"
+        )
+    rows = np.ascontiguousarray(a.reshape(-1, a.shape[-1]))
+    out = np.empty((rows.shape[0], b.shape[1]), dtype=rows.dtype)
+    for i in range(rows.shape[0]):
+        out[i] = rows[i] @ b
+    return out.reshape(*a.shape[:-1], b.shape[1])
 
 
 def _default_conv_scheme(kernel, stride, dilation, groups) -> str:

@@ -21,7 +21,7 @@ import numpy as np
 from ..ir.graph import Graph, Node
 from ..ir.tensor import TensorDesc
 
-__all__ = ["TensorLifetime", "MemoryPlan", "plan_memory", "Arena"]
+__all__ = ["TensorLifetime", "MemoryPlan", "plan_memory", "Arena", "ExtentFreeList"]
 
 #: Byte alignment for every tensor in the arena (cache-line friendly).
 ALIGNMENT = 64
@@ -218,6 +218,93 @@ def plan_memory(
     arena = max((off + _align(life.nbytes) for off, life in placed), default=0)
     total = sum(t.nbytes for t in lifetimes.values())
     return MemoryPlan(offsets, arena, total, lifetimes)
+
+
+class ExtentFreeList:
+    """Best-fit allocator over ``[start, end)`` unit extents with coalescing.
+
+    The static planner above assigns offsets once, before inference; a KV
+    cache (``repro.genai.kvcache``) instead allocates and frees slabs
+    *while serving*, so it needs a dynamic allocator over the same arena
+    abstraction.  Units are deliberately abstract (the KV cache uses
+    fixed-size pages, keeping every returned offset aligned by
+    construction); the free list stays sorted and adjacent extents merge
+    on :meth:`free`, so fragmentation is bounded by genuine interleaving,
+    not by allocator bookkeeping.
+    """
+
+    def __init__(self, total_units: int) -> None:
+        if total_units < 0:
+            raise ValueError(f"total_units must be >= 0, got {total_units}")
+        self.total_units = total_units
+        self._free: List[Tuple[int, int]] = [(0, total_units)] if total_units else []
+
+    def alloc(self, units: int) -> Optional[int]:
+        """Reserve ``units`` contiguous units; ``None`` when nothing fits.
+
+        Best-fit: the smallest extent that fits is carved, which keeps
+        large holes intact for large future slabs.
+        """
+        if units <= 0:
+            raise ValueError(f"units must be > 0, got {units}")
+        best = None
+        for i, (start, end) in enumerate(self._free):
+            size = end - start
+            if size >= units and (best is None or size < best[1]):
+                best = (i, size)
+        if best is None:
+            return None
+        i, _ = best
+        start, end = self._free[i]
+        if end - start == units:
+            del self._free[i]
+        else:
+            self._free[i] = (start + units, end)
+        return start
+
+    def free(self, start: int, units: int) -> None:
+        """Return ``[start, start + units)``, merging adjacent extents.
+
+        Raises:
+            ValueError: on out-of-range or double frees (overlap with an
+                extent already on the free list).
+        """
+        if units <= 0 or start < 0 or start + units > self.total_units:
+            raise ValueError(
+                f"bad free of [{start}, {start + units}) over {self.total_units} units"
+            )
+        new = (start, start + units)
+        merged: List[Tuple[int, int]] = []
+        inserted = False
+        for ext in self._free:
+            if ext[1] < new[0] or new[1] < ext[0]:
+                if not inserted and ext[0] > new[1]:
+                    merged.append(new)
+                    inserted = True
+                merged.append(ext)
+            elif ext[1] == new[0] or new[1] == ext[0]:
+                new = (min(ext[0], new[0]), max(ext[1], new[1]))
+            else:
+                raise ValueError(
+                    f"double free: [{start}, {start + units}) overlaps free "
+                    f"extent [{ext[0]}, {ext[1]})"
+                )
+        if not inserted:
+            merged.append(new)
+        merged.sort()
+        self._free = merged
+
+    @property
+    def free_units(self) -> int:
+        return sum(end - start for start, end in self._free)
+
+    @property
+    def largest_extent(self) -> int:
+        return max((end - start for start, end in self._free), default=0)
+
+    def extents(self) -> List[Tuple[int, int]]:
+        """The sorted free extents (introspection/tests)."""
+        return list(self._free)
 
 
 class Arena:

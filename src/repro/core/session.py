@@ -107,6 +107,11 @@ class SessionConfig:
         numeric_guards: under the resilient executor, re-run an op whose
             output came back non-finite via its direct scheme
             (sliding-window conv / non-Strassen GEMM), once.
+        check_feeds: validate every feed's shape and dtype against the
+            input descriptors on each run.  On by default; tight serving
+            loops that construct feeds programmatically from already-
+            validated buffers (``repro.genai``'s per-token decode steps)
+            may turn it off to shave fixed overhead from ~ms-scale runs.
         retries: extra attempts for transient per-op failures before
             escalating to the backend fallback.
         breaker_threshold: consecutive op failures on the primary
@@ -131,6 +136,7 @@ class SessionConfig:
     faults: Optional[FaultPlan] = None
     resilience: Optional[bool] = None
     numeric_guards: bool = True
+    check_feeds: bool = True
     retries: int = 3
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 0.25
@@ -803,7 +809,8 @@ class Session:
         import threading
 
         graph = self.graph
-        self._check_feeds(feeds)
+        if self.config.check_feeds:
+            self._check_feeds(feeds)
         run_op = self._op_executor()
         trace_on = tracer.enabled
         start_wall = time.perf_counter()
@@ -951,7 +958,8 @@ class Session:
         deadline: Optional[Deadline] = None,
     ) -> Dict[str, np.ndarray]:
         graph = self.graph
-        self._check_feeds(feeds)
+        if self.config.check_feeds:
+            self._check_feeds(feeds)
 
         run_op = self._op_executor()
         trace_on = tracer.enabled

@@ -1,7 +1,8 @@
 """The chaos self-test: a seeded fault storm the engine must survive.
 
-``run_chaos_storm`` drives four phases over a small CNN, each activating
-a different slice of the fault-point catalog, and checks three things:
+``run_chaos_storm`` drives five phases — four over a small CNN, one over
+the autoregressive generation stack — each activating a different slice
+of the fault-point catalog, and checks three things:
 
 1. **No crashes** — every request either returns or fails alone with a
    typed :class:`~repro.faults.ResilienceError`; the engine keeps
@@ -18,7 +19,7 @@ a different slice of the fault-point catalog, and checks three things:
 
        faults.injected == retry.attempts + fallback.ops
                         + fallback.numeric + fallback.cache
-                        + faults.isolated
+                        + fallback.evict + faults.isolated
 
 Phases (repeated with per-round seeds until ``target_faults`` is met):
 
@@ -33,6 +34,11 @@ Phases (repeated with per-round seeds until ``target_faults`` is met):
   Winograd and its output poisoned with NaN, forcing the one-shot
   direct-scheme re-run (gold: the same model with sliding-window
   schemes on those convs).
+* **generate** — flaky and OOM-ing KV-slab allocations during
+  continuous-batching generation; transients retry, fatals degrade to
+  LRU eviction or preemption+requeue, and completed requests must emit
+  exactly the fault-free gold tokens (alloc faults may move memory
+  around, never change arithmetic).
 
 Determinism: all request loops are single-threaded, breakers run with
 ``cooldown_s=0`` (every post-open call probes, so no wall-clock-dependent
@@ -73,6 +79,7 @@ STORM_SITES = (
     "cache.store",
     "pool.checkout",
     "batch.assemble",
+    "kvcache.alloc",
 )
 
 
@@ -121,6 +128,7 @@ class ChaosReport:
     fallback_ops: int = 0
     fallback_numeric: int = 0
     fallback_cache: int = 0
+    fallback_evict: int = 0
     isolated: int = 0
     breaker_opens: int = 0
     short_circuits: int = 0
@@ -134,7 +142,7 @@ class ChaosReport:
         """Faults accounted for by exactly one resilience mechanism."""
         return (
             self.retries + self.fallback_ops + self.fallback_numeric
-            + self.fallback_cache + self.isolated
+            + self.fallback_cache + self.fallback_evict + self.isolated
         )
 
     @property
@@ -167,6 +175,7 @@ class ChaosReport:
             f"+ op fallbacks {self.fallback_ops} "
             f"+ numeric fallbacks {self.fallback_numeric} "
             f"+ cache fallbacks {self.fallback_cache} "
+            f"+ evictions {self.fallback_evict} "
             f"+ isolated {self.isolated}",
             f"  breaker    {self.breaker_opens} opens, "
             f"{self.short_circuits} short circuits (outside the equation)",
@@ -338,6 +347,53 @@ def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report) -> None:
     _finish_phase(result, plan, report)
 
 
+def _generation_config(plan: Optional[FaultPlan]):
+    """The generation phase's engine config (gold and storm share it)."""
+    from ..genai import GenerationConfig
+
+    return GenerationConfig(
+        vocab=64, max_seq=24, d_model=16, heads=2, layers=1, seed=11,
+        max_batch=2, page_tokens=4, capacity_tokens=64, smallest_bucket=8,
+        session=SessionConfig(breaker_cooldown_s=0.0),
+        metrics=get_metrics(), faults=plan, retain_kv=True,
+    )
+
+
+def _phase_generate(prompts, gold_tokens, seed, report) -> None:
+    """Generation storm: flaky and OOM-ing KV-slab allocations.
+
+    Transients are retried; fatals degrade to LRU eviction of retired
+    slabs (or preemption+requeue when nothing is evictable).  None of it
+    touches arithmetic, so every *completed* request's tokens must equal
+    the fault-free gold generation exactly.
+    """
+    from ..genai import GenerationEngine, GenRequest, SamplingParams
+
+    plan = FaultPlan([
+        FaultRule("kvcache.alloc", "transient", times=3),
+        FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
+    ], seed=seed)
+    result = PhaseResult("generate")
+    engine = GenerationEngine(_generation_config(plan))
+    params = SamplingParams(max_tokens=8)
+    requests = [
+        GenRequest(f"gen-{i}", prompt, params) for i, prompt in enumerate(prompts)
+    ]
+    try:
+        outcomes = engine.generate(requests)
+    except Exception:
+        result.requests += len(requests)
+        result.crashes += 1
+    else:
+        for outcome, gold in zip(outcomes, gold_tokens):
+            result.requests += 1
+            if outcome.finish_reason == "error":
+                result.failed += 1  # typed, isolated to this request
+            elif outcome.tokens != gold:
+                result.mismatched += 1
+    _finish_phase(result, plan, report)
+
+
 def run_chaos_storm(
     graph: Optional[Graph] = None,
     seed: int = 0,
@@ -412,6 +468,20 @@ def run_chaos_storm(
             graph, SessionConfig(scheme_overrides=direct_overrides)
         ).run(feeds)
 
+        # Phase E: fixed prompt set + its fault-free gold generation
+        # (alloc faults must never change tokens, only timing/placement).
+        from ..genai import GenerationEngine, SamplingParams
+
+        prompts = [
+            [int(t) for t in rng.integers(0, 64, size=int(length))]
+            for length in rng.integers(2, 7, size=5)
+        ]
+        gold_engine = GenerationEngine(_generation_config(FaultPlan()))
+        gold_tokens = [
+            r.tokens
+            for r in gold_engine.generate(prompts, SamplingParams(max_tokens=8))
+        ]
+
         while report.injected < target_faults and report.rounds < max_rounds:
             base = seed + report.rounds * 1000
             _phase_cache(graph, feeds, gold, base + 1, tmp, report)
@@ -420,6 +490,7 @@ def run_chaos_storm(
             _phase_numeric(
                 graph, feeds, gold_direct, base + 4, wino_overrides, report
             )
+            _phase_generate(prompts, gold_tokens, base + 5, report)
             report.rounds += 1
             metrics = get_metrics()
             report.injected = int(metrics.value("faults.injected"))
@@ -430,6 +501,7 @@ def run_chaos_storm(
         report.fallback_ops = int(metrics.value("fallback.ops"))
         report.fallback_numeric = int(metrics.value("fallback.numeric"))
         report.fallback_cache = int(metrics.value("fallback.cache"))
+        report.fallback_evict = int(metrics.value("fallback.evict"))
         report.isolated = int(metrics.value("faults.isolated"))
         report.breaker_opens = int(metrics.value("breaker.opens"))
         report.short_circuits = int(metrics.value("breaker.short_circuits"))

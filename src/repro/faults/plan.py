@@ -67,6 +67,8 @@ FAULT_SITES: Dict[str, str] = {
                    "mid-write crash leaving a truncated entry (torn)",
     "pool.checkout": "session-pool checkout failure (transient) or stall (delay)",
     "batch.assemble": "micro-batch assembly/run failure (exercises bisection)",
+    "kvcache.alloc": "KV-cache slab allocation failure: flaky arena (transient) "
+                     "or hard OOM (fatal, exercises eviction + retry)",
 }
 
 FAULT_KINDS: Tuple[str, ...] = ("transient", "fatal", "delay", "nan", "corrupt", "torn")

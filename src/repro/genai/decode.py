@@ -1,0 +1,167 @@
+"""Decode-step pre-inference: one prepared graph per (batch, capacity).
+
+A decode step is the engine's steady state: every live sequence advances
+by exactly one token against its cached K/V.  The step's shape is fully
+determined by two bucketed quantities — how many sequences share the
+batch (padded up to a power-of-two batch bucket) and the common KV-slab
+capacity bucket — so the whole shape space is a small grid, and each
+cell's session is prepared exactly once (scheme search, placement,
+memory plan) then reused for millions of steps: the paper's
+prepare/execute split stretched over dynamic sequence lengths.
+
+Bit-identity contract: the decode graph's kernels are per-row (rowwise
+MatMul, the fused row-loop Attention, per-row LayerNorm/GELU), so the
+new token's logits are bitwise equal to the same position's logits in a
+``full``-mode recompute of the whole sequence — padding rows and batch
+composition cannot perturb a neighbour's arithmetic.  Feed validation is
+the one per-run overhead turned off (``check_feeds=False``): feeds here
+are machine-built from already-validated slabs, and a decode step is
+short enough for the check to matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.session import Session, SessionConfig
+from ..faults.plan import FaultPlan, get_fault_plan
+from ..ir.graph import Graph
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.tracer import Tracer, get_tracer
+from ..serving.cache import PreInferenceCache
+from .kvcache import KVSlab
+from .prefill import cached_session
+
+__all__ = ["batch_buckets", "bucket_for_batch", "DecodeRunner"]
+
+
+def batch_buckets(max_batch: int) -> List[int]:
+    """Power-of-two batch buckets ending exactly at ``max_batch``."""
+    buckets: List[int] = []
+    cap = 1
+    while cap < max_batch:
+        buckets.append(cap)
+        cap *= 2
+    buckets.append(max_batch)
+    return buckets
+
+
+def bucket_for_batch(n: int, buckets: List[int]) -> int:
+    for cap in buckets:
+        if cap >= n:
+            return cap
+    raise ValueError(f"batch {n} exceeds largest bucket {buckets[-1]}")
+
+
+class DecodeRunner:
+    """Single-token steps over prepared (batch, capacity) sessions."""
+
+    def __init__(
+        self,
+        build_graph: Callable[[int, int], Graph],
+        layers: int,
+        max_batch: int,
+        session_config: Optional[SessionConfig] = None,
+        cache: Optional[PreInferenceCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
+        retries: int = 3,
+    ) -> None:
+        self.build_graph = build_graph        # (batch, capacity) -> Graph
+        self.layers = layers
+        self.buckets = batch_buckets(max_batch)
+        base = session_config if session_config is not None else SessionConfig()
+        self.session_config = replace(base, check_feeds=False)
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.faults = faults if faults is not None else get_fault_plan()
+        self.retries = retries
+        self._sessions: Dict[Tuple[int, int], Session] = {}
+
+    def _session(self, batch: int, capacity: int) -> Session:
+        key = (batch, capacity)
+        session = self._sessions.get(key)
+        if session is None:
+            graph = self.build_graph(batch, capacity)
+            config = replace(self.session_config, faults=self.faults)
+            session = cached_session(
+                graph, config, self.cache, self.tracer, self.faults, self.retries
+            )
+            self._sessions[key] = session
+        return session
+
+    @property
+    def prepared(self) -> List[Tuple[int, int]]:
+        """The (batch, capacity) grid cells prepared so far."""
+        return sorted(self._sessions)
+
+    def step(self, tokens: List[int], slabs: List[KVSlab]) -> np.ndarray:
+        """Advance every sequence by one token.
+
+        Args:
+            tokens: the last sampled token of each live sequence.
+            slabs: the sequences' KV slabs; all must share one capacity
+                bucket (the scheduler groups them), each with room for
+                one more row.
+
+        Returns:
+            ``(len(tokens), vocab)`` logits for the new positions.  As a
+            side effect each slab gains its new K/V row and ``length``
+            advances by one.
+        """
+        n = len(tokens)
+        if n == 0 or n != len(slabs):
+            raise ValueError(f"tokens/slabs mismatch: {n} vs {len(slabs)}")
+        capacity = slabs[0].capacity
+        cfg = slabs[0].config
+        for slab in slabs:
+            if slab.capacity != capacity:
+                raise ValueError("decode group mixes capacity buckets")
+            if slab.length >= capacity:
+                raise ValueError(
+                    f"slab {slab.seq_id!r} full at {slab.length}/{capacity}; grow first"
+                )
+        batch = bucket_for_batch(n, self.buckets)
+
+        feed_tokens = np.zeros((batch, 1), np.int32)
+        feed_tokens[:n, 0] = np.asarray(tokens, np.int32)
+        positions = np.zeros((batch, 1), np.int32)
+        lengths = np.zeros((batch,), np.int32)
+        for i, slab in enumerate(slabs):
+            positions[i, 0] = slab.length
+            lengths[i] = slab.length
+        feeds: Dict[str, np.ndarray] = {
+            "tokens": feed_tokens,
+            "positions": positions,
+            "lengths": lengths,
+        }
+        for layer in range(self.layers):
+            k_feed = np.zeros((batch, cfg.heads, capacity, cfg.d_head), np.float32)
+            v_feed = np.zeros_like(k_feed)
+            for i, slab in enumerate(slabs):
+                k_feed[i] = slab.k(layer)
+                v_feed[i] = slab.v(layer)
+            feeds[f"l{layer}_k_cache"] = k_feed
+            feeds[f"l{layer}_v_cache"] = v_feed
+
+        with self.tracer.span(
+            "genai.decode_step", "genai", batch=n, batch_bucket=batch, capacity=capacity
+        ):
+            out = self._session(batch, capacity).run(feeds)
+
+        for i, slab in enumerate(slabs):
+            row = slab.length
+            for layer in range(self.layers):
+                slab.k(layer)[:, row, :] = out[f"l{layer}_k"][i, :, 0, :]
+                slab.v(layer)[:, row, :] = out[f"l{layer}_v"][i, :, 0, :]
+            slab.length = row + 1
+        self.metrics.counter("genai.decode_tokens").inc(n)
+        return out["logits"][:n, 0, :]
+
+    def close(self) -> None:
+        self._sessions.clear()

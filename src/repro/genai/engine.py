@@ -1,0 +1,194 @@
+"""GenerationEngine: the autoregressive front door.
+
+Mirrors :class:`repro.serving.Engine`'s shape — one config object, one
+entry point, shared observability/fault plumbing — but swaps the
+request-in/logits-out contract for prompt-in/tokens-out.  Construction
+is the prepare phase: the KV arena, the bucketed prefill pools and the
+(batch, capacity) decode grid all come up before the first prompt, so
+``generate`` is pure execute (paper Figure 3, stretched across the
+decode loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.session import SessionConfig
+from ..faults.plan import FaultPlan, get_fault_plan
+from ..ir.graph import Graph
+from ..models.text import tiny_decoder
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.tracer import Tracer, get_tracer
+from ..serving.cache import PreInferenceCache
+from .decode import DecodeRunner
+from .kvcache import KVCacheAllocator, KVCacheConfig
+from .prefill import PrefillRunner
+from .sampling import SamplingParams
+from .scheduler import ContinuousBatchScheduler, GenRequest, GenResult
+
+__all__ = ["GenerationConfig", "GenerationEngine"]
+
+
+@dataclass
+class GenerationConfig:
+    """Everything the generation engine needs, in one place.
+
+    The model fields parameterize :func:`repro.models.tiny_decoder`; the
+    serving fields mirror :class:`repro.serving.EngineConfig`.
+    ``capacity_tokens`` defaults to two full batches of ``max_seq`` —
+    enough that admission control, not raw capacity, is the common case.
+    """
+
+    vocab: int = 256
+    max_seq: int = 64
+    d_model: int = 64
+    heads: int = 4
+    layers: int = 2
+    seed: int = 0
+
+    max_batch: int = 4
+    page_tokens: int = 8
+    capacity_tokens: Optional[int] = None
+    prefill_pool: int = 1
+    smallest_bucket: int = 8
+    retain_kv: bool = True
+
+    session: SessionConfig = field(default_factory=SessionConfig)
+    use_cache: bool = False
+    cache_dir: Optional[str] = None
+    trace: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    faults: Optional[FaultPlan] = None
+    retries: int = 3
+
+
+class GenerationEngine:
+    """Continuous-batching generation over one decoder model."""
+
+    def __init__(self, config: Optional[GenerationConfig] = None, **overrides) -> None:
+        if config is None:
+            config = GenerationConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides, not both")
+        self.config = config
+        self.metrics = config.metrics if config.metrics is not None else get_metrics()
+        self.tracer = config.trace if config.trace is not None else get_tracer()
+        self.faults = config.faults if config.faults is not None else get_fault_plan()
+        capacity = (
+            config.capacity_tokens
+            if config.capacity_tokens is not None
+            else 2 * config.max_batch * config.max_seq
+        )
+        self.kv_config = KVCacheConfig(
+            layers=config.layers,
+            heads=config.heads,
+            d_head=config.d_model // config.heads,
+            page_tokens=config.page_tokens,
+            capacity_tokens=capacity,
+            max_seq=config.max_seq,
+            retries=config.retries,
+        )
+        self.allocator = KVCacheAllocator(
+            self.kv_config, metrics=self.metrics, faults=self.faults
+        )
+        cache = (
+            PreInferenceCache(config.cache_dir, metrics=self.metrics, faults=self.faults)
+            if config.use_cache else None
+        )
+        self.cache = cache
+        self.prefill = PrefillRunner(
+            self._full_graph,
+            max_seq=config.max_seq,
+            layers=config.layers,
+            pool_size=config.prefill_pool,
+            smallest_bucket=config.smallest_bucket,
+            session_config=config.session,
+            cache=cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            faults=self.faults,
+            retries=config.retries,
+        )
+        self.decode = DecodeRunner(
+            self._decode_graph,
+            layers=config.layers,
+            max_batch=config.max_batch,
+            session_config=config.session,
+            cache=cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            faults=self.faults,
+            retries=config.retries,
+        )
+        self.scheduler = ContinuousBatchScheduler(
+            self.prefill,
+            self.decode,
+            self.allocator,
+            max_batch=config.max_batch,
+            max_seq=config.max_seq,
+            retain_kv=config.retain_kv,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+
+    # -- graph variants (one weight set, many shapes) ------------------------
+    def _model_kwargs(self) -> Dict[str, int]:
+        c = self.config
+        return dict(
+            vocab=c.vocab, max_seq=c.max_seq, d_model=c.d_model,
+            heads=c.heads, layers=c.layers, seed=c.seed,
+        )
+
+    def _full_graph(self, seq_len: int) -> Graph:
+        return tiny_decoder(mode="full", seq_len=seq_len, batch=1, **self._model_kwargs())
+
+    def _decode_graph(self, batch: int, capacity: int) -> Graph:
+        return tiny_decoder(
+            mode="decode", batch=batch, cache_len=capacity, **self._model_kwargs()
+        )
+
+    # -- the front door ------------------------------------------------------
+    def generate(
+        self,
+        prompts: Sequence[Union[Sequence[int], GenRequest]],
+        params: Optional[SamplingParams] = None,
+    ) -> List[GenResult]:
+        """Generate for every prompt; results in input order.
+
+        ``prompts`` may be raw token lists (wrapped as requests
+        ``req-0``, ``req-1``... sharing ``params``) or pre-built
+        :class:`GenRequest` objects for per-request control.
+        """
+        shared = params if params is not None else SamplingParams()
+        requests: List[GenRequest] = []
+        for i, p in enumerate(prompts):
+            if isinstance(p, GenRequest):
+                requests.append(p)
+            else:
+                requests.append(GenRequest(f"req-{i}", list(p), shared))
+        with self.tracer.span("genai.generate", "genai", requests=len(requests)):
+            return self.scheduler.run(requests)
+
+    def warm(self) -> None:
+        """Prepare every prefill bucket eagerly (decode cells prepare on
+        first use, since the grid depends on observed lengths)."""
+        self.prefill.warm()
+
+    def stats(self) -> Dict[str, float]:
+        """KV-arena and throughput counters for dashboards/benchmarks."""
+        return {
+            "kv_page_utilization": self.allocator.page_utilization(),
+            "kv_token_utilization": self.allocator.token_utilization(),
+            "kv_free_pages": float(self.allocator.free_pages),
+            "prefill_tokens": float(self.metrics.value("genai.prefill_tokens")),
+            "decode_tokens": float(self.metrics.value("genai.decode_tokens")),
+            "requests": float(self.metrics.value("genai.requests")),
+            "request_errors": float(self.metrics.value("genai.request_errors")),
+            "evictions": float(self.metrics.value("kvcache.evictions")),
+            "decode_sessions": float(len(self.decode.prepared)),
+        }
+
+    def close(self) -> None:
+        self.prefill.close()
+        self.decode.close()

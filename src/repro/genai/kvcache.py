@@ -1,0 +1,365 @@
+"""KV-cache memory planning: dynamic slabs over one pre-allocated arena.
+
+The paper's static planner (:mod:`repro.core.memory`) lays activations
+out once because shapes are fixed.  Autoregressive decoding breaks that
+premise in one specific place — the per-sequence key/value cache grows by
+one row per generated token, and sequences join and leave the batch at
+unpredictable times.  This module confines all of that dynamism to a
+single arena managed like an OS page allocator:
+
+* the arena is carved into fixed-size **pages** (``page_tokens`` tokens
+  of K+V across all layers, rounded up to the 64-byte ``ALIGNMENT``), so
+  every slab offset is aligned by construction;
+* a sequence owns a **slab** — contiguous pages holding bucketed
+  capacity for its cache.  Capacities double (16, 32, 64... tokens), so
+  a sequence re-plans at most ``log2`` times as it grows, and the engine
+  needs one prepared decode graph per bucket instead of one per length;
+* allocation is best-fit over an :class:`~repro.core.memory.ExtentFreeList`
+  with coalescing frees — fragmentation stays bounded while requests
+  churn;
+* pressure degrades, never crashes: a failed allocation (genuine
+  exhaustion or the injected ``kvcache.alloc`` fault) evicts
+  least-recently-used *retired* slabs and retries, mirroring the serving
+  layer's fallback ladder.
+
+The live layout can be snapshotted as a standard
+:class:`~repro.core.memory.MemoryPlan` (every slab co-live at step 0)
+and proven alias-free/aligned/in-bounds by the independent sanitizer
+(:func:`repro.analysis.check_slab_plan`) — the same distrust-the-planner
+discipline the static path gets.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.memory import ALIGNMENT, ExtentFreeList, MemoryPlan, TensorLifetime
+from ..faults.errors import FatalFault, ResilienceError, TransientFault, mark_isolated
+from ..faults.plan import FaultPlan, get_fault_plan
+from ..faults.resilience import retry_transient
+from ..obs.metrics import MetricsRegistry, get_metrics
+
+__all__ = ["KVCacheConfig", "KVCacheOOM", "KVSlab", "KVCacheAllocator"]
+
+
+def _align(n: int) -> int:
+    return (n + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+class KVCacheOOM(ResilienceError):
+    """The arena cannot hold another slab, even after eviction."""
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """Geometry of the KV arena.
+
+    Attributes:
+        layers/heads/d_head: the decoder architecture the cache serves.
+        page_tokens: tokens per page — the allocation granule and the
+            smallest capacity bucket.
+        capacity_tokens: total arena capacity in tokens across all
+            resident sequences (rounded down to whole pages).
+        max_seq: the longest supported sequence; the largest bucket.
+        retries: extra attempts for transient allocation faults.
+    """
+
+    layers: int
+    heads: int
+    d_head: int
+    page_tokens: int = 16
+    capacity_tokens: int = 512
+    max_seq: int = 64
+    retries: int = 3
+
+    @property
+    def per_token_bytes(self) -> int:
+        """K+V bytes one token needs across every layer (float32)."""
+        return self.layers * 2 * self.heads * self.d_head * 4
+
+    @property
+    def page_bytes(self) -> int:
+        return _align(self.page_tokens * self.per_token_bytes)
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_tokens // self.page_tokens
+
+    def buckets(self) -> List[int]:
+        """Capacity buckets in tokens: doubling pages up to ``max_seq``."""
+        out: List[int] = []
+        cap = self.page_tokens
+        while cap < self.max_seq:
+            out.append(cap)
+            cap *= 2
+        out.append(self.max_seq)
+        return out
+
+    def bucket_for(self, tokens: int) -> int:
+        """Smallest bucket holding ``tokens``; raises past ``max_seq``."""
+        if tokens > self.max_seq:
+            raise ValueError(f"sequence of {tokens} tokens exceeds max_seq {self.max_seq}")
+        for cap in self.buckets():
+            if cap >= tokens:
+                return cap
+        raise AssertionError("unreachable: buckets() ends at max_seq")
+
+
+@dataclass
+class KVSlab:
+    """One sequence's contiguous K/V storage inside the arena.
+
+    ``k(layer)`` / ``v(layer)`` are zero-copy ``(heads, capacity, d_head)``
+    views into the arena buffer; ``length`` counts the rows actually
+    written.  Layout within the slab is ``[layer][k|v][head][token][dim]``,
+    so each view is one contiguous reshape.
+    """
+
+    seq_id: str
+    page_start: int
+    pages: int
+    capacity: int          # tokens
+    config: KVCacheConfig
+    buffer: np.ndarray = field(repr=False)
+    length: int = 0
+    freed: bool = False
+
+    @property
+    def offset_bytes(self) -> int:
+        return self.page_start * self.config.page_bytes
+
+    @property
+    def nbytes(self) -> int:
+        return self.pages * self.config.page_bytes
+
+    def _view(self, layer: int, which: int) -> np.ndarray:
+        cfg = self.config
+        if not 0 <= layer < cfg.layers:
+            raise IndexError(f"layer {layer} out of range for {cfg.layers} layers")
+        plane = cfg.heads * self.capacity * cfg.d_head * 4      # bytes per K or V
+        start = self.offset_bytes + (2 * layer + which) * plane
+        flat = self.buffer[start : start + plane].view(np.float32)
+        return flat.reshape(cfg.heads, self.capacity, cfg.d_head)
+
+    def k(self, layer: int) -> np.ndarray:
+        return self._view(layer, 0)
+
+    def v(self, layer: int) -> np.ndarray:
+        return self._view(layer, 1)
+
+    @property
+    def utilization(self) -> float:
+        """Written tokens over bucketed capacity (bucketing's overhead)."""
+        return self.length / self.capacity if self.capacity else 1.0
+
+
+class KVCacheAllocator:
+    """Page-granular slab allocator with bucketing, growth and eviction.
+
+    Thread-safe; the continuous-batching scheduler allocates at admission
+    time, grows at token boundaries, and either frees a finished slab or
+    *retires* it (``release(evictable=True)``) so its pages can be
+    reclaimed lazily under pressure — the KV analogue of the serving
+    layer's pre-inference cache keeping warm artifacts around.
+
+    Every allocation passes the ``kvcache.alloc`` fault point: injected
+    transients are retried with backoff (``retry.attempts``), and hard
+    failures — injected fatals or genuine exhaustion — walk the eviction
+    ladder (``fallback.evict`` per absorbed injection, ``kvcache.evictions``
+    for every reclaimed slab) before :class:`KVCacheOOM` escapes.
+    """
+
+    def __init__(
+        self,
+        config: KVCacheConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if config.total_pages <= 0:
+            raise ValueError(
+                f"arena of {config.capacity_tokens} tokens holds no "
+                f"{config.page_tokens}-token page"
+            )
+        self.config = config
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.faults = faults if faults is not None else get_fault_plan()
+        self._buffer = np.zeros(config.total_pages * config.page_bytes, np.uint8)
+        self._pages = ExtentFreeList(config.total_pages)
+        self._live: Dict[str, KVSlab] = {}
+        self._retired: "OrderedDict[str, KVSlab]" = OrderedDict()  # LRU order
+        self._lock = threading.RLock()
+
+    # -- allocation ----------------------------------------------------------
+    def _pages_for(self, capacity: int) -> int:
+        return -(-capacity // self.config.page_tokens)
+
+    def _try_alloc(self, seq_id: str, pages: int) -> int:
+        self.faults.fire("kvcache.alloc", seq=seq_id, pages=pages)
+        start = self._pages.alloc(pages)
+        if start is None:
+            raise KVCacheOOM(
+                f"no {pages}-page extent for {seq_id!r} "
+                f"(free {self._pages.free_units}, largest {self._pages.largest_extent})"
+            )
+        return start
+
+    def alloc(self, seq_id: str, tokens: int) -> KVSlab:
+        """Reserve a bucketed slab able to hold ``tokens`` tokens.
+
+        Raises:
+            KVCacheOOM: when no extent fits even with every retired slab
+                evicted (admission control catches this and queues).
+        """
+        capacity = self.config.bucket_for(max(1, tokens))
+        pages = self._pages_for(capacity)
+        with self._lock:
+            if seq_id in self._live:
+                raise ValueError(f"sequence {seq_id!r} already owns a slab")
+            while True:
+                try:
+                    start = retry_transient(
+                        lambda: self._try_alloc(seq_id, pages),
+                        retries=self.config.retries,
+                        rng=self.faults.rng_for("kvcache.alloc"),
+                        label="kvcache.alloc",
+                        transient=(TransientFault,),
+                    )
+                    break
+                except (FatalFault, TransientFault, KVCacheOOM) as exc:
+                    injected = not isinstance(exc, KVCacheOOM)
+                    if not self._evict_one():
+                        if injected:
+                            mark_isolated(exc)
+                        raise KVCacheOOM(
+                            f"arena exhausted allocating {pages} pages for "
+                            f"{seq_id!r} with nothing left to evict"
+                        ) from exc
+                    if injected:
+                        # The injection was absorbed by degrading to
+                        # eviction; account it like the other fallbacks.
+                        self.metrics.counter("fallback.evict").inc()
+            slab = KVSlab(seq_id, start, pages, capacity, self.config, self._buffer)
+            self._live[seq_id] = slab
+            self._update_gauges()
+            return slab
+
+    def grow(self, slab: KVSlab, tokens: int) -> KVSlab:
+        """Return a slab holding ``tokens``, copying rows when re-bucketing.
+
+        A no-op while the current bucket still fits; otherwise allocates
+        the next bucket, copies the ``length`` written rows layer by
+        layer, and frees the old pages — the sequence never re-plans its
+        graph, it just moves to the next prepared bucket.
+        """
+        if tokens <= slab.capacity:
+            return slab
+        with self._lock:
+            length = slab.length
+            self._forget(slab.seq_id)
+            try:
+                bigger = self.alloc(slab.seq_id, tokens)
+            except KVCacheOOM:
+                # Put the original back so the caller still owns a slab.
+                self._live[slab.seq_id] = slab
+                raise
+            for layer in range(self.config.layers):
+                bigger.k(layer)[:, :length] = slab.k(layer)[:, :length]
+                bigger.v(layer)[:, :length] = slab.v(layer)[:, :length]
+            bigger.length = length
+            self._pages.free(slab.page_start, slab.pages)
+            slab.freed = True
+            self._update_gauges()
+            return bigger
+
+    # -- release / eviction --------------------------------------------------
+    def release(self, slab: KVSlab, evictable: bool = False) -> None:
+        """Give the slab up: free its pages now, or retire it for lazy
+        reclamation under pressure (LRU)."""
+        with self._lock:
+            self._forget(slab.seq_id)
+            if slab.freed:
+                return
+            if evictable:
+                self._retired[slab.seq_id] = slab
+                self._retired.move_to_end(slab.seq_id)
+            else:
+                self._pages.free(slab.page_start, slab.pages)
+                slab.freed = True
+            self._update_gauges()
+
+    def _forget(self, seq_id: str) -> None:
+        self._live.pop(seq_id, None)
+        self._retired.pop(seq_id, None)
+
+    def _evict_one(self) -> bool:
+        """Reclaim the least-recently-retired slab; False when none left."""
+        if not self._retired:
+            return False
+        _, slab = self._retired.popitem(last=False)
+        self._pages.free(slab.page_start, slab.pages)
+        slab.freed = True
+        self.metrics.counter("kvcache.evictions").inc()
+        return True
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def free_pages(self) -> int:
+        with self._lock:
+            return self._pages.free_units
+
+    @property
+    def used_pages(self) -> int:
+        return self.config.total_pages - self.free_pages
+
+    def page_utilization(self) -> float:
+        """Fraction of arena pages owned by live or retired slabs."""
+        return self.used_pages / self.config.total_pages
+
+    def token_utilization(self) -> float:
+        """Written tokens over bucketed capacity across live slabs."""
+        with self._lock:
+            cap = sum(s.capacity for s in self._live.values())
+            used = sum(s.length for s in self._live.values())
+        return used / cap if cap else 1.0
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge("kvcache.used_pages").set(
+            self.config.total_pages - self._pages.free_units
+        )
+        self.metrics.gauge("kvcache.live_slabs").set(len(self._live))
+
+    def to_memory_plan(self) -> MemoryPlan:
+        """Snapshot the resident layout as a standard :class:`MemoryPlan`.
+
+        Every slab (live and retired) is co-live at step 0, so the plan's
+        own :meth:`~repro.core.memory.MemoryPlan.validate` and the
+        graph-free sanitizer (:func:`repro.analysis.check_slab_plan`)
+        prove the dynamic allocator alias-free exactly like the static
+        planner's output.
+        """
+        with self._lock:
+            slabs = list(self._live.values()) + list(self._retired.values())
+            offsets = {s.seq_id: s.offset_bytes for s in slabs}
+            lifetimes = {
+                s.seq_id: TensorLifetime(s.seq_id, s.nbytes, 0, 0) for s in slabs
+            }
+            arena = self.config.total_pages * self.config.page_bytes
+            return MemoryPlan(
+                offsets=offsets,
+                arena_bytes=arena,
+                total_tensor_bytes=sum(s.nbytes for s in slabs),
+                lifetimes=lifetimes,
+            )
+
+    def check(self):
+        """Run the independent sanitizer over the current layout."""
+        from ..analysis.memcheck import check_slab_plan
+
+        plan = self.to_memory_plan()
+        plan.validate()
+        return check_slab_plan(plan, page_bytes=self.config.page_bytes)

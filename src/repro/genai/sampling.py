@@ -1,0 +1,89 @@
+"""Seeded token sampling: greedy, temperature, and top-k.
+
+Sampling is the one *intentionally* stochastic stage of generation, so
+it gets the same determinism discipline as the fault injector: every
+request owns a ``random.Random(seed)`` and draws from nothing else.
+Two runs of the same prompt with the same :class:`SamplingParams` emit
+identical tokens regardless of batch composition, admission order, or
+how many other requests shared the continuous batch — the scheduler can
+re-shuffle freely without changing any request's output.
+
+Greedy decoding (``temperature=0``) takes no draws at all; it is the
+mode the bit-identity acceptance test runs under, where the whole
+pipeline down to the logits must match the full-recompute reference.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SamplingParams", "Sampler", "greedy"]
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Per-request generation knobs.
+
+    Attributes:
+        max_tokens: generation budget (prompt excluded).
+        temperature: 0 -> greedy argmax; higher flattens the distribution.
+        top_k: restrict sampling to the k most likely tokens (0 = all).
+        seed: seeds this request's private RNG.
+        stop_tokens: token ids that end generation early (emitted last).
+    """
+
+    max_tokens: int = 16
+    temperature: float = 0.0
+    top_k: int = 0
+    seed: int = 0
+    stop_tokens: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_tokens < 1:
+            raise ValueError(f"max_tokens must be >= 1, got {self.max_tokens}")
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if self.top_k < 0:
+            raise ValueError(f"top_k must be >= 0, got {self.top_k}")
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Argmax with numpy's deterministic first-max tie-break."""
+    return int(np.argmax(logits))
+
+
+class Sampler:
+    """One request's sampling state (an RNG and its params)."""
+
+    def __init__(self, params: SamplingParams) -> None:
+        self.params = params
+        self._rng = random.Random(params.seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Draw the next token id from one ``(vocab,)`` logits row."""
+        params = self.params
+        if params.temperature == 0.0:
+            return greedy(logits)
+        # float64 throughout: sampling probabilities need not be
+        # bit-stable against the engine's float32 pipeline, but they must
+        # be stable against *themselves* across runs.
+        scaled = logits.astype(np.float64) / params.temperature
+        if params.top_k:
+            k = min(params.top_k, scaled.size)
+            # argsort (not argpartition) so candidate order is total and
+            # deterministic even among tied logits.
+            candidates = np.argsort(-scaled, kind="stable")[:k]
+        else:
+            candidates = np.argsort(-scaled, kind="stable")
+        weights = np.exp(scaled[candidates] - scaled[candidates[0]])
+        cdf = np.cumsum(weights)
+        draw = self._rng.random() * cdf[-1]
+        index = int(np.searchsorted(cdf, draw, side="right"))
+        return int(candidates[min(index, len(candidates) - 1)])
+
+    def is_stop(self, token: int) -> bool:
+        return token in self.params.stop_tokens

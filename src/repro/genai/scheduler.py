@@ -1,0 +1,264 @@
+"""Continuous batching: sequences join and leave at token boundaries.
+
+Classic serving batches whole *requests* (``repro.serving.batching``
+coalesces single-shot inferences).  Generation makes that wasteful: a
+request that wants 4 tokens would ride along for a neighbour's 64.  The
+continuous scheduler instead re-forms the batch **every decode step** —
+
+* **admission** happens whenever the running set has room *and* the KV
+  allocator can stake the sequence a slab (admission control is memory
+  control; an OOM just leaves the request queued);
+* each step, live sequences are grouped by KV-capacity bucket and
+  advanced one token through the matching prepared decode session;
+* a sequence that hits its token budget or a stop token **leaves
+  immediately**, its pages return (or retire for lazy eviction), and a
+  queued request takes the seat at the very next boundary.
+
+Every join/leave is a trace instant (``genai.batch_join`` /
+``genai.batch_leave``) and every step nests under ``genai.decode_step``,
+so a waterfall of a storm shows the batch breathing.
+
+Determinism: the per-row decode kernels make each sequence's logits
+independent of its batch neighbours, and sampling draws only from the
+request's own seeded RNG — so scheduling order affects *throughput*,
+never *output*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults.errors import ResilienceError
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.tracer import Tracer, get_tracer
+from .decode import DecodeRunner
+from .kvcache import KVCacheAllocator, KVCacheOOM, KVSlab
+from .prefill import PrefillRunner
+from .sampling import Sampler, SamplingParams
+
+__all__ = ["GenRequest", "GenResult", "ContinuousBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class GenRequest:
+    """One generation request: a prompt and its sampling contract."""
+
+    request_id: str
+    prompt: Sequence[int]
+    params: SamplingParams = field(default_factory=SamplingParams)
+
+
+@dataclass
+class GenResult:
+    """What a request got back.
+
+    ``finish_reason`` is ``"length"`` (budget spent), ``"stop"`` (stop
+    token emitted), or ``"error"`` (failed; ``error`` holds the message
+    and ``tokens`` whatever was produced before the failure).
+    """
+
+    request_id: str
+    prompt: List[int]
+    tokens: List[int]
+    finish_reason: str
+    steps: int = 0
+    error: Optional[str] = None
+
+
+class _Sequence:
+    """A running request's mutable state."""
+
+    __slots__ = ("request", "sampler", "slab", "tokens", "budget", "steps", "done_reason")
+
+    def __init__(self, request: GenRequest, sampler: Sampler, slab: KVSlab, budget: int):
+        self.request = request
+        self.sampler = sampler
+        self.slab = slab
+        self.tokens: List[int] = []
+        self.budget = budget
+        self.steps = 0
+        self.done_reason: Optional[str] = None
+
+    def take(self, token: int) -> None:
+        self.tokens.append(token)
+        if self.sampler.is_stop(token):
+            self.done_reason = "stop"
+        elif len(self.tokens) >= self.budget:
+            self.done_reason = "length"
+
+
+class ContinuousBatchScheduler:
+    """The token-boundary loop tying allocator, prefill and decode together."""
+
+    def __init__(
+        self,
+        prefill: PrefillRunner,
+        decode: DecodeRunner,
+        allocator: KVCacheAllocator,
+        max_batch: int,
+        max_seq: int,
+        retain_kv: bool = True,
+        max_preemptions: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.prefill = prefill
+        self.decode = decode
+        self.allocator = allocator
+        self.max_batch = max_batch
+        self.max_seq = max_seq
+        self.retain_kv = retain_kv
+        self.max_preemptions = max_preemptions
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+
+    # -- lifecycle helpers ---------------------------------------------------
+    def _fail(self, results: Dict[str, GenResult], request: GenRequest,
+              message: str, tokens: Optional[List[int]] = None, steps: int = 0) -> None:
+        results[request.request_id] = GenResult(
+            request.request_id, list(request.prompt), tokens or [],
+            "error", steps=steps, error=message,
+        )
+        self.metrics.counter("genai.request_errors").inc()
+
+    def _retire(self, results: Dict[str, GenResult], seq: _Sequence) -> None:
+        self.allocator.release(seq.slab, evictable=self.retain_kv)
+        self.tracer.instant(
+            "genai.batch_leave", "genai",
+            request=seq.request.request_id, reason=seq.done_reason,
+        )
+        results[seq.request.request_id] = GenResult(
+            seq.request.request_id, list(seq.request.prompt), seq.tokens,
+            seq.done_reason or "length", steps=seq.steps,
+        )
+        self.metrics.counter("genai.requests").inc()
+
+    def _admit(self, request: GenRequest, batch_size: int) -> Optional[_Sequence]:
+        """Stake the request a slab and prefill it; None when memory says wait."""
+        prompt = list(request.prompt)
+        slab = self.allocator.alloc(request.request_id, len(prompt) + 1)
+        self.tracer.instant(
+            "genai.batch_join", "genai",
+            request=request.request_id, prompt_tokens=len(prompt), batch=batch_size,
+        )
+        budget = min(request.params.max_tokens, self.max_seq - len(prompt))
+        seq = _Sequence(request, Sampler(request.params), slab, budget)
+        try:
+            logits = self.prefill.run(prompt, slab)
+        except Exception:
+            self.allocator.release(slab)
+            raise
+        seq.take(seq.sampler.sample(logits))
+        return seq
+
+    # -- the loop ------------------------------------------------------------
+    def run(self, requests: Sequence[GenRequest]) -> List[GenResult]:
+        """Drive every request to completion; results in input order."""
+        waiting: Deque[GenRequest] = deque(requests)
+        running: List[_Sequence] = []
+        results: Dict[str, GenResult] = {}
+        preempts: Dict[str, int] = {}
+        order = [r.request_id for r in requests]
+        if len(set(order)) != len(order):
+            raise ValueError("duplicate request_id in batch")
+
+        while waiting or running:
+            # 1. Admission at the token boundary: fill free seats while
+            #    the allocator can stake each newcomer a slab.
+            while waiting and len(running) < self.max_batch:
+                request = waiting[0]
+                prompt_len = len(request.prompt)
+                if prompt_len < 1 or prompt_len >= self.max_seq:
+                    waiting.popleft()
+                    self._fail(
+                        results, request,
+                        f"prompt of {prompt_len} tokens outside [1, {self.max_seq})",
+                    )
+                    continue
+                try:
+                    seq = self._admit(request, len(running) + 1)
+                except KVCacheOOM as exc:
+                    if not running:
+                        # Nothing will ever free pages: fail, don't hang.
+                        waiting.popleft()
+                        self._fail(results, request, f"kv admission failed: {exc}")
+                        continue
+                    break  # wait for a leaver to return pages
+                except ResilienceError as exc:
+                    waiting.popleft()
+                    self._fail(results, request, f"prefill failed: {exc}")
+                    continue
+                waiting.popleft()
+                if seq.done_reason is not None:
+                    self._retire(results, seq)
+                else:
+                    running.append(seq)
+
+            if not running:
+                continue
+            self.metrics.histogram("genai.batch_size").observe(len(running))
+
+            # 2. Make room for each sequence's next K/V row (bucket growth).
+            #    A sequence whose growth hits OOM *stalls* — it keeps its
+            #    slab and skips this step, waiting for a leaver's pages —
+            #    rather than failing outright.
+            stalled: List[_Sequence] = []
+            for seq in list(running):
+                try:
+                    seq.slab = self.allocator.grow(seq.slab, seq.slab.length + 1)
+                except KVCacheOOM:
+                    stalled.append(seq)
+                except ResilienceError as exc:
+                    running.remove(seq)
+                    self.allocator.release(seq.slab)
+                    self._fail(
+                        results, seq.request, f"kv growth failed: {exc}",
+                        tokens=seq.tokens, steps=seq.steps,
+                    )
+            if stalled and len(stalled) == len(running):
+                # Every live sequence is memory-stalled: nobody will ever
+                # leave, so preempt one (the youngest — least sunk work)
+                # to guarantee progress for the rest.  The victim's pages
+                # return and its request goes back in the queue for a
+                # full recompute; repeat offenders eventually fail.
+                victim = min(stalled, key=lambda s: len(s.tokens))
+                running.remove(victim)
+                self.allocator.release(victim.slab)
+                self.metrics.counter("genai.preemptions").inc()
+                rid = victim.request.request_id
+                preempts[rid] = preempts.get(rid, 0) + 1
+                if preempts[rid] > self.max_preemptions:
+                    self._fail(
+                        results, victim.request,
+                        f"preempted {preempts[rid]} times: kv arena exhausted",
+                        tokens=victim.tokens, steps=victim.steps,
+                    )
+                else:
+                    waiting.appendleft(victim.request)
+                continue
+
+            # 3. One decode step per capacity-bucket group.
+            active = [s for s in running if s not in stalled]
+            groups: Dict[int, List[_Sequence]] = {}
+            for seq in active:
+                groups.setdefault(seq.slab.capacity, []).append(seq)
+            for capacity in sorted(groups):
+                group = groups[capacity]
+                logits = self.decode.step(
+                    [seq.tokens[-1] for seq in group],
+                    [seq.slab for seq in group],
+                )
+                for seq, row in zip(group, logits):
+                    seq.steps += 1
+                    seq.take(seq.sampler.sample(row))
+
+            # 4. Leave at the boundary; seats reopen for step 1.
+            for seq in [s for s in running if s.done_reason is not None]:
+                running.remove(seq)
+                self._retire(results, seq)
+
+        return [results[rid] for rid in order]

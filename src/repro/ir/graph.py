@@ -538,11 +538,36 @@ class GraphBuilder:
         return self._unary(Op.GELU, x, name=name)
 
     def matmul(self, a: str, b: str, transpose_a: bool = False,
-               transpose_b: bool = False, name: Optional[str] = None) -> str:
+               transpose_b: bool = False, rowwise: bool = False,
+               name: Optional[str] = None) -> str:
         out = name or self._fresh("matmul")
         self.graph.add_node(
             Op.MATMUL, [a, b], [out],
-            {"transpose_a": transpose_a, "transpose_b": transpose_b},
+            {"transpose_a": transpose_a, "transpose_b": transpose_b,
+             "rowwise": rowwise},
+        )
+        return out
+
+    def attention(self, q: str, k: str, v: str, lengths: Optional[str] = None,
+                  k_cache: Optional[str] = None, v_cache: Optional[str] = None,
+                  causal: bool = True, scale: Optional[float] = None,
+                  name: Optional[str] = None) -> str:
+        """Fused scaled-dot-product attention over (N, H, T, dh) tensors.
+
+        With ``lengths``/``k_cache``/``v_cache`` the op attends over the
+        valid cache prefix followed by the fresh k/v rows (autoregressive
+        decode); without them it is plain (optionally causal) attention.
+        """
+        if (lengths is None) != (k_cache is None) or (k_cache is None) != (v_cache is None):
+            raise GraphError(
+                "attention: lengths, k_cache and v_cache must be given together"
+            )
+        inputs = [q, k, v]
+        if lengths is not None:
+            inputs += [lengths, k_cache, v_cache]
+        out = name or self._fresh("attn")
+        self.graph.add_node(
+            Op.ATTENTION, inputs, [out], {"causal": causal, "scale": scale}
         )
         return out
 

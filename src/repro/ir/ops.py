@@ -66,6 +66,7 @@ class Op:
     LAYER_NORM = "LayerNorm"
     GELU = "Gelu"
     LSTM = "LSTM"
+    ATTENTION = "Attention"
 
 
 MulFn = Callable[[Sequence[Tuple[int, ...]], Tuple[int, ...], Mapping[str, Any]], int]
@@ -237,8 +238,18 @@ register_op(
     )
 )
 register_op(
-    OpSchema(Op.MATMUL, 2, 2, {"transpose_a": False, "transpose_b": False}, _matmul_muls,
-             compute_intensive=True)
+    OpSchema(
+        Op.MATMUL,
+        2,
+        2,
+        # rowwise: compute each output row as an independent vector-matrix
+        # product.  Slower, but bitwise invariant to the leading (token)
+        # dimension — required by autoregressive decode, where step t must
+        # reproduce row t of the full-sequence product exactly.
+        {"transpose_a": False, "transpose_b": False, "rowwise": False},
+        _matmul_muls,
+        compute_intensive=True,
+    )
 )
 register_op(
     OpSchema(
@@ -309,6 +320,28 @@ register_op(
         4,
         {"hidden_size": ..., "return_sequences": False},
         _lstm_muls,
+        compute_intensive=True,
+    )
+)
+
+
+def _attention_muls(input_shapes, output_shape, attrs) -> int:
+    n, h, tq, dh = input_shapes[0]
+    cached = input_shapes[4][2] if len(input_shapes) >= 5 else 0
+    # scores (q . k) plus context (weights . v) per visible key, averaged
+    # over the causal ramp: roughly keys_visible = cached + tq/2 per row.
+    visible = cached + max(1, tq // 2)
+    return n * h * tq * visible * dh * 2
+
+
+register_op(
+    OpSchema(
+        Op.ATTENTION,
+        # q, k, v [, lengths, k_cache, v_cache]
+        3,
+        6,
+        {"causal": True, "scale": None},
+        _attention_muls,
         compute_intensive=True,
     )
 )

@@ -369,6 +369,40 @@ def _lstm(node, descs):
     return [((n, hidden), x.dtype)]
 
 
+@_register(Op.ATTENTION)
+def _attention(node, descs):
+    q, k, v = descs[0], descs[1], descs[2]
+    if q.rank != 4:
+        raise GraphError(
+            f"{node.name!r}: attention expects (N, H, Tq, dh) queries, got {q.shape}"
+        )
+    if k.shape != q.shape or v.shape != q.shape:
+        raise GraphError(
+            f"{node.name!r}: attention k/v must match q {q.shape}, "
+            f"got {k.shape}/{v.shape}"
+        )
+    if len(descs) not in (3, 6):
+        raise GraphError(
+            f"{node.name!r}: attention takes (q, k, v) or "
+            f"(q, k, v, lengths, k_cache, v_cache); got {len(descs)} inputs"
+        )
+    if len(descs) == 6:
+        lengths, k_cache, v_cache = descs[3], descs[4], descs[5]
+        if lengths.shape != (q.shape[0],):
+            raise GraphError(
+                f"{node.name!r}: lengths must be ({q.shape[0]},), got {lengths.shape}"
+            )
+        if not np.issubdtype(lengths.dtype.np_dtype, np.integer):
+            raise GraphError(f"{node.name!r}: lengths must be integer-typed")
+        expect = (q.shape[0], q.shape[1], k_cache.shape[2], q.shape[3])
+        if k_cache.shape != expect or v_cache.shape != expect:
+            raise GraphError(
+                f"{node.name!r}: k/v cache must be (N, H, cap, dh) = {expect}, "
+                f"got {k_cache.shape}/{v_cache.shape}"
+            )
+    return [(q.shape, q.dtype)]
+
+
 def infer_node_outputs(graph: Graph, node: Node) -> List[Tuple[Shape, DataType]]:
     """Compute ``node``'s output ``(shape, dtype)`` pairs without mutating.
 

@@ -38,7 +38,7 @@ from .elementwise import (
     tanh,
 )
 from .misc import conv_transpose2d, fully_connected, pad_nd, reduce_mean, resize2d
-from .sequence import gelu, layer_norm, lstm_forward
+from .sequence import attention, attention_step, gelu, layer_norm, lstm_forward
 from .quantized import qconv2d, quantize_tensor, quantize_weights_per_channel
 
 
@@ -101,6 +101,8 @@ __all__ = [
     "pad_nd",
     "reduce_mean",
     "resize2d",
+    "attention",
+    "attention_step",
     "gelu",
     "layer_norm",
     "lstm_forward",

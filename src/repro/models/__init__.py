@@ -7,7 +7,7 @@ from .mobilenet import mobilenet_v1, mobilenet_v2
 from .squeezenet import squeezenet_v1_0, squeezenet_v1_1
 from .resnet import resnet18, resnet50
 from .inception import inception_v3
-from .text import lstm_classifier, tiny_transformer
+from .text import lstm_classifier, tiny_decoder, tiny_transformer
 
 __all__ = [
     "mobilenet_v1",
@@ -18,6 +18,7 @@ __all__ = [
     "resnet50",
     "inception_v3",
     "tiny_transformer",
+    "tiny_decoder",
     "lstm_classifier",
     "MODEL_REGISTRY",
     "build_model",
@@ -32,6 +33,7 @@ MODEL_REGISTRY: Dict[str, Callable[..., Graph]] = {
     "resnet50": resnet50,
     "inception_v3": inception_v3,
     "tiny_transformer": tiny_transformer,
+    "tiny_decoder": tiny_decoder,
     "lstm_classifier": lstm_classifier,
 }
 

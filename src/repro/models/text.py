@@ -13,7 +13,7 @@ import numpy as np
 from ..ir.graph import Graph, GraphBuilder
 from ..ir.tensor import DataType
 
-__all__ = ["tiny_transformer", "lstm_classifier"]
+__all__ = ["tiny_transformer", "lstm_classifier", "tiny_decoder"]
 
 
 def _attention(b: GraphBuilder, x: str, d_model: int, heads: int, prefix: str) -> str:
@@ -85,6 +85,104 @@ def tiny_transformer(
     cls = b.flatten(cls)
     logits = b.fc(cls, units=classes)
     b.output(b.softmax(logits))
+    return b.finish()
+
+
+def tiny_decoder(
+    vocab: int = 256,
+    max_seq: int = 64,
+    d_model: int = 64,
+    heads: int = 4,
+    layers: int = 2,
+    batch: int = 1,
+    seed: int = 0,
+    mode: str = "full",
+    seq_len: int = None,
+    cache_len: int = None,
+) -> Graph:
+    """A decoder-only (GPT-style, pre-LN, causal) transformer LM.
+
+    The same builder produces the two graph variants ``repro.genai`` needs:
+
+    * ``mode="full"`` — run ``seq_len`` tokens at once (prefill / the
+      full-recompute reference).  Outputs ``logits`` (N, T, vocab) plus
+      per-layer K/V rows ``l{i}_k`` / ``l{i}_v`` (N, H, T, dh) for the
+      host to stash into the KV cache.
+    * ``mode="decode"`` — run exactly one new token per sequence against
+      cached K/V.  Extra inputs: ``lengths`` (N,) int32 cached-token
+      counts and per-layer ``l{i}_k_cache`` / ``l{i}_v_cache``
+      (N, H, cache_len, dh); outputs the new token's logits and K/V rows.
+
+    Every projection is a ``rowwise`` MatMul and attention is the fused
+    row-loop op, so token ``t`` of a full run and decode step ``t`` issue
+    identical per-row kernels — decode is *bit-identical* to recompute.
+    Weights depend only on ``seed`` and the architecture (the RNG draw
+    order is the same in both modes), and the position table always has
+    ``max_seq`` rows gathered by an explicit ``positions`` input, so both
+    variants share one set of parameters.
+    """
+    if d_model % heads:
+        raise ValueError(f"d_model {d_model} not divisible by heads {heads}")
+    if mode not in ("full", "decode"):
+        raise ValueError(f"mode must be 'full' or 'decode', got {mode!r}")
+    decode = mode == "decode"
+    t = 1 if decode else (seq_len or max_seq)
+    if t > max_seq:
+        raise ValueError(f"seq_len {t} exceeds max_seq {max_seq}")
+    cap = cache_len if cache_len is not None else max_seq
+    d_head = d_model // heads
+
+    b = GraphBuilder(f"tiny_decoder_L{layers}_D{d_model}_{mode}{t if not decode else cap}",
+                     seed=seed)
+    tokens = b.input("tokens", (batch, t), DataType.INT32)
+    positions = b.input("positions", (batch, t), DataType.INT32)
+    lengths = b.input("lengths", (batch,), DataType.INT32) if decode else None
+
+    embedding = b._weight("tok_embed", (vocab, d_model), scale=0.02)
+    pos_table = b._weight("pos_embed", (max_seq, d_model), scale=0.02)
+    x = b.add(b.gather(embedding, tokens, axis=0),
+              b.gather(pos_table, positions, axis=0))         # (N, T, D)
+
+    for layer in range(layers):
+        prefix = f"l{layer}"
+        normed = b.layer_norm(x)
+
+        def project(name: str, out_name: str = None) -> str:
+            w = b._weight(f"{prefix}_{name}_w", (d_model, d_model),
+                          scale=d_model**-0.5)
+            p = b.matmul(normed, w, rowwise=True)             # (N, T, D)
+            p = b.reshape(p, (batch, t, heads, d_head))
+            return b.transpose(p, (0, 2, 1, 3), name=out_name)  # (N, H, T, dh)
+
+        q = project("q")
+        k = project("k", out_name=f"{prefix}_k")
+        v = project("v", out_name=f"{prefix}_v")
+        if decode:
+            k_cache = b.input(f"{prefix}_k_cache", (batch, heads, cap, d_head))
+            v_cache = b.input(f"{prefix}_v_cache", (batch, heads, cap, d_head))
+            ctx = b.attention(q, k, v, lengths, k_cache, v_cache,
+                              causal=True, scale=d_head**-0.5)
+        else:
+            ctx = b.attention(q, k, v, causal=True, scale=d_head**-0.5)
+        b.output(k, v)
+        ctx = b.transpose(ctx, (0, 2, 1, 3))
+        ctx = b.reshape(ctx, (batch, t, d_model))
+        w_out = b._weight(f"{prefix}_out_w", (d_model, d_model),
+                          scale=d_model**-0.5)
+        x = b.add(x, b.matmul(ctx, w_out, rowwise=True))
+
+        normed = b.layer_norm(x)
+        w1 = b._weight(f"{prefix}_ffn_w1", (d_model, 4 * d_model),
+                       scale=d_model**-0.5)
+        w2 = b._weight(f"{prefix}_ffn_w2", (4 * d_model, d_model),
+                       scale=(4 * d_model) ** -0.5)
+        hidden = b.gelu(b.matmul(normed, w1, rowwise=True))
+        x = b.add(x, b.matmul(hidden, w2, rowwise=True))
+
+    x = b.layer_norm(x)
+    w_lm = b._weight("lm_head_w", (d_model, vocab), scale=d_model**-0.5)
+    logits = b.matmul(x, w_lm, rowwise=True, name="logits")   # (N, T, vocab)
+    b.output(logits)
     return b.finish()
 
 

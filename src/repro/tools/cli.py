@@ -116,7 +116,7 @@ def cmd_build(args) -> int:
               f"{', '.join(sorted(MODEL_REGISTRY))}", file=sys.stderr)
         return 1
     kwargs = {"seed": args.seed}
-    if args.model_name not in ("tiny_transformer", "lstm_classifier"):
+    if args.model_name not in ("tiny_transformer", "tiny_decoder", "lstm_classifier"):
         kwargs["input_size"] = args.input_size
     graph = build_model(args.model_name, **kwargs)
     save_model(graph, args.output)
@@ -445,6 +445,100 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_generate(args) -> int:
+    """Continuous-batching generation demo over the tiny decoder."""
+    import time as _time
+
+    from ..genai import GenerationConfig, GenerationEngine, SamplingParams
+
+    tracer = None
+    if args.trace:
+        from ..obs import Tracer
+
+        tracer = Tracer()
+    config = GenerationConfig(
+        max_seq=args.max_seq, d_model=args.d_model, heads=args.heads,
+        layers=args.layers, seed=args.seed, max_batch=args.batch,
+        page_tokens=args.page_tokens, trace=tracer,
+    )
+    engine = GenerationEngine(config)
+    rng = np.random.default_rng(args.seed)
+    prompts = [
+        [int(t) for t in rng.integers(0, config.vocab, size=int(n))]
+        for n in rng.integers(2, max(3, args.max_seq // 4), size=args.prompts)
+    ]
+    params = SamplingParams(
+        max_tokens=args.max_tokens, temperature=args.temperature,
+        top_k=args.top_k, seed=args.seed,
+    )
+    start = _time.perf_counter()
+    results = engine.generate(prompts, params)
+    elapsed = _time.perf_counter() - start
+    generated = sum(len(r.tokens) for r in results)
+    for r in results:
+        shown = " ".join(str(t) for t in r.tokens[:12])
+        more = "..." if len(r.tokens) > 12 else ""
+        print(f"{r.request_id}: [{shown}{more}] ({len(r.tokens)} tokens, "
+              f"{r.finish_reason})")
+    stats = engine.stats()
+    print(f"throughput: {generated} tokens in {elapsed * 1000:.0f} ms "
+          f"= {generated / elapsed:.1f} tok/s across {len(results)} requests")
+    print(f"kv arena:   {stats['kv_free_pages']:.0f} pages free, "
+          f"{stats['evictions']:.0f} evictions, "
+          f"{stats['decode_sessions']:.0f} decode sessions prepared")
+
+    if args.selftest:
+        failures = 0
+        if args.temperature == 0.0:
+            # Greedy: decode-with-cache must be bit-identical to a
+            # token-by-token full recompute of the whole sequence.
+            from ..core import Session
+            from ..models import build_model
+
+            for prompt, r in zip(prompts, results):
+                toks = list(prompt)
+                for _ in range(len(r.tokens)):
+                    g = build_model(
+                        "tiny_decoder", mode="full", seq_len=len(toks),
+                        vocab=config.vocab, max_seq=config.max_seq,
+                        d_model=config.d_model, heads=config.heads,
+                        layers=config.layers, seed=config.seed,
+                    )
+                    out = Session(g).run({
+                        "tokens": np.array([toks], np.int32),
+                        "positions": np.arange(len(toks), dtype=np.int32)[None],
+                    })
+                    toks.append(int(np.argmax(out["logits"][0, -1])))
+                if toks[len(prompt):] != r.tokens:
+                    failures += 1
+                    print(f"selftest FAILED: {r.request_id} diverges from "
+                          f"full recompute", file=sys.stderr)
+            mode = "bit-identical vs full recompute"
+        else:
+            # Sampled: a fresh engine must reproduce every token stream.
+            replay = GenerationEngine(GenerationConfig(
+                max_seq=args.max_seq, d_model=args.d_model, heads=args.heads,
+                layers=args.layers, seed=args.seed, max_batch=args.batch,
+                page_tokens=args.page_tokens,
+            )).generate(prompts, params)
+            for a, b in zip(results, replay):
+                if a.tokens != b.tokens:
+                    failures += 1
+                    print(f"selftest FAILED: {a.request_id} not reproducible",
+                          file=sys.stderr)
+            mode = "reproducible under reseeded replay"
+        if failures:
+            return 1
+        print(f"selftest:   ok — {len(results)} generations {mode}")
+
+    if tracer is not None:
+        from ..obs import save_chrome_trace
+
+        save_chrome_trace(tracer, args.trace)
+        print(f"trace:      wrote {args.trace} ({len(tracer.spans)} spans)")
+    return 0
+
+
 def cmd_schemes(args) -> int:
     from ..core import select_graph_schemes
 
@@ -580,6 +674,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", action="store_true",
                    help="also print the full injection sequence")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("generate", help="continuous-batching autoregressive "
+                                        "generation over the tiny decoder")
+    p.add_argument("--prompts", type=int, default=4,
+                   help="number of random prompts to generate for")
+    p.add_argument("--max-tokens", type=int, default=12)
+    p.add_argument("--max-seq", type=int, default=48)
+    p.add_argument("--d-model", type=int, default=32)
+    p.add_argument("--heads", type=int, default=2)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--batch", type=int, default=4,
+                   help="continuous-batch seat count")
+    p.add_argument("--page-tokens", type=int, default=8,
+                   help="KV-cache page granule in tokens")
+    p.add_argument("--temperature", type=float, default=0.0,
+                   help="0 = greedy (the bit-identity selftest mode)")
+    p.add_argument("--top-k", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--selftest", action="store_true",
+                   help="greedy: verify bit-identity vs full recompute; "
+                        "sampled: verify reseeded replay reproduces tokens")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record prefill/decode/batch spans to a Chrome trace")
+    p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("schemes", help="show per-conv scheme decisions")
     p.add_argument("model")

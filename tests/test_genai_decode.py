@@ -1,0 +1,423 @@
+"""Incremental attention, the decoder-only model builder, and the
+bucketed prefill/decode runners.
+
+The load-bearing contract everywhere here is *bit-identity*: attending
+one query row against cached K/V must reproduce the exact bits of the
+same row inside a full-sequence recompute, because the genai subsystem
+reuses that equality to serve autoregressive decoding on prepared
+fixed-shape graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import Session, SessionConfig
+from repro.genai import (
+    DecodeRunner,
+    KVCacheAllocator,
+    KVCacheConfig,
+    PrefillRunner,
+    batch_buckets,
+    bucket_for_batch,
+    bucket_for_length,
+    length_buckets,
+)
+from repro.ir import DataType, GraphBuilder, GraphError, Op
+from repro.kernels import attention, attention_step
+from repro.models import build_model, tiny_decoder
+from repro.obs.metrics import MetricsRegistry, set_metrics
+
+pytestmark = pytest.mark.genai
+
+RNG = np.random.default_rng(21)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    previous = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(previous)
+
+
+def qkv(n=1, h=2, t=6, dh=8):
+    return (RNG.standard_normal((n, h, t, dh)).astype(np.float32) for _ in range(3))
+
+
+class TestAttentionKernel:
+    def test_causal_masks_the_future(self):
+        q, k, v = qkv()
+        out = attention(q, k, v, causal=True)
+        # Row 0 sees only key 0; perturbing the last key must not move it.
+        k2 = k.copy()
+        k2[:, :, -1] += 100.0
+        out2 = attention(q, k2, v, causal=True)
+        np.testing.assert_array_equal(out[:, :, 0], out2[:, :, 0])
+        assert not np.array_equal(out[:, :, -1], out2[:, :, -1])
+
+    def test_non_causal_attends_everywhere(self):
+        q, k, v = qkv()
+        out = attention(q, k, v, causal=False)
+        k2 = k.copy()
+        k2[:, :, -1] += 100.0
+        out2 = attention(q, k2, v, causal=False)
+        assert not np.array_equal(out[:, :, 0], out2[:, :, 0])
+
+    def test_matches_naive_softmax_reference(self):
+        n, h, t, dh = 2, 2, 5, 4
+        q = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        k = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        v = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        got = attention(q, k, v, causal=True)
+        for ni in range(n):
+            for hi in range(h):
+                for ti in range(t):
+                    scores = (k[ni, hi, : ti + 1] @ q[ni, hi, ti]) * dh**-0.5
+                    w = np.exp(scores - scores.max())
+                    w /= w.sum()
+                    np.testing.assert_allclose(
+                        got[ni, hi, ti], w @ v[ni, hi, : ti + 1], atol=1e-5
+                    )
+
+    def test_step_bit_identical_to_full_at_every_position(self):
+        """The satellite contract: decode-with-cache == recompute, bitwise,
+        at every step of the sequence."""
+        n, h, t, dh = 2, 2, 12, 8
+        q = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        k = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        v = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        full = attention(q, k, v, causal=True)
+
+        k_cache = np.zeros((n, h, t, dh), np.float32)
+        v_cache = np.zeros((n, h, t, dh), np.float32)
+        for step in range(t):
+            lengths = np.full((n,), step, np.int32)
+            got = attention_step(
+                q[:, :, step], k[:, :, step], v[:, :, step],
+                k_cache, v_cache, lengths,
+            )
+            np.testing.assert_array_equal(got, full[:, :, step])
+            k_cache[:, :, step] = k[:, :, step]
+            v_cache[:, :, step] = v[:, :, step]
+
+    def test_chunked_prefill_bit_identical_to_full(self):
+        """Cached continuation of a half-prefilled sequence matches the
+        one-shot full computation bitwise (prefill/decode boundary can
+        fall anywhere)."""
+        n, h, t, dh, split = 1, 2, 10, 4, 6
+        q = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        k = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        v = RNG.standard_normal((n, h, t, dh)).astype(np.float32)
+        full = attention(q, k, v, causal=True)
+        cap = 16
+        k_cache = np.zeros((n, h, cap, dh), np.float32)
+        v_cache = np.zeros((n, h, cap, dh), np.float32)
+        k_cache[:, :, :split] = k[:, :, :split]
+        v_cache[:, :, :split] = v[:, :, :split]
+        lengths = np.full((n,), split, np.int32)
+        got = attention(
+            q[:, :, split:], k[:, :, split:], v[:, :, split:],
+            lengths=lengths, k_cache=k_cache, v_cache=v_cache, causal=True,
+        )
+        np.testing.assert_array_equal(got, full[:, :, split:])
+
+    def test_cache_rows_beyond_length_are_ignored(self):
+        n, h, dh, cap = 1, 2, 4, 8
+        q = RNG.standard_normal((n, h, dh)).astype(np.float32)
+        k_new = RNG.standard_normal((n, h, dh)).astype(np.float32)
+        v_new = RNG.standard_normal((n, h, dh)).astype(np.float32)
+        k_cache = RNG.standard_normal((n, h, cap, dh)).astype(np.float32)
+        v_cache = RNG.standard_normal((n, h, cap, dh)).astype(np.float32)
+        lengths = np.array([3], np.int32)
+        a = attention_step(q, k_new, v_new, k_cache, v_cache, lengths)
+        k_cache[:, :, 3:] = 999.0  # garbage beyond the valid prefix
+        v_cache[:, :, 3:] = -999.0
+        b = attention_step(q, k_new, v_new, k_cache, v_cache, lengths)
+        np.testing.assert_array_equal(a, b)
+
+    def test_kv_shape_mismatch_rejected(self):
+        q, k, v = qkv()
+        with pytest.raises(ValueError, match="k/v shape mismatch"):
+            attention(q, k, v[:, :, :3])
+
+    def test_cache_must_come_in_pairs(self):
+        q, k, v = qkv()
+        with pytest.raises(ValueError, match="together"):
+            attention(q, k, v, k_cache=np.zeros_like(k))
+
+
+class TestAttentionOp:
+    def test_shape_inference_and_execution(self):
+        b = GraphBuilder()
+        q = b.input("q", (1, 2, 4, 8))
+        k = b.input("k", (1, 2, 4, 8))
+        v = b.input("v", (1, 2, 4, 8))
+        out = b.attention(q, k, v, causal=True)
+        b.output(out)
+        g = b.finish()
+        assert g.desc(out).shape == (1, 2, 4, 8)
+        feeds = {name: RNG.standard_normal((1, 2, 4, 8)).astype(np.float32)
+                 for name in ("q", "k", "v")}
+        got = Session(g).run(feeds)[out]
+        np.testing.assert_array_equal(
+            got, attention(feeds["q"], feeds["k"], feeds["v"], causal=True)
+        )
+
+    def test_cached_variant_in_graph(self):
+        b = GraphBuilder()
+        q = b.input("q", (2, 2, 1, 8))
+        k = b.input("k", (2, 2, 1, 8))
+        v = b.input("v", (2, 2, 1, 8))
+        lengths = b.input("lengths", (2,), DataType.INT32)
+        kc = b.input("kc", (2, 2, 16, 8))
+        vc = b.input("vc", (2, 2, 16, 8))
+        out = b.attention(q, k, v, lengths, kc, vc)
+        b.output(out)
+        g = b.finish()
+        assert g.desc(out).shape == (2, 2, 1, 8)
+
+    def test_partial_cache_args_rejected(self):
+        b = GraphBuilder()
+        q = b.input("q", (1, 2, 4, 8))
+        with pytest.raises(GraphError, match="together"):
+            b.attention(q, q, q, lengths="q")
+
+    def test_bad_cache_geometry_rejected(self):
+        b = GraphBuilder()
+        q = b.input("q", (2, 2, 1, 8))
+        lengths = b.input("lengths", (2,), DataType.INT32)
+        kc = b.input("kc", (2, 2, 16, 4))  # wrong d_head
+        b.attention(q, q, q, lengths, kc, kc)
+        with pytest.raises(GraphError, match="cache must be"):
+            b.finish()
+
+    def test_float_lengths_rejected(self):
+        b = GraphBuilder()
+        q = b.input("q", (2, 2, 1, 8))
+        lengths = b.input("lengths", (2,))  # float32
+        kc = b.input("kc", (2, 2, 16, 8))
+        b.attention(q, q, q, lengths, kc, kc)
+        with pytest.raises(GraphError, match="integer"):
+            b.finish()
+
+
+class TestBuckets:
+    def test_length_buckets_end_at_max(self):
+        assert length_buckets(48, smallest=8) == [8, 16, 32, 48]
+        assert length_buckets(8, smallest=8) == [8]
+        assert length_buckets(6, smallest=8) == [6]
+
+    def test_bucket_for_length(self):
+        buckets = length_buckets(64)
+        assert bucket_for_length(1, buckets) == 8
+        assert bucket_for_length(9, buckets) == 16
+        assert bucket_for_length(64, buckets) == 64
+        with pytest.raises(ValueError, match="exceeds"):
+            bucket_for_length(65, buckets)
+
+    def test_batch_buckets(self):
+        assert batch_buckets(6) == [1, 2, 4, 6]
+        assert bucket_for_batch(3, batch_buckets(6)) == 4
+
+
+class TestTinyDecoder:
+    def test_full_mode_outputs(self):
+        g = tiny_decoder(vocab=50, max_seq=16, d_model=16, heads=2, layers=2,
+                         seq_len=8)
+        session = Session(g)
+        out = session.run({
+            "tokens": RNG.integers(0, 50, (1, 8)).astype(np.int32),
+            "positions": np.arange(8, dtype=np.int32)[None],
+        })
+        assert out["logits"].shape == (1, 8, 50)
+        for layer in range(2):
+            assert out[f"l{layer}_k"].shape == (1, 2, 8, 8)
+            assert out[f"l{layer}_v"].shape == (1, 2, 8, 8)
+
+    def test_configurable_architecture(self):
+        g = tiny_decoder(vocab=30, max_seq=8, d_model=24, heads=3, layers=3,
+                         seq_len=4)
+        hist = g.op_histogram()
+        assert hist[Op.ATTENTION] == 3
+        # 2 LN per layer + final
+        assert hist[Op.LAYER_NORM] == 7
+        out = Session(g).run({
+            "tokens": RNG.integers(0, 30, (1, 4)).astype(np.int32),
+            "positions": np.arange(4, dtype=np.int32)[None],
+        })
+        assert out["logits"].shape == (1, 4, 30)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            tiny_decoder(d_model=30, heads=4)
+        with pytest.raises(ValueError, match="mode"):
+            tiny_decoder(mode="streaming")
+        with pytest.raises(ValueError, match="exceeds max_seq"):
+            tiny_decoder(max_seq=8, seq_len=16)
+
+    def test_registry_build(self):
+        g = build_model("tiny_decoder", seq_len=4, vocab=16, max_seq=8,
+                        d_model=16, heads=2, layers=1)
+        assert g.name.startswith("tiny_decoder")
+
+    def test_causality_prefix_invariance(self):
+        """Logits for a prefix are unchanged by what follows it."""
+        kwargs = dict(vocab=40, max_seq=16, d_model=16, heads=2, layers=2, seed=5)
+        g = tiny_decoder(seq_len=12, **kwargs)
+        session = Session(g)
+        base = RNG.integers(0, 40, (1, 12)).astype(np.int32)
+        changed = base.copy()
+        changed[0, 8:] = (changed[0, 8:] + 7) % 40
+        positions = np.arange(12, dtype=np.int32)[None]
+        a = session.run({"tokens": base, "positions": positions})["logits"]
+        b = session.run({"tokens": changed, "positions": positions})["logits"]
+        np.testing.assert_array_equal(a[0, :8], b[0, :8])
+        assert not np.array_equal(a[0, 8:], b[0, 8:])
+
+    def test_decode_mode_bit_identical_to_full(self):
+        """One decode-mode step reproduces the full-mode logits row bitwise
+        (same weights via the shared seed; same per-row kernels)."""
+        kwargs = dict(vocab=32, max_seq=16, d_model=16, heads=2, layers=2, seed=9)
+        tokens = RNG.integers(0, 32, 10).astype(np.int32)
+        full = Session(tiny_decoder(seq_len=10, **kwargs)).run({
+            "tokens": tokens[None],
+            "positions": np.arange(10, dtype=np.int32)[None],
+        })
+
+        cap = 16
+        decode_g = tiny_decoder(mode="decode", batch=1, cache_len=cap, **kwargs)
+        session = Session(decode_g)
+        k_cache = {l: np.zeros((1, 2, cap, 8), np.float32) for l in range(2)}
+        v_cache = {l: np.zeros((1, 2, cap, 8), np.float32) for l in range(2)}
+        for step in range(10):
+            feeds = {
+                "tokens": tokens[step].reshape(1, 1),
+                "positions": np.array([[step]], np.int32),
+                "lengths": np.array([step], np.int32),
+            }
+            for l in range(2):
+                feeds[f"l{l}_k_cache"] = k_cache[l]
+                feeds[f"l{l}_v_cache"] = v_cache[l]
+            out = session.run(feeds)
+            np.testing.assert_array_equal(
+                out["logits"][0, 0], full["logits"][0, step],
+                err_msg=f"decode step {step} diverged from full recompute",
+            )
+            for l in range(2):
+                np.testing.assert_array_equal(
+                    out[f"l{l}_k"][0, :, 0], full[f"l{l}_k"][0, :, step]
+                )
+                k_cache[l][0, :, step] = out[f"l{l}_k"][0, :, 0]
+                v_cache[l][0, :, step] = out[f"l{l}_v"][0, :, 0]
+
+
+def _kv_config(**overrides):
+    base = dict(layers=1, heads=2, d_head=8, page_tokens=8,
+                capacity_tokens=128, max_seq=32)
+    base.update(overrides)
+    return KVCacheConfig(**base)
+
+
+MODEL = dict(vocab=32, max_seq=32, d_model=16, heads=2, layers=1, seed=3)
+
+
+def _full_graph(seq_len):
+    return tiny_decoder(mode="full", seq_len=seq_len, batch=1, **MODEL)
+
+
+def _decode_graph(batch, capacity):
+    return tiny_decoder(mode="decode", batch=batch, cache_len=capacity, **MODEL)
+
+
+class TestRunners:
+    def test_prefill_fills_slab_and_pads_freely(self):
+        """Bucket padding must not change the prompt's logits or K/V."""
+        alloc = KVCacheAllocator(_kv_config())
+        runner = PrefillRunner(_full_graph, max_seq=32, layers=1,
+                               smallest_bucket=8)
+        prompt = [int(t) for t in RNG.integers(0, 32, 5)]
+        slab = alloc.alloc("s", len(prompt) + 1)
+        logits = runner.run(prompt, slab)  # bucket 8, 3 rows of padding
+        assert slab.length == len(prompt)
+
+        # Reference: an exact-length graph, no padding at all.
+        ref = Session(_full_graph(len(prompt))).run({
+            "tokens": np.asarray(prompt, np.int32)[None],
+            "positions": np.arange(len(prompt), dtype=np.int32)[None],
+        })
+        np.testing.assert_array_equal(logits, ref["logits"][0, -1])
+        np.testing.assert_array_equal(
+            slab.k(0)[:, : len(prompt)], ref["l0_k"][0][:, : len(prompt)]
+        )
+
+    def test_prefill_rejects_oversized_prompt(self):
+        alloc = KVCacheAllocator(_kv_config())
+        runner = PrefillRunner(_full_graph, max_seq=32, layers=1)
+        slab = alloc.alloc("s", 4)
+        with pytest.raises(ValueError, match="cannot hold"):
+            runner.run(list(range(10)), slab)
+        with pytest.raises(ValueError, match="empty"):
+            runner.run([], slab)
+
+    def test_prefill_prepares_each_bucket_once(self):
+        alloc = KVCacheAllocator(_kv_config())
+        runner = PrefillRunner(_full_graph, max_seq=32, layers=1,
+                               smallest_bucket=8)
+        for i, n in enumerate((3, 5, 8)):  # all land in the 8-bucket
+            slab = alloc.alloc(f"s{i}", n + 1)
+            runner.run([1] * n, slab)
+        assert list(runner._pools) == [8]
+        runner.warm()
+        assert sorted(runner._pools) == [8, 16, 32]
+
+    def test_decode_step_advances_all_slabs(self):
+        alloc = KVCacheAllocator(_kv_config())
+        prefill = PrefillRunner(_full_graph, max_seq=32, layers=1)
+        decode = DecodeRunner(_decode_graph, layers=1, max_batch=4)
+        slabs = []
+        for i in range(3):
+            slab = alloc.alloc(f"s{i}", 4)
+            prefill.run([int(t) for t in RNG.integers(0, 32, 3)], slab)
+            slabs.append(slab)
+        logits = decode.step([1, 2, 3], slabs)
+        assert logits.shape == (3, 32)
+        assert all(s.length == 4 for s in slabs)
+        # 3 sequences pad up to the 4-batch bucket; one prepared session.
+        assert decode.prepared == [(4, 8)]
+
+    def test_decode_rejects_mixed_buckets_and_full_slabs(self):
+        alloc = KVCacheAllocator(_kv_config())
+        decode = DecodeRunner(_decode_graph, layers=1, max_batch=4)
+        small = alloc.alloc("small", 8)
+        big = alloc.alloc("big", 16)
+        small.length, big.length = 4, 9
+        with pytest.raises(ValueError, match="mixes capacity"):
+            decode.step([1, 2], [small, big])
+        full = alloc.alloc("full", 8)
+        full.length = 8
+        with pytest.raises(ValueError, match="grow first"):
+            decode.step([1], [full])
+        with pytest.raises(ValueError, match="mismatch"):
+            decode.step([1, 2], [small])
+
+    def test_decode_batch_composition_invariance(self):
+        """A sequence's logits must not depend on its batch neighbours —
+        the property that makes continuous batching output-transparent."""
+        def run_pair(tokens, lengths, together):
+            alloc = KVCacheAllocator(_kv_config())
+            prefill = PrefillRunner(_full_graph, max_seq=32, layers=1)
+            decode = DecodeRunner(_decode_graph, layers=1, max_batch=4)
+            slabs = []
+            for i, (tok, ln) in enumerate(zip(tokens, lengths)):
+                slab = alloc.alloc(f"s{i}", ln + 1)
+                prefill.run(tok[:ln], slab)
+                slabs.append(slab)
+            if together:
+                return decode.step([5, 6], slabs)
+            a = decode.step([5], [slabs[0]])
+            b = decode.step([6], [slabs[1]])
+            return np.concatenate([a, b], axis=0)
+
+        toks = [[int(t) for t in RNG.integers(0, 32, 6)] for _ in range(2)]
+        lens = [4, 6]
+        joint = run_pair(toks, lens, together=True)
+        solo = run_pair(toks, lens, together=False)
+        np.testing.assert_array_equal(joint, solo)

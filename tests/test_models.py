@@ -16,7 +16,9 @@ def total_muls(graph) -> float:
 
 #: vision models output ImageNet logits; text models are covered in
 #: tests/test_sequence_models.py
-VISION_MODELS = sorted(set(MODEL_REGISTRY) - {"tiny_transformer", "lstm_classifier"})
+VISION_MODELS = sorted(
+    set(MODEL_REGISTRY) - {"tiny_transformer", "tiny_decoder", "lstm_classifier"}
+)
 
 
 class TestArchitectures:
