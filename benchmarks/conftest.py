@@ -20,6 +20,14 @@ The generation stack gets the same treatment once per benchmark session
 (``_genai_storm``): a seeded ``kvcache.alloc`` fault storm over a small
 continuous-batching engine, asserting that memory-pressure faults degrade
 to eviction/retry without moving a single output token.
+
+A fourth pre-flight (``_sanitize_or_fail``) runs each benchmark graph
+once under the concurrency sanitizer (``SessionConfig(sanitize=True)``)
+with parallel branch execution: the race/lock-order/lifecycle report must
+come back clean, so BENCH records are only ever produced by code the
+sanitizer vouches for.  The ``sanitize.*`` counters are pre-registered on
+the process-wide registry, so every snapshot embedded in a BENCH record
+carries them (zeros, unless something rotted).
 """
 
 import os
@@ -33,6 +41,7 @@ _TABLES = []
 _MODEL_CACHE = {}
 _TRACED = set()
 _STORMED = set()
+_SANITIZED = set()
 
 
 def _lint_or_fail(name, graph):
@@ -116,6 +125,28 @@ def _chaos_or_fail(name, graph):
             )
 
 
+def _sanitize_or_fail(name, graph):
+    """Run one sanitized session per benchmark graph.
+
+    A race, lock-order cycle or leaked extent in the code a benchmark is
+    about to time would make its numbers meaningless (or flaky); the
+    sanitizer report must be clean before any timing happens.
+    """
+    from repro.analysis.verify_passes import random_feeds
+    from repro.core import Session, SessionConfig
+
+    session = Session(graph, SessionConfig(threads=2, decouple=True,
+                                           sanitize=True))
+    session.run(random_feeds(graph))
+    report = session.sanitizer.report()
+    if not report.ok:
+        pytest.fail(
+            f"sanitized session over benchmark graph {name!r} reported "
+            f"findings:\n{report.describe()}",
+            pytrace=False,
+        )
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _genai_storm():
     """One seeded generation storm per benchmark session.
@@ -180,8 +211,15 @@ def report_table(request):
         metrics = context.pop("metrics", None)
         if metrics is None:
             # Default to the process-wide registry: sessions run by the
-            # bench land their run/prepare histograms there.
-            metrics = get_metrics().snapshot()
+            # bench land their run/prepare histograms there.  Sanitizer
+            # counters are pre-registered so every BENCH record carries
+            # sanitize.races / .lock_cycles / .leaks — zeros expected.
+            from repro.sanitize.sanitizer import COUNTER_NAMES
+
+            registry = get_metrics()
+            for counter_name in COUNTER_NAMES:
+                registry.counter(counter_name)
+            metrics = registry.snapshot()
         record = bench_record(
             context.pop("name", bench_name),
             config=context.pop("config", None),
@@ -215,6 +253,9 @@ def model(request):
         if key not in _STORMED:
             _STORMED.add(key)
             _chaos_or_fail(name, _MODEL_CACHE[key])  # ... and stormed once
+        if key not in _SANITIZED:
+            _SANITIZED.add(key)
+            _sanitize_or_fail(name, _MODEL_CACHE[key])  # ... and sanitized once
         return _MODEL_CACHE[key]
 
     return _get

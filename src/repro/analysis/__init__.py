@@ -9,9 +9,13 @@ mechanism (Section 3.2) depends on:
   static memory plan alias-free, aligned and in-bounds;
 * :mod:`repro.analysis.verify_passes` — a pass manager that re-checks
   structure, shapes and numerics after every optimizer pass and names the
-  pass that broke the graph.
+  pass that broke the graph;
+* :mod:`repro.analysis.concurrency` — a static AST lint (rule family
+  ``C0xx``) over ``src/repro`` itself for locking-discipline violations,
+  the compile-time companion of the dynamic :mod:`repro.sanitize`.
 
-CLI entry point: ``python -m repro.tools.cli lint model.rmnn [--strict]``.
+CLI entry points: ``python -m repro.tools.cli lint model.rmnn [--strict]``
+and ``python -m repro.tools.cli sanitize``.
 """
 
 from .diagnostics import (
@@ -22,6 +26,7 @@ from .diagnostics import (
     sort_diagnostics,
     summarize,
 )
+from .concurrency import C_RULES, lint_source_text, lint_source_tree
 from .lint import LintContext, LintRule, all_rules, lint_graph, rule
 from .memcheck import (
     Interval,
@@ -39,6 +44,9 @@ __all__ = [
     "has_errors",
     "sort_diagnostics",
     "summarize",
+    "C_RULES",
+    "lint_source_text",
+    "lint_source_tree",
     "LintContext",
     "LintRule",
     "all_rules",

@@ -1,0 +1,398 @@
+"""Static concurrency lint over Python source (rule family ``C0xx``).
+
+The dynamic sanitizer (:mod:`repro.sanitize`) only sees interleavings a
+run actually exercises; this pass reads the source of ``src/repro``
+itself and flags locking-discipline violations that hold on *every*
+interleaving:
+
+========  ==========================================================
+ rule      meaning (and the one-line fix)
+========  ==========================================================
+ C001      two lock attributes are acquired in inconsistent nesting
+           orders somewhere in the tree — impose one global order
+           (error: this is a real deadlock on the wrong interleaving).
+ C002      an attribute is mutated both inside and outside ``with
+           self.<lock>`` blocks of its class — move the bare mutation
+           under the lock, or mark the single-threaded path with a
+           ``# sanitize: single-thread`` comment.
+ C003      ``with self.<lock>`` lexically nested inside another ``with``
+           on the *same* non-reentrant lock attribute — deadlock unless
+           the attribute is a ``threading.RLock``; hoist the inner
+           acquire or switch to an RLock.
+ C004      a blocking call (``time.sleep``, ``.join()``, ``.result()``)
+           while holding a lock — shrink the critical section
+           (``Condition.wait`` is exempt: releasing is its point).
+ C005      bare ``lock.acquire()`` outside ``try/finally`` — an
+           exception leaks the lock; use ``with`` or add the finally.
+========  ==========================================================
+
+Lock attributes are recognized by construction (``self.x =
+threading.Lock() / RLock() / Condition()``) or, for ``with`` targets
+only, by name (``*lock*`` / ``*cond*`` / ``*mutex*``).  A ``Condition``
+built over an existing lock attribute aliases it — holding the condition
+*is* holding the lock.  Any finding can be suppressed by a ``# sanitize:
+<reason>`` comment on its line; ``__init__`` is exempt from C002 because
+construction happens-before every other access.
+
+Entry points: :func:`lint_source_text` (one module, used by tests on
+planted sources) and :func:`lint_source_tree` (a package directory, used
+by ``cli sanitize`` and the self-lint gate).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sanitize.lockorder import LockOrderRecorder
+from .diagnostics import Diagnostic, error, sort_diagnostics, warning
+
+__all__ = ["C_RULES", "lint_source_text", "lint_source_tree"]
+
+#: Rule id -> short description (the README catalog is generated from the
+#: same wording).
+C_RULES: Dict[str, str] = {
+    "C001": "inconsistent lock acquisition order across code paths (deadlock risk)",
+    "C002": "attribute mutated both inside and outside `with self.<lock>` blocks",
+    "C003": "nested acquisition of the same non-reentrant lock attribute",
+    "C004": "blocking call while holding a lock",
+    "C005": "bare lock.acquire() without a try/finally release",
+}
+
+_LOCKISH_NAME = re.compile(r"lock|cond|mutex", re.IGNORECASE)
+_SUPPRESS = "# sanitize:"
+_LOCK_HELD_DOC = re.compile(r"called with .*lock held", re.IGNORECASE)
+
+#: Attribute calls that mutate their receiver (for C002's purposes).
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "move_to_end",
+}
+
+#: Blocking calls under a lock (C004).  ``wait`` is exempt by design.
+_BLOCKING_METHODS = {"join", "result"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.x`` -> ``"x"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _threading_ctor(node: ast.AST) -> Optional[ast.Call]:
+    """The call node if ``node`` is ``threading.Lock()``-shaped, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    fn = node.func
+    name = None
+    if isinstance(fn, ast.Attribute):
+        name = fn.attr
+    elif isinstance(fn, ast.Name):
+        name = fn.id
+    return node if name in ("Lock", "RLock", "Condition") else None
+
+
+@dataclass
+class _ClassLocks:
+    """Lock attributes of one class, with RLock-ness and Condition aliases."""
+
+    attrs: Set[str] = field(default_factory=set)
+    reentrant: Set[str] = field(default_factory=set)
+    alias: Dict[str, str] = field(default_factory=dict)  # cond attr -> lock attr
+
+    def canonical(self, attr: str) -> str:
+        return self.alias.get(attr, attr)
+
+    def is_lock(self, attr: str) -> bool:
+        return attr in self.attrs or bool(_LOCKISH_NAME.search(attr))
+
+
+def _collect_locks(cls: ast.ClassDef) -> _ClassLocks:
+    locks = _ClassLocks()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        attr = _self_attr(node.targets[0])
+        ctor = _threading_ctor(node.value)
+        if attr is None or ctor is None:
+            continue
+        locks.attrs.add(attr)
+        fn = ctor.func
+        ctor_name = fn.attr if isinstance(fn, ast.Attribute) else fn.id
+        if ctor_name == "RLock":
+            locks.reentrant.add(attr)
+        elif ctor_name == "Condition" and ctor.args:
+            inner = _self_attr(ctor.args[0])
+            if inner is not None:
+                locks.alias[attr] = inner
+                locks.reentrant.discard(attr)
+    return locks
+
+
+@dataclass
+class _ModuleFindings:
+    """Raw per-module results, merged tree-wide for C001."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    # (outer, inner) canonical lock-node pairs with one example site each.
+    order_edges: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+
+class _ClassChecker:
+    """Walks one class body tracking the lexically-held lock set."""
+
+    def __init__(
+        self, cls: ast.ClassDef, filename: str, lines: List[str],
+        out: _ModuleFindings,
+    ) -> None:
+        self.cls = cls
+        self.filename = filename
+        self.lines = lines
+        self.out = out
+        self.locks = _collect_locks(cls)
+        self.mutated_inside: Set[str] = set()
+        self.mutated_outside: List[Tuple[str, int, str]] = []
+
+    # -- helpers -------------------------------------------------------------
+    def _suppressed(self, lineno: int) -> bool:
+        if 1 <= lineno <= len(self.lines):
+            return _SUPPRESS in self.lines[lineno - 1]
+        return False
+
+    def _site(self, lineno: int) -> str:
+        return f"{self.filename}:{lineno}"
+
+    def _emit(self, make, rule: str, lineno: int, message: str, hint: str) -> None:
+        if self._suppressed(lineno):
+            return
+        self.out.diagnostics.append(
+            make(rule, message, node=self._site(lineno), hint=hint)
+        )
+
+    # -- the walk ------------------------------------------------------------
+    def check(self) -> None:
+        for node in self.cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                doc = ast.get_docstring(node) or ""
+                exempt = node.name == "__init__" or bool(_LOCK_HELD_DOC.search(doc))
+                self._walk(node.body, held=[], func=node.name, exempt=exempt)
+        inside = {self.locks.canonical(a) for a in self.mutated_inside}
+        if not inside:
+            return
+        for attr, lineno, func in self.mutated_outside:
+            self._emit(
+                warning, "C002", lineno,
+                f"{self.cls.name}.{attr} is mutated under a lock elsewhere "
+                f"but written without one in {func}()",
+                hint="move this mutation under the lock, or annotate the "
+                     "single-threaded path with `# sanitize: single-thread`",
+            )
+
+    def _walk(self, body, held: List[str], func: str, exempt: bool) -> None:
+        for node in body:
+            self._visit(node, held, func, exempt)
+
+    def _visit(self, node: ast.AST, held: List[str], func: str, exempt: bool) -> None:
+        if isinstance(node, ast.With):
+            lock_names: List[str] = []
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and self.locks.is_lock(attr):
+                    canonical = self.locks.canonical(attr)
+                    if (
+                        canonical in held
+                        and attr not in self.locks.reentrant
+                        and canonical not in self.locks.reentrant
+                    ):
+                        self._emit(
+                            warning, "C003", node.lineno,
+                            f"{self.cls.name}.{attr} acquired while already "
+                            f"held in {func}() (deadlock unless it is an RLock)",
+                            hint="hoist the inner `with`, or make the "
+                                 "attribute a threading.RLock",
+                        )
+                    for outer in held:
+                        if outer != canonical:
+                            edge = (
+                                f"{self.cls.name}.{outer}",
+                                f"{self.cls.name}.{canonical}",
+                            )
+                            self.out.order_edges.setdefault(
+                                edge, self._site(node.lineno)
+                            )
+                    lock_names.append(canonical)
+            self._walk(node.body, held + lock_names, func, exempt)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function runs later, possibly on another thread:
+            # the lexically held set does not transfer.
+            doc = ast.get_docstring(node) or ""
+            nested_exempt = exempt or bool(_LOCK_HELD_DOC.search(doc))
+            self._walk(node.body, held=[], func=node.name, exempt=nested_exempt)
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # nested classes get their own checker pass
+        self._check_mutation(node, held, func, exempt)
+        self._check_calls(node, held, func)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held, func, exempt)
+
+    def _check_mutation(
+        self, node: ast.AST, held: List[str], func: str, exempt: bool
+    ) -> None:
+        attr: Optional[str] = None
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = attr or self._mutation_target(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = self._mutation_target(node.target)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            fn = node.value.func
+            if isinstance(fn, ast.Attribute) and fn.attr in _MUTATORS:
+                attr = _self_attr(fn.value)
+        if attr is None or self.locks.is_lock(attr):
+            return
+        if held:
+            self.mutated_inside.add(attr)
+        elif not exempt and not self._suppressed(node.lineno):
+            self.mutated_outside.append((attr, node.lineno, func))
+
+    def _mutation_target(self, target: ast.AST) -> Optional[str]:
+        attr = _self_attr(target)
+        if attr is not None:
+            return attr
+        if isinstance(target, ast.Subscript):
+            return _self_attr(target.value)
+        return None
+
+    def _check_calls(self, node: ast.AST, held: List[str], func: str) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        fn = node.func
+        # C004: blocking call under a lock.
+        if held:
+            blocking = None
+            if isinstance(fn, ast.Attribute):
+                if fn.attr == "sleep" and isinstance(fn.value, ast.Name) \
+                        and fn.value.id == "time":
+                    blocking = "time.sleep"
+                elif fn.attr in _BLOCKING_METHODS:
+                    blocking = f".{fn.attr}()"
+            if blocking is not None:
+                self._emit(
+                    warning, "C004", node.lineno,
+                    f"{blocking} called in {func}() while holding "
+                    f"{', '.join(sorted(set(held)))}",
+                    hint="move the blocking call outside the critical section",
+                )
+        # C005: bare acquire() without try/finally (checked via source text
+        # because matching finally-release pairs needs the Try ancestry).
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "acquire"
+            and not node.args  # Lock.acquire() is argless; recorders are not
+            and _self_attr(fn.value) is not None
+            and self.locks.is_lock(fn.value.attr)
+        ):
+            if not self._released_in_finally(fn.value.attr, node.lineno):
+                self._emit(
+                    warning, "C005", node.lineno,
+                    f"bare {self.cls.name}.{fn.value.attr}.acquire() in "
+                    f"{func}() without a try/finally release",
+                    hint="use `with self.%s:` or release in a finally block"
+                         % fn.value.attr,
+                )
+
+    def _released_in_finally(self, attr: str, acquire_line: int) -> bool:
+        """True if a Try releasing ``attr`` in its finalbody contains the
+        acquire — or starts just after it (the ``acquire(); try: ...
+        finally: release()`` idiom puts the acquire one line before)."""
+        for node in ast.walk(self.cls):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            end = getattr(node, "end_lineno", node.lineno)
+            if not (node.lineno - 2 <= acquire_line <= end):
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and _self_attr(sub.func.value) == attr
+                    ):
+                        return True
+        return False
+
+
+def _lint_module(source: str, filename: str) -> _ModuleFindings:
+    out = _ModuleFindings()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        out.diagnostics.append(
+            error("C000", f"syntax error: {exc.msg}", node=f"{filename}:{exc.lineno}")
+        )
+        return out
+    lines = source.splitlines()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _ClassChecker(node, filename, lines, out).check()
+    return out
+
+
+def _order_cycles(edges: Dict[Tuple[str, str], str]) -> List[Diagnostic]:
+    """C001 over the merged acquired-after graph (reusing the runtime
+    recorder's Tarjan pass)."""
+    recorder = LockOrderRecorder()
+    for (outer, inner) in edges:
+        recorder.acquire(0, outer)
+        recorder.acquire(0, inner)
+        recorder.release(0, inner)
+        recorder.release(0, outer)
+    out: List[Diagnostic] = []
+    for cycle in recorder.cycles():
+        sites = sorted(
+            site for (a, b), site in edges.items()
+            if a in cycle.names and b in cycle.names
+        )
+        out.append(
+            error(
+                "C001", cycle.describe(), node=sites[0] if sites else None,
+                hint="pick one global acquisition order for these locks "
+                     "and restructure the violating path",
+            )
+        )
+    return out
+
+
+def lint_source_text(source: str, filename: str = "<memory>") -> List[Diagnostic]:
+    """Run every C0xx rule over one module's source."""
+    findings = _lint_module(source, filename)
+    return sort_diagnostics(findings.diagnostics + _order_cycles(findings.order_edges))
+
+
+def lint_source_tree(root: Path) -> List[Diagnostic]:
+    """Run every C0xx rule over all ``*.py`` under ``root``.
+
+    C001's lock-order graph is merged across modules before cycle
+    detection, so an inversion split between two files is still caught.
+    """
+    root = Path(root)
+    diagnostics: List[Diagnostic] = []
+    edges: Dict[Tuple[str, str], str] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = str(path.relative_to(root.parent if root.parent != path else root))
+        findings = _lint_module(path.read_text(encoding="utf-8"), rel)
+        diagnostics.extend(findings.diagnostics)
+        for edge, site in findings.order_edges.items():
+            edges.setdefault(edge, site)
+    return sort_diagnostics(diagnostics + _order_cycles(edges))

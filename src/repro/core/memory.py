@@ -21,7 +21,14 @@ import numpy as np
 from ..ir.graph import Graph, Node
 from ..ir.tensor import TensorDesc
 
-__all__ = ["TensorLifetime", "MemoryPlan", "plan_memory", "Arena", "ExtentFreeList"]
+__all__ = [
+    "TensorLifetime",
+    "MemoryPlan",
+    "plan_memory",
+    "Arena",
+    "ExtentFreeList",
+    "FreeListError",
+]
 
 #: Byte alignment for every tensor in the arena (cache-line friendly).
 ALIGNMENT = 64
@@ -220,6 +227,25 @@ def plan_memory(
     return MemoryPlan(offsets, arena, total, lifetimes)
 
 
+class FreeListError(ValueError):
+    """A misuse of :class:`ExtentFreeList` (double/wild/out-of-range free).
+
+    A ``ValueError`` subclass for backward compatibility; additionally
+    carries a typed rule id and converts to a structured
+    :class:`repro.analysis.Diagnostic` for the sanitizer/CLI reports.
+    """
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(message)
+        self.rule = rule
+
+    def as_diagnostic(self):
+        # Imported lazily: repro.analysis.memcheck imports this module.
+        from ..analysis.diagnostics import error
+
+        return error(self.rule, str(self))
+
+
 class ExtentFreeList:
     """Best-fit allocator over ``[start, end)`` unit extents with coalescing.
 
@@ -231,6 +257,13 @@ class ExtentFreeList:
     construction); the free list stays sorted and adjacent extents merge
     on :meth:`free`, so fragmentation is bounded by genuine interleaving,
     not by allocator bookkeeping.
+
+    Frees are verified, not trusted: every outstanding allocation is
+    tracked by its start unit, and :meth:`free` raises a typed
+    :class:`FreeListError` on out-of-range ranges, frees of never-
+    allocated extents, size-mismatched frees, and double frees — *even
+    when the pages have since been handed to another caller*, the case
+    the old overlap-with-free-extent check could not see.
     """
 
     def __init__(self, total_units: int) -> None:
@@ -238,6 +271,7 @@ class ExtentFreeList:
             raise ValueError(f"total_units must be >= 0, got {total_units}")
         self.total_units = total_units
         self._free: List[Tuple[int, int]] = [(0, total_units)] if total_units else []
+        self._allocated: Dict[int, int] = {}  # start unit -> extent size
 
     def alloc(self, units: int) -> Optional[int]:
         """Reserve ``units`` contiguous units; ``None`` when nothing fits.
@@ -260,19 +294,39 @@ class ExtentFreeList:
             del self._free[i]
         else:
             self._free[i] = (start + units, end)
+        self._allocated[start] = units
         return start
 
     def free(self, start: int, units: int) -> None:
         """Return ``[start, start + units)``, merging adjacent extents.
 
         Raises:
-            ValueError: on out-of-range or double frees (overlap with an
-                extent already on the free list).
+            FreeListError: (a ``ValueError``) with a typed rule id —
+                ``mem-free-out-of-range`` for ranges outside the arena,
+                ``mem-double-free`` for extents not currently allocated
+                (freed twice, or never allocated), and
+                ``mem-free-mismatched`` when the size does not match the
+                original allocation (partial frees corrupt coalescing).
         """
         if units <= 0 or start < 0 or start + units > self.total_units:
-            raise ValueError(
-                f"bad free of [{start}, {start + units}) over {self.total_units} units"
+            raise FreeListError(
+                "mem-free-out-of-range",
+                f"bad free of [{start}, {start + units}) over {self.total_units} units",
             )
+        owned = self._allocated.get(start)
+        if owned is None:
+            raise FreeListError(
+                "mem-double-free",
+                f"double free (or free of a never-allocated extent): "
+                f"[{start}, {start + units}) is not an outstanding allocation",
+            )
+        if owned != units:
+            raise FreeListError(
+                "mem-free-mismatched",
+                f"mismatched free of [{start}, {start + units}): "
+                f"the allocation at {start} spans {owned} units",
+            )
+        del self._allocated[start]
         new = (start, start + units)
         merged: List[Tuple[int, int]] = []
         inserted = False
@@ -317,6 +371,10 @@ class Arena:
     def __init__(self, plan: MemoryPlan, paranoid: bool = False) -> None:
         self.plan = plan
         self.paranoid = paranoid
+        #: Optional repro.sanitize.Sanitizer; the owning session installs
+        #: its own when sanitizing, so concurrent slot handouts from
+        #: unsynchronized threads surface as races.
+        self.sanitizer = None
         self._buffer = np.zeros(max(plan.arena_bytes, 1), dtype=np.uint8)
 
     def view(self, desc: TensorDesc) -> np.ndarray:
@@ -328,6 +386,11 @@ class Arena:
                 falls outside the arena.
         """
         offset = self.plan.offsets[desc.name]
+        sanitizer = self.sanitizer
+        if sanitizer is not None and sanitizer.enabled:
+            # Each slot has exactly one producer per run; a second
+            # unordered writer means two runs share this arena.
+            sanitizer.probe(self, f"slot.{desc.name}", "w")
         if self.paranoid:
             from ..ir.graph import GraphError
 

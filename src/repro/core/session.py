@@ -35,6 +35,7 @@ from ..ir.ops import Op
 from ..kernels import nonfinite_count
 from ..obs.metrics import get_metrics
 from ..obs.tracer import Tracer, get_tracer
+from ..sanitize import Sanitizer, resolve_sanitizer
 from ..sim.clock import VirtualClock
 from .cost import BackendCostModel, node_muls
 from .memory import Arena, MemoryPlan, compute_lifetimes, plan_memory
@@ -107,6 +108,13 @@ class SessionConfig:
         numeric_guards: under the resilient executor, re-run an op whose
             output came back non-finite via its direct scheme
             (sliding-window conv / non-Strassen GEMM), once.
+        sanitize: a :class:`repro.sanitize.Sanitizer` receiving data-race
+            probes (session run/resize state, the parallel executor's
+            tensor environment, arena slots), lock-order events and
+            lifecycle events from this session.  ``True`` builds a fresh
+            enabled sanitizer; ``None``/``False`` falls back to the
+            process-wide one, which defaults to a no-op — an unsanitized
+            run pays one ``enabled`` check.
         check_feeds: validate every feed's shape and dtype against the
             input descriptors on each run.  On by default; tight serving
             loops that construct feeds programmatically from already-
@@ -134,6 +142,7 @@ class SessionConfig:
     paranoid: bool = False
     trace: Optional[Tracer] = None
     faults: Optional[FaultPlan] = None
+    sanitize: Union[bool, Sanitizer] = False
     resilience: Optional[bool] = None
     numeric_guards: bool = True
     check_feeds: bool = True
@@ -254,6 +263,7 @@ class Session:
         self.faults = (
             self.config.faults if self.config.faults is not None else get_fault_plan()
         )
+        self.sanitizer = resolve_sanitizer(self.config.sanitize)
         self.clock = VirtualClock()
         self._order: List[Node] = []
         self._executions = {}
@@ -415,6 +425,8 @@ class Session:
                             self.graph, self.memory_plan, self._order
                         ).raise_if_failed()
                 self._arena = Arena(self.memory_plan, paranoid=cfg.paranoid)
+                if self.sanitizer.enabled:
+                    self._arena.sanitizer = self.sanitizer
             self.prepare_wall_ms = (time.perf_counter() - start) * 1000.0
             prep.set(wall_ms=self.prepare_wall_ms)
         metrics = get_metrics()
@@ -444,6 +456,8 @@ class Session:
         from ..ir.shape_inference import infer_shapes
         from ..ir.tensor import TensorDesc
 
+        if self.sanitizer.enabled:
+            self.sanitizer.probe(self, "run_state", "w")
         for name in input_shapes:
             if name not in self.graph.inputs:
                 raise GraphError(f"{name!r} is not a graph input")
@@ -778,6 +792,13 @@ class Session:
             GraphError: on missing inputs or shape/dtype mismatches.
             DeadlineExceeded: when ``deadline``'s budget runs out.
         """
+        if self.sanitizer.enabled:
+            # A session is single-checkout state: concurrent (or merely
+            # unsynchronized cross-thread) run/run and run/resize pairs
+            # clobber the clock, arena and last_run.  One write probe per
+            # run makes the detector prove the checkout discipline — the
+            # pool's queue handoff provides the ordering edge.
+            self.sanitizer.probe(self, "run_state", "w")
         if self._parallel_active():
             return self._execute_parallel(feeds, self.tracer, deadline)
         return self._execute(feeds, self.tracer, deadline)
@@ -813,6 +834,8 @@ class Session:
             self._check_feeds(feeds)
         run_op = self._op_executor()
         trace_on = tracer.enabled
+        sanitizer = self.sanitizer
+        sanitize_on = sanitizer.enabled
         start_wall = time.perf_counter()
         env: Dict[str, np.ndarray] = dict(feeds)
         lock = threading.Lock()
@@ -837,10 +860,21 @@ class Session:
             if failed.is_set():  # drain: a sibling already failed
                 return
             try:
+                if sanitize_on:
+                    # Executor submit happens-before the task runs; the
+                    # channel carries the submitter's clock (main for the
+                    # initial wave, the producing worker afterwards).
+                    sanitizer.hb_recv(("session.parallel", id(self)))
                 if deadline is not None:
                     deadline.check(node.name)
                 execution = self._executions[node.name]
                 with lock:  # producers write env under this lock
+                    if sanitize_on:
+                        for name in execution.runner.dynamic_inputs:
+                            sanitizer.probe(
+                                self, f"env.{name}", "r",
+                                lockset=("session.env_lock",),
+                            )
                     inputs = [env[name] for name in execution.runner.dynamic_inputs]
                 if trace_on:
                     # Per-op span from inside the worker: the recording
@@ -864,6 +898,11 @@ class Session:
                 ready: List[Node] = []
                 with lock:
                     for name, value in zip(node.outputs, outputs):
+                        if sanitize_on:
+                            sanitizer.probe(
+                                self, f"env.{name}", "w",
+                                lockset=("session.env_lock",),
+                            )
                         env[name] = value
                         for consumer in dependents.get(name, ()):  # unlock consumers
                             pending[consumer.name] -= 1
@@ -874,6 +913,8 @@ class Session:
                         done.set()
                 if failed.is_set():
                     return
+                if sanitize_on:
+                    sanitizer.hb_send(("session.parallel", id(self)))
                 for consumer in ready:
                     pool.submit(run_node, consumer, pool)
             except BaseException as exc:  # propagate to the caller
@@ -886,9 +927,15 @@ class Session:
             initial = [n for n in self._order if pending[n.name] == 0]
             if not initial and self._order:
                 raise GraphError("no runnable node; graph inputs unresolved")
+            if sanitize_on:
+                sanitizer.hb_send(("session.parallel", id(self)))
             for node in initial:
                 pool.submit(run_node, node, pool)
             done.wait()
+        if sanitize_on:
+            # The executor shutdown joined every worker: their writes
+            # happen-before anything the caller does next.
+            sanitizer.hb_recv(("session.parallel", id(self)))
         if errors:
             if len(errors) == 1:
                 raise errors[0]

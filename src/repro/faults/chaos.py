@@ -65,6 +65,7 @@ from ..core.session import Session, SessionConfig
 from ..ir.graph import Graph, GraphBuilder
 from ..ir.ops import Op
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..sanitize import Sanitizer
 from .errors import ResilienceError
 from .plan import FaultPlan, FaultRule, set_fault_plan
 
@@ -133,6 +134,14 @@ class ChaosReport:
     breaker_opens: int = 0
     short_circuits: int = 0
     cache_corrupt: int = 0
+    #: Sanitizer verdict (``run_chaos_storm(sanitize=True)``): the storm
+    #: then also asserts zero races, lock cycles and lifecycle findings
+    #: while every fault path fires — resilience code is exactly where
+    #: ad-hoc locking grows.
+    sanitized: bool = False
+    races: int = 0
+    lock_cycles: int = 0
+    leaks: int = 0
     site_counts: Dict[str, int] = field(default_factory=dict)
     events: List[Tuple[str, str]] = field(default_factory=list)
     phases: List[PhaseResult] = field(default_factory=list)
@@ -154,6 +163,10 @@ class ChaosReport:
         return all(self.site_counts.get(site, 0) > 0 for site in STORM_SITES)
 
     @property
+    def sanitize_clean(self) -> bool:
+        return self.races == 0 and self.lock_cycles == 0 and self.leaks == 0
+
+    @property
     def ok(self) -> bool:
         return (
             self.crashes == 0
@@ -161,6 +174,7 @@ class ChaosReport:
             and self.reconciled
             and self.sites_covered
             and self.injected >= self.target
+            and (not self.sanitized or self.sanitize_clean)
         )
 
     def describe(self) -> str:
@@ -179,6 +193,13 @@ class ChaosReport:
             f"+ isolated {self.isolated}",
             f"  breaker    {self.breaker_opens} opens, "
             f"{self.short_circuits} short circuits (outside the equation)",
+        ]
+        if self.sanitized:
+            lines.append(
+                f"  sanitize   {self.races} races, {self.lock_cycles} lock "
+                f"cycles, {self.leaks} lifecycle findings"
+            )
+        lines += [
             f"  requests   {self.requests - self.failed} served bit-identical, "
             f"{self.failed} failed alone (typed), {self.mismatched} mismatched, "
             f"{self.crashes} crashes",
@@ -222,7 +243,7 @@ def _finish_phase(result: PhaseResult, plan: FaultPlan, report: ChaosReport) -> 
     report.phases.append(result)
 
 
-def _phase_cache(graph, feeds, gold, seed, cache_dir, report) -> None:
+def _phase_cache(graph, feeds, gold, seed, cache_dir, report, sanitizer) -> None:
     """Cache storm: engine warm-ups under IO faults and torn entries."""
     from ..serving.engine import Engine, EngineConfig
 
@@ -237,7 +258,7 @@ def _phase_cache(graph, feeds, gold, seed, cache_dir, report) -> None:
         engine = Engine(graph, EngineConfig(
             session=SessionConfig(breaker_cooldown_s=0.0),
             pool_size=2, use_cache=True, cache_dir=cache_dir,
-            faults=plan, metrics=get_metrics(),
+            faults=plan, metrics=get_metrics(), sanitize=sanitizer,
         ))
         with engine:
             result.requests += 1
@@ -253,7 +274,7 @@ def _phase_cache(graph, feeds, gold, seed, cache_dir, report) -> None:
     _finish_phase(result, plan, report)
 
 
-def _phase_pool_dispatch(graph, feeds, gold, seed, report) -> None:
+def _phase_pool_dispatch(graph, feeds, gold, seed, report, sanitizer) -> None:
     """Pool checkout + backend dispatch + kernel faults, serial requests."""
     from ..serving.engine import Engine, EngineConfig
 
@@ -266,7 +287,7 @@ def _phase_pool_dispatch(graph, feeds, gold, seed, report) -> None:
     engine = Engine(graph, EngineConfig(
         session=SessionConfig(breaker_cooldown_s=0.0),
         pool_size=2, use_cache=False,
-        faults=plan, metrics=get_metrics(),
+        faults=plan, metrics=get_metrics(), sanitize=sanitizer,
     ))
     with engine:
         for _ in range(12):
@@ -283,7 +304,7 @@ def _phase_pool_dispatch(graph, feeds, gold, seed, report) -> None:
     _finish_phase(result, plan, report)
 
 
-def _phase_batch(graph, request_feeds, golds, seed, report) -> None:
+def _phase_batch(graph, request_feeds, golds, seed, report, sanitizer) -> None:
     """Batch storm: poison cohorts bisected until they fail alone."""
     from ..serving.engine import Engine, EngineConfig
 
@@ -296,7 +317,7 @@ def _phase_batch(graph, request_feeds, golds, seed, report) -> None:
         session=SessionConfig(breaker_cooldown_s=0.0),
         pool_size=1, use_cache=False,
         batching=True, max_batch=4, batch_timeout_ms=500.0,
-        faults=plan, metrics=get_metrics(),
+        faults=plan, metrics=get_metrics(), sanitize=sanitizer,
     ))
     with engine:
         # Full rounds of max_batch from one thread, resolved before the
@@ -319,7 +340,7 @@ def _phase_batch(graph, request_feeds, golds, seed, report) -> None:
     _finish_phase(result, plan, report)
 
 
-def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report) -> None:
+def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report, sanitizer) -> None:
     """NaN-poison every Winograd conv; outputs must match the direct run."""
     plan = FaultPlan([
         FaultRule(
@@ -330,6 +351,7 @@ def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report) -> None:
     result = PhaseResult("numeric")
     session = Session(graph, SessionConfig(
         scheme_overrides=overrides, faults=plan, breaker_cooldown_s=0.0,
+        sanitize=sanitizer,
     ))
     for _ in range(10):
         result.requests += 1
@@ -347,7 +369,7 @@ def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report) -> None:
     _finish_phase(result, plan, report)
 
 
-def _generation_config(plan: Optional[FaultPlan]):
+def _generation_config(plan: Optional[FaultPlan], sanitizer=False):
     """The generation phase's engine config (gold and storm share it)."""
     from ..genai import GenerationConfig
 
@@ -356,10 +378,11 @@ def _generation_config(plan: Optional[FaultPlan]):
         max_batch=2, page_tokens=4, capacity_tokens=64, smallest_bucket=8,
         session=SessionConfig(breaker_cooldown_s=0.0),
         metrics=get_metrics(), faults=plan, retain_kv=True,
+        sanitize=sanitizer,
     )
 
 
-def _phase_generate(prompts, gold_tokens, seed, report) -> None:
+def _phase_generate(prompts, gold_tokens, seed, report, sanitizer) -> None:
     """Generation storm: flaky and OOM-ing KV-slab allocations.
 
     Transients are retried; fatals degrade to LRU eviction of retired
@@ -374,7 +397,7 @@ def _phase_generate(prompts, gold_tokens, seed, report) -> None:
         FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
     ], seed=seed)
     result = PhaseResult("generate")
-    engine = GenerationEngine(_generation_config(plan))
+    engine = GenerationEngine(_generation_config(plan, sanitizer))
     params = SamplingParams(max_tokens=8)
     requests = [
         GenRequest(f"gen-{i}", prompt, params) for i, prompt in enumerate(prompts)
@@ -391,6 +414,10 @@ def _phase_generate(prompts, gold_tokens, seed, report) -> None:
                 result.failed += 1  # typed, isolated to this request
             elif outcome.tokens != gold:
                 result.mismatched += 1
+    finally:
+        # Closing runs the KV lifecycle leak check: a storm that loses
+        # track of a slab fails sanitize, not just utilization stats.
+        engine.close()
     _finish_phase(result, plan, report)
 
 
@@ -399,19 +426,27 @@ def run_chaos_storm(
     seed: int = 0,
     target_faults: int = 200,
     max_rounds: int = 50,
+    sanitize: bool = False,
 ) -> ChaosReport:
     """Run the four-phase fault storm until ``target_faults`` have fired.
 
     Installs a fresh process-wide metrics registry (and a disabled
     process-wide fault plan, so gold runs stay clean even under
     ``$REPRO_FAULTS``) for the duration; both are restored on return.
+
+    ``sanitize=True`` threads one :class:`repro.sanitize.Sanitizer`
+    through every storm engine and session (gold runs stay
+    uninstrumented — they define expected *output*, not expected
+    interleavings); the report then also carries race / lock-cycle /
+    lifecycle tallies and ``ok`` requires all three to be zero.
     """
     if graph is None:
         graph = default_chaos_graph()
-    report = ChaosReport(seed=seed, target=target_faults)
+    report = ChaosReport(seed=seed, target=target_faults, sanitized=sanitize)
 
     prev_metrics = set_metrics(MetricsRegistry())
     prev_plan = set_fault_plan(FaultPlan())
+    sanitizer = Sanitizer(enabled=True, metrics=get_metrics()) if sanitize else False
     tmp = tempfile.mkdtemp(prefix="repro-chaos-")
     try:
         rng = np.random.default_rng(seed)
@@ -484,13 +519,16 @@ def run_chaos_storm(
 
         while report.injected < target_faults and report.rounds < max_rounds:
             base = seed + report.rounds * 1000
-            _phase_cache(graph, feeds, gold, base + 1, tmp, report)
-            _phase_pool_dispatch(graph, feeds, gold, base + 2, report)
-            _phase_batch(graph, batch_rounds, golds_by_input, base + 3, report)
-            _phase_numeric(
-                graph, feeds, gold_direct, base + 4, wino_overrides, report
+            _phase_cache(graph, feeds, gold, base + 1, tmp, report, sanitizer)
+            _phase_pool_dispatch(graph, feeds, gold, base + 2, report, sanitizer)
+            _phase_batch(
+                graph, batch_rounds, golds_by_input, base + 3, report, sanitizer
             )
-            _phase_generate(prompts, gold_tokens, base + 5, report)
+            _phase_numeric(
+                graph, feeds, gold_direct, base + 4, wino_overrides, report,
+                sanitizer,
+            )
+            _phase_generate(prompts, gold_tokens, base + 5, report, sanitizer)
             report.rounds += 1
             metrics = get_metrics()
             report.injected = int(metrics.value("faults.injected"))
@@ -506,6 +544,14 @@ def run_chaos_storm(
         report.breaker_opens = int(metrics.value("breaker.opens"))
         report.short_circuits = int(metrics.value("breaker.short_circuits"))
         report.cache_corrupt = int(metrics.value("cache.corrupt"))
+        if sanitize:
+            # report() flushes lock-cycle detection into the counters;
+            # the tallies come from the counters so BENCH/CLI snapshots
+            # of the same registry agree with the report.
+            sanitizer.report()
+            report.races = int(metrics.value("sanitize.races"))
+            report.lock_cycles = int(metrics.value("sanitize.lock_cycles"))
+            report.leaks = int(metrics.value("sanitize.leaks"))
         return report
     finally:
         shutil.rmtree(tmp, ignore_errors=True)

@@ -11,7 +11,7 @@ decode loop).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.session import SessionConfig
@@ -20,6 +20,7 @@ from ..ir.graph import Graph
 from ..models.text import tiny_decoder
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracer import Tracer, get_tracer
+from ..sanitize import Sanitizer, resolve_sanitizer
 from ..serving.cache import PreInferenceCache
 from .decode import DecodeRunner
 from .kvcache import KVCacheAllocator, KVCacheConfig
@@ -61,6 +62,11 @@ class GenerationConfig:
     metrics: Optional[MetricsRegistry] = None
     faults: Optional[FaultPlan] = None
     retries: int = 3
+    #: ``True`` builds one enabled :class:`repro.sanitize.Sanitizer` and
+    #: threads it through the allocator, scheduler, cache and every
+    #: worker session, so races/lock cycles/KV lifecycle bugs across the
+    #: whole generation stack land in a single report.
+    sanitize: Union[bool, Sanitizer] = False
 
 
 class GenerationEngine:
@@ -75,6 +81,13 @@ class GenerationEngine:
         self.metrics = config.metrics if config.metrics is not None else get_metrics()
         self.tracer = config.trace if config.trace is not None else get_tracer()
         self.faults = config.faults if config.faults is not None else get_fault_plan()
+        self.sanitizer = resolve_sanitizer(config.sanitize, metrics=self.metrics)
+        session_config = config.session
+        if self.sanitizer.enabled and session_config.sanitize is False:
+            # One detector spans the allocator, the scheduler and every
+            # prefill/decode worker session — cross-component findings
+            # need one shared vector-clock space.
+            session_config = replace(session_config, sanitize=self.sanitizer)
         capacity = (
             config.capacity_tokens
             if config.capacity_tokens is not None
@@ -90,10 +103,14 @@ class GenerationEngine:
             retries=config.retries,
         )
         self.allocator = KVCacheAllocator(
-            self.kv_config, metrics=self.metrics, faults=self.faults
+            self.kv_config, metrics=self.metrics, faults=self.faults,
+            sanitizer=self.sanitizer,
         )
         cache = (
-            PreInferenceCache(config.cache_dir, metrics=self.metrics, faults=self.faults)
+            PreInferenceCache(
+                config.cache_dir, metrics=self.metrics, faults=self.faults,
+                sanitizer=self.sanitizer,
+            )
             if config.use_cache else None
         )
         self.cache = cache
@@ -103,7 +120,7 @@ class GenerationEngine:
             layers=config.layers,
             pool_size=config.prefill_pool,
             smallest_bucket=config.smallest_bucket,
-            session_config=config.session,
+            session_config=session_config,
             cache=cache,
             metrics=self.metrics,
             tracer=self.tracer,
@@ -114,7 +131,7 @@ class GenerationEngine:
             self._decode_graph,
             layers=config.layers,
             max_batch=config.max_batch,
-            session_config=config.session,
+            session_config=session_config,
             cache=cache,
             metrics=self.metrics,
             tracer=self.tracer,
@@ -130,6 +147,7 @@ class GenerationEngine:
             retain_kv=config.retain_kv,
             metrics=self.metrics,
             tracer=self.tracer,
+            sanitizer=self.sanitizer,
         )
 
     # -- graph variants (one weight set, many shapes) ------------------------
@@ -192,3 +210,6 @@ class GenerationEngine:
     def close(self) -> None:
         self.prefill.close()
         self.decode.close()
+        # Leak check last: any slab still *live* here was allocated and
+        # never released.  Findings land in self.sanitizer.report().
+        self.allocator.close()

@@ -43,8 +43,15 @@ from ..faults.errors import FatalFault, ResilienceError, TransientFault, mark_is
 from ..faults.plan import FaultPlan, get_fault_plan
 from ..faults.resilience import retry_transient
 from ..obs.metrics import MetricsRegistry, get_metrics
+from ..sanitize import LifecycleFinding, Sanitizer, get_sanitizer
 
-__all__ = ["KVCacheConfig", "KVCacheOOM", "KVSlab", "KVCacheAllocator"]
+__all__ = [
+    "KVCacheConfig",
+    "KVCacheOOM",
+    "KVCacheUseAfterFree",
+    "KVSlab",
+    "KVCacheAllocator",
+]
 
 
 def _align(n: int) -> int:
@@ -53,6 +60,17 @@ def _align(n: int) -> int:
 
 class KVCacheOOM(ResilienceError):
     """The arena cannot hold another slab, even after eviction."""
+
+
+class KVCacheUseAfterFree(ResilienceError):
+    """A K/V view was requested through a freed slab.
+
+    The slab's pages may already belong to another sequence, so the old
+    silent behaviour (handing out a live view of someone else's cache)
+    corrupted generations undetectably.  Freed slabs are poisoned
+    instead; the sanitizer additionally records the access as a
+    ``use-after-free`` lifecycle finding when enabled.
+    """
 
 
 @dataclass(frozen=True)
@@ -128,6 +146,15 @@ class KVSlab:
     buffer: np.ndarray = field(repr=False)
     length: int = 0
     freed: bool = False
+    #: Lifecycle identity: bumped on each re-carve of the same extent, so
+    #: a stale handle is detectable even after the pages were recycled.
+    generation: int = 0
+    sanitizer: Optional[Sanitizer] = field(default=None, repr=False)
+    scope: str = ""
+
+    @property
+    def lifecycle_key(self) -> str:
+        return f"{self.seq_id}@{self.page_start}+{self.pages}"
 
     @property
     def offset_bytes(self) -> int:
@@ -139,6 +166,16 @@ class KVSlab:
 
     def _view(self, layer: int, which: int) -> np.ndarray:
         cfg = self.config
+        if self.freed:
+            sanitizer = self.sanitizer
+            if sanitizer is not None and sanitizer.enabled:
+                sanitizer.use_extent(self.scope, self.lifecycle_key, self.generation)
+            raise KVCacheUseAfterFree(
+                f"K/V view of {self.seq_id!r} after its slab was freed "
+                f"(pages [{self.page_start}, {self.page_start + self.pages}), "
+                f"generation {self.generation}) — these pages may belong "
+                f"to another sequence now"
+            )
         if not 0 <= layer < cfg.layers:
             raise IndexError(f"layer {layer} out of range for {cfg.layers} layers")
         plane = cfg.heads * self.capacity * cfg.d_head * 4      # bytes per K or V
@@ -179,6 +216,7 @@ class KVCacheAllocator:
         config: KVCacheConfig,
         metrics: Optional[MetricsRegistry] = None,
         faults: Optional[FaultPlan] = None,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         if config.total_pages <= 0:
             raise ValueError(
@@ -188,6 +226,8 @@ class KVCacheAllocator:
         self.config = config
         self.metrics = metrics if metrics is not None else get_metrics()
         self.faults = faults if faults is not None else get_fault_plan()
+        self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
+        self.scope = f"kvcache#{id(self):x}"
         self._buffer = np.zeros(config.total_pages * config.page_bytes, np.uint8)
         self._pages = ExtentFreeList(config.total_pages)
         self._live: Dict[str, KVSlab] = {}
@@ -217,7 +257,7 @@ class KVCacheAllocator:
         """
         capacity = self.config.bucket_for(max(1, tokens))
         pages = self._pages_for(capacity)
-        with self._lock:
+        with self.sanitizer.locked(self._lock, "kvcache.lock"):
             if seq_id in self._live:
                 raise ValueError(f"sequence {seq_id!r} already owns a slab")
             while True:
@@ -244,6 +284,13 @@ class KVCacheAllocator:
                         # eviction; account it like the other fallbacks.
                         self.metrics.counter("fallback.evict").inc()
             slab = KVSlab(seq_id, start, pages, capacity, self.config, self._buffer)
+            if self.sanitizer.enabled:
+                slab.sanitizer = self.sanitizer
+                slab.scope = self.scope
+                slab.generation = self.sanitizer.carve(
+                    self.scope, slab.lifecycle_key, start, pages
+                )
+                self.sanitizer.probe(self, "tables", "w")
             self._live[seq_id] = slab
             self._update_gauges()
             return slab
@@ -258,7 +305,7 @@ class KVCacheAllocator:
         """
         if tokens <= slab.capacity:
             return slab
-        with self._lock:
+        with self.sanitizer.locked(self._lock, "kvcache.lock"):
             length = slab.length
             self._forget(slab.seq_id)
             try:
@@ -273,6 +320,9 @@ class KVCacheAllocator:
             bigger.length = length
             self._pages.free(slab.page_start, slab.pages)
             slab.freed = True
+            if self.sanitizer.enabled:
+                self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
+                self.sanitizer.probe(self, "tables", "w")
             self._update_gauges()
             return bigger
 
@@ -280,19 +330,26 @@ class KVCacheAllocator:
     def release(self, slab: KVSlab, evictable: bool = False) -> None:
         """Give the slab up: free its pages now, or retire it for lazy
         reclamation under pressure (LRU)."""
-        with self._lock:
+        with self.sanitizer.locked(self._lock, "kvcache.lock"):
             self._forget(slab.seq_id)
             if slab.freed:
                 return
             if evictable:
                 self._retired[slab.seq_id] = slab
                 self._retired.move_to_end(slab.seq_id)
+                if self.sanitizer.enabled:
+                    self.sanitizer.retire_extent(self.scope, slab.lifecycle_key)
             else:
                 self._pages.free(slab.page_start, slab.pages)
                 slab.freed = True
+                if self.sanitizer.enabled:
+                    self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
+            if self.sanitizer.enabled:
+                self.sanitizer.probe(self, "tables", "w")
             self._update_gauges()
 
     def _forget(self, seq_id: str) -> None:
+        """Drop the sequence from both tables.  Called with the lock held."""
         self._live.pop(seq_id, None)
         self._retired.pop(seq_id, None)
 
@@ -303,8 +360,25 @@ class KVCacheAllocator:
         _, slab = self._retired.popitem(last=False)
         self._pages.free(slab.page_start, slab.pages)
         slab.freed = True
+        if self.sanitizer.enabled:
+            self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
         self.metrics.counter("kvcache.evictions").inc()
         return True
+
+    # -- teardown ------------------------------------------------------------
+    def close(self) -> List[LifecycleFinding]:
+        """Run the lifecycle leak check and return its findings.
+
+        Live slabs at close are leaks (someone allocated and never
+        released); *retired* slabs are not — they are the LRU-evictable
+        warm set, reclaimed by design whenever pressure needs them.  The
+        check only observes; it does not free anything, so a reported
+        leak stays reproducible in the allocator's state.
+        """
+        if not self.sanitizer.enabled:
+            return []
+        with self.sanitizer.locked(self._lock, "kvcache.lock"):
+            return self.sanitizer.close_scope(self.scope)
 
     # -- introspection -------------------------------------------------------
     @property

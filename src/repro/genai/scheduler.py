@@ -35,6 +35,7 @@ import numpy as np
 from ..faults.errors import ResilienceError
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracer import Tracer, get_tracer
+from ..sanitize import Sanitizer, get_sanitizer
 from .decode import DecodeRunner
 from .kvcache import KVCacheAllocator, KVCacheOOM, KVSlab
 from .prefill import PrefillRunner
@@ -105,6 +106,7 @@ class ContinuousBatchScheduler:
         max_preemptions: int = 2,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         self.prefill = prefill
         self.decode = decode
@@ -115,6 +117,7 @@ class ContinuousBatchScheduler:
         self.max_preemptions = max_preemptions
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
 
     # -- lifecycle helpers ---------------------------------------------------
     def _fail(self, results: Dict[str, GenResult], request: GenRequest,
@@ -165,6 +168,13 @@ class ContinuousBatchScheduler:
         order = [r.request_id for r in requests]
         if len(set(order)) != len(order):
             raise ValueError("duplicate request_id in batch")
+        if self.sanitizer.enabled:
+            # The loop below is deliberately single-threaded; concurrent
+            # run() calls on one scheduler would interleave allocator and
+            # decode-session state.  An unsynchronized write-write probe
+            # turns that misuse into a deterministic race finding (vector
+            # clocks never order two runs that overlap in wall time).
+            self.sanitizer.probe(self, "run_loop", "w")
 
         while waiting or running:
             # 1. Admission at the token boundary: fill free seats while

@@ -68,6 +68,17 @@ class Gauge:
         with self._lock:
             self._value = value
 
+    def add(self, delta: float) -> float:
+        """Atomically add ``delta`` and return the new value.
+
+        Concurrent updaters must use this rather than read-modify-``set``
+        (``g.set(g.value + 1)`` from two threads loses updates — the race
+        the sanitizer caught on ``pool.idle``).
+        """
+        with self._lock:
+            self._value += delta
+            return self._value
+
     def track_max(self, value: float) -> None:
         """Keep the running maximum of every value seen."""
         with self._lock:

@@ -1,0 +1,173 @@
+"""Allocation-lifecycle sanitizer for arena extents and KV slabs.
+
+Dynamic allocations (KV-cache slabs over the page free list, and any
+future arena tenant) move through a three-state machine::
+
+    carve ──> live ──release(evictable)──> retired ──evict──> freed
+                │                                               ▲
+                └──────────────── free ─────────────────────────┘
+
+The tracker mirrors every transition and flags the ways the real
+allocator can be misused:
+
+* **leak** — an extent still ``live`` when its owning scope (one
+  allocator / one engine) closes.  ``retired`` extents are *not* leaks:
+  they are the LRU cache of reusable slabs, reclaimed under pressure by
+  design.
+* **double-free** — ``free`` on an extent already ``freed``.
+* **use-after-free** — a data access through an extent after ``free``,
+  caught by generation counters: each re-carve of a key bumps the
+  generation, so a stale handle (old generation) or a freed extent is
+  poisoned even if the same pages were since handed to someone else.
+* **wild-free / wild-use** — operations on extents the tracker never saw
+  carved (an allocator bypass).
+
+Findings are plain records here; :meth:`repro.sanitize.Sanitizer.report`
+converts them into :class:`repro.analysis.Diagnostic` rows (rule family
+``sanitize-*``) so the CLI prints them with the same machinery as lint
+and memcheck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ExtentState", "LifecycleFinding", "LifecycleTracker"]
+
+
+@dataclass
+class ExtentState:
+    """Tracker-side shadow of one allocation."""
+
+    scope: str
+    key: str
+    start: int
+    units: int
+    kind: str
+    state: str = "live"  # "live" | "retired" | "freed"
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class LifecycleFinding:
+    """One lifecycle violation (leak, double-free, use-after-free...)."""
+
+    rule: str  # "leak" | "double-free" | "use-after-free" | "wild-free" | "wild-use"
+    scope: str
+    key: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.rule} in {self.scope}: {self.message}"
+
+
+class LifecycleTracker:
+    """Shadow state machine over carve/retire/free/use events.
+
+    Not internally synchronized — the owning :class:`Sanitizer`
+    serializes all calls.
+    """
+
+    def __init__(self) -> None:
+        self._extents: Dict[Tuple[str, str], ExtentState] = {}
+        self.findings: List[LifecycleFinding] = []
+
+    # -- transitions ---------------------------------------------------------
+    def carve(
+        self, scope: str, key: str, start: int, units: int, kind: str = "kv-slab"
+    ) -> int:
+        """Record an allocation; returns the extent's generation counter."""
+        full = (scope, key)
+        prev = self._extents.get(full)
+        generation = 0
+        if prev is not None:
+            if prev.state != "freed":
+                self._report(
+                    "wild-use", scope, key,
+                    f"carved while already {prev.state} "
+                    f"(units [{prev.start}, {prev.start + prev.units}))",
+                )
+            generation = prev.generation + 1
+        self._extents[full] = ExtentState(
+            scope, key, start, units, kind, "live", generation
+        )
+        return generation
+
+    def retire(self, scope: str, key: str) -> None:
+        """live -> retired (LRU-evictable; not a leak at close)."""
+        extent = self._extents.get((scope, key))
+        if extent is None:
+            self._report("wild-free", scope, key, "retire of an unknown extent")
+        elif extent.state == "freed":
+            self._report("double-free", scope, key, "retire after free")
+        else:
+            extent.state = "retired"
+
+    def free(self, scope: str, key: str) -> None:
+        """live/retired -> freed; flags double and wild frees."""
+        extent = self._extents.get((scope, key))
+        if extent is None:
+            self._report("wild-free", scope, key, "free of an extent never carved")
+        elif extent.state == "freed":
+            self._report(
+                "double-free", scope, key,
+                f"pages [{extent.start}, {extent.start + extent.units}) "
+                f"freed twice (generation {extent.generation})",
+            )
+        else:
+            extent.state = "freed"
+
+    def use(self, scope: str, key: str, generation: Optional[int] = None) -> bool:
+        """A data access through the extent; True when it was valid."""
+        extent = self._extents.get((scope, key))
+        if extent is None:
+            self._report("wild-use", scope, key, "access through an unknown extent")
+            return False
+        if extent.state == "freed":
+            self._report(
+                "use-after-free", scope, key,
+                f"access to pages [{extent.start}, {extent.start + extent.units}) "
+                f"after free (generation {extent.generation})",
+            )
+            return False
+        if generation is not None and generation != extent.generation:
+            self._report(
+                "use-after-free", scope, key,
+                f"stale handle: generation {generation} vs current "
+                f"{extent.generation} (pages were recycled)",
+            )
+            return False
+        return True
+
+    def close_scope(self, scope: str) -> List[LifecycleFinding]:
+        """Scope teardown: every still-``live`` extent is a leak."""
+        leaks: List[LifecycleFinding] = []
+        for (owner, key), extent in list(self._extents.items()):
+            if owner != scope:
+                continue
+            if extent.state == "live":
+                finding = self._report(
+                    "leak", scope, key,
+                    f"{extent.kind} of {extent.units} units at {extent.start} "
+                    f"still live at scope close",
+                )
+                leaks.append(finding)
+            del self._extents[(owner, key)]
+        return leaks
+
+    # -- introspection -------------------------------------------------------
+    def live_extents(self, scope: str) -> List[ExtentState]:
+        return [
+            e for (owner, _), e in self._extents.items()
+            if owner == scope and e.state == "live"
+        ]
+
+    def _report(self, rule: str, scope: str, key: str, message: str) -> LifecycleFinding:
+        finding = LifecycleFinding(rule, scope, key, message)
+        self.findings.append(finding)
+        return finding
+
+    def clear(self) -> None:
+        self._extents.clear()
+        self.findings.clear()

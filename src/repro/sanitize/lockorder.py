@@ -1,0 +1,115 @@
+"""Runtime lock-order recording and deadlock-cycle detection.
+
+Every ``Sanitizer.locked(lock, name)`` acquisition appends an edge from
+each lock already held by the thread to the newly acquired one.  The
+resulting directed graph over lock *names* (class-level roles such as
+``"kvcache.lock"``, not instances — the standard granularity, since two
+instances of one class follow the same discipline) is checked for cycles
+at report time: any strongly connected component of two or more locks
+means two threads can acquire the same pair in opposite orders, i.e. a
+potential deadlock, even if the interleaving never actually hung during
+the run.
+
+Reentrant re-acquisition of the same name (``RLock``) is deliberately not
+an edge — a self-loop is not an ordering inversion.  The *static* analogue
+(rule ``C003`` in :mod:`repro.analysis.concurrency`) flags lexically
+nested acquires of one non-reentrant lock attribute instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["LockCycle", "LockOrderRecorder"]
+
+
+@dataclass(frozen=True)
+class LockCycle:
+    """One inconsistent acquisition ordering (a cycle of lock names)."""
+
+    names: Tuple[str, ...]
+
+    def describe(self) -> str:
+        path = " -> ".join(self.names + (self.names[0],))
+        return (
+            f"lock-order cycle {path}: these locks are acquired in "
+            f"inconsistent orders by different code paths (deadlock risk)"
+        )
+
+
+class LockOrderRecorder:
+    """Held-lock stacks per thread plus the global acquired-after graph.
+
+    Like :class:`~repro.sanitize.race.RaceDetector`, not internally
+    synchronized — the owning :class:`Sanitizer` serializes all calls.
+    """
+
+    def __init__(self) -> None:
+        self._held: Dict[int, List[str]] = {}
+        self._edges: Dict[str, Set[str]] = {}
+
+    def held(self, tid: int) -> List[str]:
+        """Names of locks currently held by ``tid`` (outermost first)."""
+        return self._held.get(tid, [])
+
+    def acquire(self, tid: int, name: str) -> None:
+        stack = self._held.setdefault(tid, [])
+        for outer in stack:
+            if outer != name:
+                self._edges.setdefault(outer, set()).add(name)
+        stack.append(name)
+
+    def release(self, tid: int, name: str) -> None:
+        stack = self._held.get(tid)
+        if not stack:
+            return
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def cycles(self) -> List[LockCycle]:
+        """Strongly connected components of size >= 2, one cycle each.
+
+        Tarjan over the acquired-after graph; deterministic output order
+        (first-seen root) so repeated reports are stable.
+        """
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        out: List[LockCycle] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in sorted(self._edges.get(node, ())):
+                if succ not in index:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    component.reverse()
+                    out.append(LockCycle(tuple(component)))
+
+        for node in sorted(set(self._edges) | {s for ss in self._edges.values() for s in ss}):
+            if node not in index:
+                strongconnect(node)
+        return out
+
+    def clear(self) -> None:
+        self._held.clear()
+        self._edges.clear()

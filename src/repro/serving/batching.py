@@ -35,6 +35,7 @@ from ..faults import FaultPlan, get_fault_plan, mark_isolated
 from ..ir.graph import GraphError
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracer import Tracer, get_tracer
+from ..sanitize import Sanitizer, get_sanitizer
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
@@ -114,6 +115,7 @@ class MicroBatcher:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultPlan] = None,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         """Args:
             session_factory: builds a batch-execution session at the
@@ -135,6 +137,7 @@ class MicroBatcher:
         self.timeout_ms = timeout_ms
         self.tracer = tracer if tracer is not None else get_tracer()
         self.faults = faults if faults is not None else get_fault_plan()
+        self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
         self.stats = BatchStats(metrics)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -159,9 +162,11 @@ class MicroBatcher:
                 f"dimension; got leading dims {sorted(dims)}"
             )
         item = _Pending(feeds=dict(feeds), batch_dim=dims.pop())
-        with self._cond:
+        with self.sanitizer.locked(self._cond, "batcher.cond"):
             if not self._running:
                 raise RuntimeError("MicroBatcher is closed")
+            if self.sanitizer.enabled:
+                self.sanitizer.probe(self, "pending", "w")
             self._pending.setdefault(_signature(feeds), []).append(item)
             self._cond.notify_all()
         return item.future
@@ -172,10 +177,13 @@ class MicroBatcher:
 
     def close(self) -> None:
         """Stop the dispatcher after draining already-queued requests."""
-        with self._cond:
+        with self.sanitizer.locked(self._cond, "batcher.cond"):
             self._running = False
             self._cond.notify_all()
         self._thread.join()
+        if self.sanitizer.enabled:
+            # join: everything the dispatcher did happens-before us.
+            self.sanitizer.hb_recv(("batcher.dispatcher", id(self)))
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -196,6 +204,8 @@ class MicroBatcher:
                     return None
                 self._cond.wait()
                 continue
+            if self.sanitizer.enabled:
+                self.sanitizer.probe(self, "pending", "r")
             sig = next(iter(self._pending))
             if self._running and self.timeout_ms > 0:
                 deadline = time.monotonic() + self.timeout_ms / 1000.0
@@ -207,6 +217,8 @@ class MicroBatcher:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._cond.wait(remaining):
                         break
+            if self.sanitizer.enabled:
+                self.sanitizer.probe(self, "pending", "w")
             items = self._pending.pop(sig, [])
             if not items:
                 continue
@@ -225,9 +237,11 @@ class MicroBatcher:
 
     def _dispatch_loop(self) -> None:
         while True:
-            with self._cond:
+            with self.sanitizer.locked(self._cond, "batcher.cond"):
                 bucket = self._take_bucket()
             if bucket is None:
+                if self.sanitizer.enabled:
+                    self.sanitizer.hb_send(("batcher.dispatcher", id(self)))
                 return
             sig, items = bucket
             try:
@@ -291,9 +305,15 @@ class MicroBatcher:
         total = sum(item.batch_dim for item in items)
         with tracer.span("batch.run", "serving",
                          requests=len(items), samples=total) as batch_span:
+            if self.sanitizer.enabled:
+                # No lockset on purpose: bucket sessions are dispatcher-
+                # owned, so any second thread here is a real race.
+                self.sanitizer.probe(self, "sessions", "w")
             session = self._sessions.get(sig)
             if session is None:
-                session = self._sessions[sig] = self._factory()
+                # Bucket sessions are owned by the dispatcher thread; no
+                # other thread ever touches them.
+                session = self._sessions[sig] = self._factory()  # sanitize: single-thread
             with tracer.span("batch.assemble", "serving"):
                 if self.faults.enabled:
                     self.faults.fire(

@@ -47,6 +47,7 @@ from ..ir.graph import Graph
 from ..ir.serialization import graph_signature
 from ..kernels import winograd as winograd_mod
 from ..obs.metrics import MetricsRegistry, get_metrics
+from ..sanitize import Sanitizer, get_sanitizer
 
 __all__ = [
     "CACHE_ENV_VAR",
@@ -187,12 +188,14 @@ class PreInferenceCache:
         root: Optional[Union[str, Path]] = None,
         metrics: Optional[MetricsRegistry] = None,
         faults: Optional[FaultPlan] = None,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         # Resilience counters default to the process-wide registry (the
         # one the fault plan increments), so reconciliation sees them all.
         self._metrics = metrics
         self.faults = faults if faults is not None else get_fault_plan()
+        self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -238,6 +241,11 @@ class PreInferenceCache:
                 self.metrics.counter("cache.corrupt").inc()
                 self.metrics.counter("fallback.cache").inc()
                 return None
+        if self.sanitizer.enabled:
+            # Entries are immutable-once-written via atomic rename; the
+            # shared "fs.atomic" lockset encodes that readers and the
+            # renaming writer can never observe a torn state.
+            self.sanitizer.probe(self, f"entry.{key}", "r", lockset=("fs.atomic",))
         path = self.path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -260,6 +268,8 @@ class PreInferenceCache:
             TransientFault: only under an active fault plan injecting a
                 transient IO error (the engine retries these).
         """
+        if self.sanitizer.enabled:
+            self.sanitizer.probe(self, f"entry.{key}", "w", lockset=("fs.atomic",))
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
         payload = json.dumps(artifacts.to_json(), separators=(",", ":"))

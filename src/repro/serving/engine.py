@@ -40,6 +40,7 @@ from ..faults.resilience import Deadline
 from ..ir.graph import Graph
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, get_tracer
+from ..sanitize import Sanitizer, resolve_sanitizer
 from .batching import MicroBatcher
 from .cache import PreInferenceArtifacts, PreInferenceCache
 from .pool import SessionPool
@@ -78,6 +79,11 @@ class EngineConfig:
             :meth:`Engine.infer`; ``None`` means no deadline.
         retries: extra attempts for transient failures (cache IO, pool
             checkout) before escalating.
+        sanitize: a :class:`repro.sanitize.Sanitizer` (or ``True`` for a
+            fresh one) spanning the whole serving stack: pool checkout
+            handoffs, batcher lock discipline, cache entries and — unless
+            the session config pins its own — every worker session's
+            probes, so one detector sees every layer's events.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -92,6 +98,7 @@ class EngineConfig:
     faults: Optional[FaultPlan] = None
     deadline_ms: Optional[float] = None
     retries: int = 3
+    sanitize: Union[bool, Sanitizer] = False
 
 
 class EngineStats:
@@ -175,23 +182,30 @@ class Engine:
             self.config.faults if self.config.faults is not None
             else get_fault_plan()
         )
+        self.sanitizer = resolve_sanitizer(self.config.sanitize, metrics=self.metrics)
         self.cache = (
-            PreInferenceCache(self.config.cache_dir, faults=self.faults)
+            PreInferenceCache(self.config.cache_dir, faults=self.faults,
+                              sanitizer=self.sanitizer)
             if self.config.use_cache else None
         )
         self._cache_key: Optional[str] = None
-        # Worker sessions inherit the engine's tracer and fault plan
-        # unless the session config pins its own, so one trace shows
-        # serving + execution and one plan covers every layer.
+        # Worker sessions inherit the engine's tracer, fault plan and
+        # sanitizer unless the session config pins its own, so one trace
+        # shows serving + execution and one detector covers every layer.
         self._session_config = self.config.session
         if self.tracer.enabled and self._session_config.trace is None:
             self._session_config = replace(self._session_config, trace=self.tracer)
         if self.config.faults is not None and self._session_config.faults is None:
             self._session_config = replace(self._session_config, faults=self.faults)
+        if self.sanitizer.enabled and self._session_config.sanitize is False:
+            self._session_config = replace(
+                self._session_config, sanitize=self.sanitizer
+            )
         self.pool = SessionPool(
             self._create_session, self.config.pool_size,
             metrics=self.metrics, tracer=self.tracer,
             faults=self.faults, retries=self.config.retries,
+            sanitizer=self.sanitizer,
         )
         self.batcher = (
             MicroBatcher(
@@ -201,6 +215,7 @@ class Engine:
                 metrics=self.metrics,
                 tracer=self.tracer,
                 faults=self.faults,
+                sanitizer=self.sanitizer,
             )
             if self.config.batching else None
         )

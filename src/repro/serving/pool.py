@@ -22,6 +22,7 @@ from ..faults import FaultPlan, PoolTimeout, get_fault_plan, retry_transient
 from ..faults.resilience import Deadline
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, get_tracer
+from ..sanitize import Sanitizer, get_sanitizer
 
 __all__ = ["SessionPool"]
 
@@ -45,6 +46,7 @@ class SessionPool:
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultPlan] = None,
         retries: int = 3,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         """Build ``size`` sessions eagerly via ``factory``.
 
@@ -58,10 +60,16 @@ class SessionPool:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.faults = faults if faults is not None else get_fault_plan()
+        self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
         self.retries = retries
         self._sessions: List[Session] = [factory() for _ in range(size)]
         self._free: "queue.Queue[Session]" = queue.Queue()
         for session in self._sessions:
+            if self.sanitizer.enabled:
+                # Queue put happens-before the matching get: construction
+                # (and every return below) is ordered before the next
+                # checkout, however threads interleave.
+                self.sanitizer.hb_send(("pool.session", id(session)))
             self._free.put(session)
         self.metrics.gauge("pool.idle").set(size)
 
@@ -113,9 +121,16 @@ class SessionPool:
                 deadline.check("pool.checkout")
             raise PoolTimeout(wait_s, self.size, self._free.qsize()) from None
         acquired = time.perf_counter()
+        if self.sanitizer.enabled:
+            self.sanitizer.hb_recv(("pool.session", id(session)))
+            self.sanitizer.probe(self, "idle", "w", lockset=("gauge.pool.idle",))
         self.metrics.counter("pool.checkouts").inc()
         self.metrics.histogram("pool.wait_ms").observe((acquired - start) * 1000.0)
-        self.metrics.gauge("pool.idle").set(self._free.qsize())
+        # An atomic delta, NOT gauge.set(qsize()): read-modify-write over
+        # the queue size from concurrent checkouts loses updates (the
+        # sanitizer's first real find — a stats race, exactly as
+        # predicted), and a stale qsize() could stick as the final value.
+        self.metrics.gauge("pool.idle").add(-1)
         if self.tracer.enabled:
             self.tracer.record(
                 "pool.checkout_wait", "serving", start, acquired,
@@ -124,8 +139,11 @@ class SessionPool:
         try:
             yield session
         finally:
+            if self.sanitizer.enabled:
+                self.sanitizer.probe(self, "idle", "w", lockset=("gauge.pool.idle",))
+                self.sanitizer.hb_send(("pool.session", id(session)))
             self._free.put(session)
-            self.metrics.gauge("pool.idle").set(self._free.qsize())
+            self.metrics.gauge("pool.idle").add(1)
 
     def idle(self) -> int:
         """Approximate number of currently free sessions."""

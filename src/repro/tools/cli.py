@@ -18,7 +18,8 @@ Usage::
     python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
     python -m repro.tools.cli devices
     python -m repro.tools.cli schemes model.rmnn
-    python -m repro.tools.cli chaos [model.rmnn] --seed 0 --faults 200
+    python -m repro.tools.cli chaos [model.rmnn] --seed 0 --faults 200 [--sanitize]
+    python -m repro.tools.cli sanitize [--static-only] [--faults 50]
 
 Every command returns 0 on success and prints human-readable output; the
 module-level :func:`main` takes an argv list for testability.
@@ -246,10 +247,15 @@ def cmd_metrics(args) -> int:
     previous = set_metrics(registry)
     try:
         graph = _load(args.model)
-        session = Session(graph, SessionConfig(threads=args.threads))
+        session = Session(
+            graph, SessionConfig(threads=args.threads, sanitize=args.sanitize)
+        )
         feeds = _random_feeds(graph)
         for _ in range(args.runs):
             session.run(feeds)
+        if args.sanitize:
+            # Flush lock-cycle detection so sanitize.* counters are final.
+            session.sanitizer.report()
     finally:
         set_metrics(previous)
     print(f"metrics after {args.runs} runs of {graph.name}:")
@@ -435,7 +441,8 @@ def cmd_chaos(args) -> int:
 
     graph = _load(args.model) if args.model else None
     report = run_chaos_storm(
-        graph=graph, seed=args.seed, target_faults=args.faults
+        graph=graph, seed=args.seed, target_faults=args.faults,
+        sanitize=args.sanitize,
     )
     print(report.describe())
     if args.events:
@@ -443,6 +450,45 @@ def cmd_chaos(args) -> int:
         for i, (site, kind) in enumerate(report.events):
             print(f"  {i:4d} {site}:{kind}")
     return 0 if report.ok else 1
+
+
+def cmd_sanitize(args) -> int:
+    """Concurrency/lifecycle correctness gate: static C0xx lint over the
+    source tree, then a sanitized dynamic self-check (a small fault storm
+    with the race/lock-order/lifecycle detectors live)."""
+    from pathlib import Path
+
+    from ..analysis import (
+        C_RULES,
+        Severity,
+        format_diagnostics,
+        lint_source_tree,
+        summarize,
+    )
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parents[1]
+    diags = lint_source_tree(root)
+    print(f"static lint over {root}: {len(C_RULES)} rules (C001..C005)")
+    if diags:
+        print(format_diagnostics(diags))
+    print(f"static: {summarize(diags)}")
+    failing = [
+        d for d in diags
+        if d.severity is Severity.ERROR
+        or (args.strict and d.severity is Severity.WARNING)
+    ]
+    rc = 1 if failing else 0
+
+    if not args.static_only:
+        from ..faults.chaos import run_chaos_storm
+
+        report = run_chaos_storm(
+            seed=args.seed, target_faults=args.faults, sanitize=True
+        )
+        print(report.describe())
+        if not report.ok:
+            rc = 1
+    return rc
 
 
 def cmd_generate(args) -> int:
@@ -627,6 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("-o", "--output", default=None,
                    help="also write the snapshot as JSON")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the concurrency sanitizer live; the "
+                        "snapshot then includes the sanitize.* counters")
     p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("warm", help="populate the pre-inference cache")
@@ -673,7 +722,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep storming until this many faults have fired")
     p.add_argument("--events", action="store_true",
                    help="also print the full injection sequence")
+    p.add_argument("--sanitize", action="store_true",
+                   help="storm with the race/lock-order/lifecycle "
+                        "sanitizer live; any finding fails the storm")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("sanitize", help="concurrency lint (C0xx) + sanitized "
+                                        "dynamic self-check")
+    p.add_argument("--root", default=None,
+                   help="source tree to lint (default: the installed repro "
+                        "package)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat C0xx warnings as failures (exit 1)")
+    p.add_argument("--static-only", action="store_true",
+                   help="skip the sanitized dynamic storm")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", type=int, default=50,
+                   help="fault budget for the sanitized dynamic storm")
+    p.set_defaults(fn=cmd_sanitize)
 
     p = sub.add_parser("generate", help="continuous-batching autoregressive "
                                         "generation over the tiny decoder")

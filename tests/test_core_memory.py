@@ -123,3 +123,90 @@ class TestArena:
         from repro.ir import TensorDesc
         with pytest.raises(KeyError):
             arena.view(TensorDesc("ghost", (1, 1)))
+
+
+class TestExtentFreeListGuards:
+    """Typed misuse guards on the shared free list (KV arena + sanitizer).
+
+    Every guard raises :class:`FreeListError` — a ``ValueError`` subclass
+    carrying a stable rule id and an ``as_diagnostic()`` conversion, so
+    allocator misuse surfaces through the same diagnostics pipeline as
+    the static lint and the runtime sanitizer.
+    """
+
+    def _fl(self, units=16):
+        from repro.core.memory import ExtentFreeList
+
+        return ExtentFreeList(units)
+
+    def test_double_free_raises_typed_error(self):
+        from repro.core.memory import FreeListError
+
+        fl = self._fl()
+        start = fl.alloc(4)
+        fl.free(start, 4)
+        with pytest.raises(FreeListError) as exc:
+            fl.free(start, 4)
+        assert exc.value.rule == "mem-double-free"
+        assert "double free" in str(exc.value)
+
+    def test_free_of_never_allocated_extent_raises(self):
+        from repro.core.memory import FreeListError
+
+        fl = self._fl()
+        fl.alloc(4)  # occupies [0, 4)
+        with pytest.raises(FreeListError) as exc:
+            fl.free(8, 4)  # in range, but never handed out
+        assert exc.value.rule == "mem-double-free"
+
+    def test_out_of_range_free_raises(self):
+        from repro.core.memory import FreeListError
+
+        fl = self._fl(16)
+        for start, units in [(-1, 4), (14, 4), (0, 0), (0, 17)]:
+            with pytest.raises(FreeListError) as exc:
+                fl.free(start, units)
+            assert exc.value.rule == "mem-free-out-of-range"
+            assert "bad free" in str(exc.value)
+
+    def test_mismatched_size_free_raises(self):
+        from repro.core.memory import FreeListError
+
+        fl = self._fl()
+        start = fl.alloc(8)
+        with pytest.raises(FreeListError) as exc:
+            fl.free(start, 4)  # partial free would corrupt coalescing
+        assert exc.value.rule == "mem-free-mismatched"
+        # The allocation is still outstanding after the rejected free.
+        fl.free(start, 8)
+        assert fl.free_units == 16
+
+    def test_guard_errors_convert_to_diagnostics(self):
+        from repro.analysis import Severity
+        from repro.core.memory import FreeListError
+
+        fl = self._fl()
+        with pytest.raises(FreeListError) as exc:
+            fl.free(0, 4)
+        diag = exc.value.as_diagnostic()
+        assert diag.rule == "mem-double-free"
+        assert diag.severity is Severity.ERROR
+
+    def test_exact_free_after_realloc_still_works(self):
+        fl = self._fl()
+        a = fl.alloc(4)
+        fl.free(a, 4)
+        b = fl.alloc(4)
+        assert b == a  # best-fit reuses the hole
+        fl.free(b, 4)  # the re-allocation made this free legal again
+        assert fl.free_units == 16
+
+    def test_guards_are_valueerrors_for_compatibility(self):
+        from repro.core.memory import FreeListError
+
+        fl = self._fl()
+        start = fl.alloc(4)
+        fl.free(start, 4)
+        with pytest.raises(ValueError):
+            fl.free(start, 4)
+        assert issubclass(FreeListError, ValueError)
