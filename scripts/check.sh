@@ -3,18 +3,24 @@
 #
 #   ./scripts/check.sh
 #
-# Four stages, each of which must pass:
+# Five stages, each of which must pass:
 #
 #   1. Static concurrency lint (rule family C0xx) over src/repro itself,
 #      in strict mode — warnings fail too.
 #   2. Strict graph lint + memory-plan sanitizer over every registered
 #      zoo model (each one is built fresh, then linted).
 #   3. The lint_self and sanitize pytest markers: the repo lints its own
-#      fixtures, and the race / lock-order / lifecycle detectors prove
-#      they both catch seeded defects and come up clean on real code.
+#      fixtures, the race / lock-order / lifecycle detectors prove they
+#      both catch seeded defects and come up clean on real code, and the
+#      prefix-cache bit-identity properties run under the sanitizer.
 #   4. A 50-fault sanitized chaos storm: fault injection with the
-#      dynamic sanitizer live across serving, batching and generation —
-#      any race, lock cycle or leaked slab fails the storm.
+#      dynamic sanitizer live across serving, batching, generation and
+#      COW prefix sharing — any race, lock cycle or leaked slab fails
+#      the storm.
+#   5. The cold-start guard: on the serving bench graph, an incremental
+#      (lazy-prepare) cold session must come up in under 2x the warm
+#      (artifact-replay) time — the regression that motivated the
+#      incremental-prepare work.
 #
 # Total runtime is a few minutes on a laptop.
 
@@ -25,11 +31,11 @@ export PYTHONPATH=src
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "== [1/4] static concurrency lint (C0xx, strict) =="
+echo "== [1/5] static concurrency lint (C0xx, strict) =="
 python -m repro.tools.cli sanitize --static-only --strict
 
 echo
-echo "== [2/4] strict model lint over the registered zoo =="
+echo "== [2/5] strict model lint over the registered zoo =="
 models=$(python -c "from repro.models import MODEL_REGISTRY; print(' '.join(sorted(MODEL_REGISTRY)))")
 for name in $models; do
     echo "-- $name"
@@ -38,12 +44,49 @@ for name in $models; do
 done
 
 echo
-echo "== [3/4] lint_self + sanitize pytest markers =="
+echo "== [3/5] lint_self + sanitize pytest markers =="
 python -m pytest -q -m "lint_self or sanitize"
 
 echo
-echo "== [4/4] 50-fault sanitized chaos storm =="
+echo "== [4/5] 50-fault sanitized chaos storm =="
 python -m repro.tools.cli chaos --faults 50 --sanitize
+
+echo
+echo "== [5/5] cold-start guard (incremental cold < 2x warm) =="
+python - <<'PY'
+from repro.converter import optimize
+from repro.core import SessionConfig
+from repro.core.schemes import clear_scheme_memo
+from repro.kernels.winograd import clear_transform_cache
+from repro.models import squeezenet_v1_1
+from repro.serving import Engine, EngineConfig
+
+import tempfile
+
+net = optimize(squeezenet_v1_1(input_size=96, classes=10))
+with tempfile.TemporaryDirectory() as cache_dir:
+    clear_transform_cache(); clear_scheme_memo()
+    seeder = Engine(net, EngineConfig(pool_size=1, cache_dir=cache_dir))
+
+    clear_transform_cache(); clear_scheme_memo()
+    warm = Engine(net, EngineConfig(pool_size=1, cache_dir=cache_dir))
+    warm_ms = warm.stats.warm_prepare_ms[0]
+
+with tempfile.TemporaryDirectory() as cold_dir:
+    clear_transform_cache(); clear_scheme_memo()
+    cold = Engine(net, EngineConfig(
+        pool_size=1, cache_dir=cold_dir,
+        session=SessionConfig(lazy_prepare=True),
+    ))
+    cold_ms = cold.stats.cold_prepare_ms[0]
+
+print(f"incremental cold prepare: {cold_ms:.1f} ms, warm: {warm_ms:.1f} ms "
+      f"(ratio {cold_ms / max(warm_ms, 1e-9):.2f}x, budget 2x)")
+assert cold_ms < 2.0 * warm_ms, (
+    f"cold-start regression: incremental cold prepare {cold_ms:.1f} ms is "
+    f">= 2x the warm {warm_ms:.1f} ms"
+)
+PY
 
 echo
 echo "check.sh: all gates passed"

@@ -17,6 +17,7 @@ interpretation and shows it reproduces every Table 1 winner.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -30,6 +31,8 @@ __all__ = [
     "winograd_plane_cost",
     "select_conv_scheme",
     "select_graph_schemes",
+    "clear_scheme_memo",
+    "scheme_memo_size",
 ]
 
 
@@ -150,6 +153,26 @@ def winograd_rect_plane_cost(
     return tiles * (cfg.transform_weight * transform + hadamard)
 
 
+#: Memo of geometry -> decision.  The Eq. 2/3 search is a pure function
+#: of (layer geometry, tunables), and real networks repeat a handful of
+#: geometries dozens of times (every fire/bottleneck block), so cold
+#: scheme selection collapses to one genuine search per distinct layer
+#: shape.  Decisions are frozen dataclasses, safe to share across
+#: sessions and threads.
+_SCHEME_MEMO: Dict[Tuple, SchemeDecision] = {}
+_SCHEME_MEMO_LOCK = threading.Lock()
+
+
+def clear_scheme_memo() -> None:
+    """Drop every memoized decision (cold-start benchmarks/tests)."""
+    with _SCHEME_MEMO_LOCK:
+        _SCHEME_MEMO.clear()
+
+
+def scheme_memo_size() -> int:
+    return len(_SCHEME_MEMO)
+
+
 def select_conv_scheme(
     kernel: Tuple[int, int],
     ic: int,
@@ -160,13 +183,36 @@ def select_conv_scheme(
     groups: int = 1,
     config: Optional[SchemeConfig] = None,
 ) -> SchemeDecision:
-    """Pick the cheapest convolution scheme for one layer.
+    """Pick the cheapest convolution scheme for one layer (memoized).
 
     Follows Eq. 2/3 with total-cost normalization (see module docstring).
     Winograd is only legal for square kernels, stride 1, dilation 1 and
     groups 1; illegal layers fall back to sliding window (or 1x1-GEMM).
     """
     cfg = config or SchemeConfig()
+    memo_key = (
+        tuple(kernel), ic, oc, tuple(out_hw), tuple(stride),
+        tuple(dilation), groups, cfg,
+    )
+    cached = _SCHEME_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    decision = _search_conv_scheme(kernel, ic, oc, out_hw, stride, dilation,
+                                   groups, cfg)
+    with _SCHEME_MEMO_LOCK:
+        return _SCHEME_MEMO.setdefault(memo_key, decision)
+
+
+def _search_conv_scheme(
+    kernel: Tuple[int, int],
+    ic: int,
+    oc: int,
+    out_hw: Tuple[int, int],
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+    groups: int,
+    cfg: SchemeConfig,
+) -> SchemeDecision:
     kh, kw = kernel
     oh, ow = out_hw
 
@@ -220,16 +266,21 @@ def select_conv_scheme(
 
 
 def select_graph_schemes(
-    graph: Graph, config: Optional[SchemeConfig] = None
+    graph: Graph, config: Optional[SchemeConfig] = None, workers: int = 0
 ) -> Dict[str, SchemeDecision]:
-    """Run scheme selection for every Conv2D node; keyed by node name."""
-    decisions: Dict[str, SchemeDecision] = {}
+    """Run scheme selection for every Conv2D node; keyed by node name.
+
+    Per-layer searches are independent (embarrassingly parallel), so with
+    ``workers > 1`` they fan out over a thread pool; results are merged
+    by node name, making the output identical to the serial walk.
+    """
+    jobs = []
     for node in graph.nodes:
         if node.op_type != Op.CONV2D:
             continue
         x = graph.desc(node.inputs[0])
         y = graph.desc(node.outputs[0])
-        decisions[node.name] = select_conv_scheme(
+        jobs.append((node.name, dict(
             kernel=tuple(node.attrs["kernel"]),
             ic=x.shape[1],
             oc=y.shape[1],
@@ -238,5 +289,11 @@ def select_graph_schemes(
             dilation=tuple(node.attrs["dilation"]),
             groups=int(node.attrs["groups"]),
             config=config,
-        )
-    return decisions
+        )))
+    if workers > 1 and len(jobs) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            picked = pool.map(lambda j: select_conv_scheme(**j[1]), jobs)
+            return {name: d for (name, _), d in zip(jobs, picked)}
+    return {name: select_conv_scheme(**kwargs) for name, kwargs in jobs}

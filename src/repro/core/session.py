@@ -19,6 +19,7 @@ recording.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -38,7 +39,7 @@ from ..obs.tracer import Tracer, get_tracer
 from ..sanitize import Sanitizer, resolve_sanitizer
 from ..sim.clock import VirtualClock
 from .cost import BackendCostModel, node_muls
-from .memory import Arena, MemoryPlan, compute_lifetimes, plan_memory
+from .memory import Arena, MemoryPlan, adapt_plan, compute_lifetimes, plan_memory
 from .schemes import SchemeConfig, SchemeDecision, select_graph_schemes
 
 __all__ = [
@@ -126,6 +127,19 @@ class SessionConfig:
             backend before its circuit breaker opens.
         breaker_cooldown_s: how long an open breaker short-circuits the
             primary before probing it again.
+        prepare_workers: fan per-op scheme selection out over this many
+            threads (the Eq. 2/3 searches are independent, so the result
+            is identical to the serial walk).  ``0``/``1`` keeps the
+            serial path.  Neither this nor ``lazy_prepare`` changes any
+            pre-inference *decision*, so both are excluded from the
+            serving cache's config fingerprint.
+        lazy_prepare: defer per-execution preparation (Winograd weight
+            pre-transform and friends) off the critical path of session
+            creation: a background thread prepares executions in order
+            while the first ``run`` prepares any op it reaches first
+            on demand.  Cold time-to-first-inference drops because
+            early ops execute while deep ops are still preparing; every
+            run is bit-identical to the eager path.
     """
 
     backend: Union[str, Backend] = "cpu"
@@ -149,6 +163,8 @@ class SessionConfig:
     retries: int = 3
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 0.25
+    prepare_workers: int = 0
+    lazy_prepare: bool = False
 
 
 @dataclass
@@ -171,6 +187,13 @@ class SessionArtifacts:
     backend_kind: Optional[str] = None
     schemes: Optional[Dict[str, SchemeDecision]] = None
     memory_plan: Optional[MemoryPlan] = None
+    #: A *donor* plan from an adjacent shape bucket (same graph
+    #: structure, larger-or-equal tensor sizes).  Unlike ``memory_plan``
+    #: it need not match this session's shapes exactly: the session
+    #: tries :func:`repro.core.memory.adapt_plan` and re-proves the
+    #: result with the independent memcheck before trusting it, falling
+    #: back to planning from scratch on any mismatch.  Never persisted.
+    plan_donor: Optional[MemoryPlan] = None
 
 
 @dataclass
@@ -272,6 +295,20 @@ class Session:
         self.memory_plan: Optional[MemoryPlan] = None
         self._arena: Optional[Arena] = None
         self._artifacts = artifacts
+        # Donor plan for adjacent-bucket adaptation: seeded from the
+        # artifacts, refreshed by every plan this session builds (so a
+        # resized session donates to itself across bucket changes).
+        self._plan_donor: Optional[MemoryPlan] = (
+            artifacts.plan_donor if artifacts is not None else None
+        )
+        # Lazy-prepare state (see _ensure_prepared): generation-local
+        # objects shared between the background preparer and the run
+        # path; replaced wholesale on resize so stale threads only ever
+        # touch discarded executions.
+        self._prepared: set = set()
+        self._prepare_lock = threading.Lock()
+        self._lazy_active = False
+        self._lazy_ensure = None
         self.prepare_wall_ms = 0.0
         self.last_run: Optional[RunStats] = None
         # Resilient-executor state (see _run_resilient): lazily created
@@ -337,6 +374,18 @@ class Session:
                 if cached_schemes is not None and conv_nodes <= set(cached_schemes):
                     self.schemes = dict(cached_schemes)
                     sp.set(cached=True)
+                elif cfg.prepare_workers > 1 and len(conv_nodes) > 1:
+                    # Per-layer Eq. 2/3 searches are independent; fan them
+                    # out.  Identical output to the serial walk.
+                    with tracer.span(
+                        "prepare.parallel", "pre_inference",
+                        workers=cfg.prepare_workers, convs=len(conv_nodes),
+                    ):
+                        self.schemes = select_graph_schemes(
+                            self.graph, cfg.scheme_config,
+                            workers=cfg.prepare_workers,
+                        )
+                    sp.set(cached=False, parallel=True)
                 else:
                     self.schemes = select_graph_schemes(self.graph, cfg.scheme_config)
                     sp.set(cached=False)
@@ -382,7 +431,11 @@ class Session:
                     name=self.primary.forward_type,
                 )
 
-            with tracer.span("create_executions", "pre_inference", ops=len(self._order)):
+            lazy = cfg.lazy_prepare and cfg.decouple
+            with tracer.span(
+                "create_executions", "pre_inference",
+                ops=len(self._order), deferred=lazy,
+            ):
                 for node in self._order:
                     backend = (
                         self.primary if self.primary.supports(node.op_type)
@@ -394,29 +447,44 @@ class Session:
                             f"on every backend"
                         )
                     self._placement[node.name] = backend
-                    scheme = self.schemes.get(node.name)
-                    self._executions[node.name] = backend.on_create(
-                        node, self.graph, scheme
-                    )
+                    if not lazy:
+                        # Creation is where the real cold work lives on the
+                        # CPU backend (Winograd weight pre-transform happens
+                        # in build_runner); the lazy path defers it per op.
+                        scheme = self.schemes.get(node.name)
+                        self._executions[node.name] = backend.on_create(
+                            node, self.graph, scheme
+                        )
 
             # (3) decoupling: prepare executions + plan memory up front
             if cfg.decouple:
-                with tracer.span("prepare_executions", "pre_inference"):
-                    for node in self._order:
-                        self._executions[node.name].prepare(self.graph)
+                if lazy:
+                    self._start_lazy_prepare(tracer)
+                else:
+                    self._lazy_active = False
+                    self._lazy_ensure = None
+                    with tracer.span("prepare_executions", "pre_inference"):
+                        for node in self._order:
+                            self._executions[node.name].prepare(self.graph)
                 with tracer.span("memory_plan", "pre_inference") as sp:
                     cached_plan = (
                         artifacts.memory_plan if artifacts is not None else None
                     )
-                    if cached_plan is not None and cached_plan.matches(
-                        compute_lifetimes(self.graph, self._order)
-                    ):
+                    lifetimes = compute_lifetimes(self.graph, self._order)
+                    if cached_plan is not None and cached_plan.matches(lifetimes):
                         self.memory_plan = cached_plan
                         sp.set(cached=True)
                     else:
-                        self.memory_plan = plan_memory(self.graph, self._order)
-                        sp.set(cached=False)
+                        self.memory_plan = self._adapt_or_plan(lifetimes, sp)
                     sp.set(arena_bytes=self.memory_plan.arena_bytes)
+                # The biggest plan seen becomes the donor for later
+                # resizes of this session (and, via offer_plan_donor,
+                # for sibling sessions in adjacent shape buckets).
+                if (
+                    self._plan_donor is None
+                    or self.memory_plan.arena_bytes >= self._plan_donor.arena_bytes
+                ):
+                    self._plan_donor = self.memory_plan
                 if cfg.paranoid:
                     from ..analysis.memcheck import check_memory_plan
 
@@ -432,6 +500,87 @@ class Session:
         metrics = get_metrics()
         metrics.counter("session.prepares").inc()
         metrics.histogram("session.prepare_ms").observe(self.prepare_wall_ms)
+
+    def _start_lazy_prepare(self, tracer: Tracer) -> None:
+        """Kick off deferred execution creation (``lazy_prepare``).
+
+        A background daemon thread creates+prepares executions in
+        topological order while the first ``run`` creates any op it
+        reaches first on demand; both sides share one double-checked
+        lock, so each op is built exactly once and every run is
+        bit-identical to the eager path.  All state is captured in
+        locals (generation-local): a thread that outlives a ``resize``
+        keeps preparing only the discarded generation's objects.
+        """
+        executions = self._executions
+        placement = self._placement
+        schemes = self.schemes
+        graph = self.graph
+        order = list(self._order)
+        prepared: set = set()
+        lock = threading.Lock()
+
+        def ensure(node: Node) -> None:
+            name = node.name
+            if name in prepared:
+                return
+            with lock:
+                if name in prepared:
+                    return
+                execution = placement[name].on_create(
+                    node, graph, schemes.get(name)
+                )
+                execution.prepare(graph)
+                executions[name] = execution
+                prepared.add(name)
+
+        self._prepared = prepared
+        self._prepare_lock = lock
+        self._lazy_ensure = ensure
+        self._lazy_active = True
+
+        def background() -> None:
+            for node in order:
+                ensure(node)
+
+        if tracer.enabled:
+            tracer.instant("prepare.lazy", "pre_inference", ops=len(order))
+        threading.Thread(
+            target=background, name="session-lazy-prepare", daemon=True
+        ).start()
+
+    def _adapt_or_plan(self, lifetimes, sp) -> MemoryPlan:
+        """Adapt a donor plan from an adjacent bucket, or plan from scratch.
+
+        The adapted plan is never trusted on the donor's word alone: it
+        is re-proven by the independent memcheck sanitizer, and any
+        failure falls through to :func:`plan_memory`.
+        """
+        donor = self._plan_donor
+        if donor is not None:
+            adapted = adapt_plan(donor, lifetimes)
+            if adapted is not None:
+                from ..analysis.memcheck import check_memory_plan
+
+                if check_memory_plan(self.graph, adapted, self._order).ok:
+                    sp.set(cached=False, adapted=True)
+                    get_metrics().counter("session.plan_adapted").inc()
+                    return adapted
+        sp.set(cached=False)
+        return plan_memory(self.graph, self._order)
+
+    def offer_plan_donor(self, plan: Optional[MemoryPlan]) -> None:
+        """Offer a sibling bucket's memory plan as an adaptation donor.
+
+        Serving layers call this before :meth:`resize` so the next
+        re-prepare can reuse the donor's offsets (re-proven by memcheck)
+        instead of re-planning.  The largest-arena donor seen wins;
+        ``None`` is ignored.
+        """
+        if plan is None:
+            return
+        if self._plan_donor is None or plan.arena_bytes > self._plan_donor.arena_bytes:
+            self._plan_donor = plan
 
     # -- resizing ----------------------------------------------------------------
     def resize(self, input_shapes: Dict[str, Sequence[int]]) -> None:
@@ -483,6 +632,8 @@ class Session:
             getattr(self, "fallback", None),
             self._fallback_execs, self._direct_runners, self._recovery,
             self._breaker,
+            self._prepared, self._prepare_lock, self._lazy_active,
+            self._lazy_ensure, self._plan_donor,
         )
         self.graph = new_graph
         self._placement = {}
@@ -502,7 +653,9 @@ class Session:
              self.memory_plan, self._arena, self._artifacts,
              self.prepare_wall_ms, self.primary, self.fallback,
              self._fallback_execs, self._direct_runners, self._recovery,
-             self._breaker) = snapshot
+             self._breaker,
+             self._prepared, self._prepare_lock, self._lazy_active,
+             self._lazy_ensure, self._plan_donor) = snapshot
             raise
 
     def export_artifacts(self) -> SessionArtifacts:
@@ -548,7 +701,9 @@ class Session:
         model = BackendCostModel(self.config.device, self.config.threads)
         total = 0.0
         for node in self._order:
-            runner = getattr(self._executions[node.name], "runner", None)
+            if self._lazy_active and self._lazy_ensure is not None:
+                self._lazy_ensure(node)
+            runner = getattr(self._executions.get(node.name), "runner", None)
             muls = runner.muls if runner is not None else node_muls(node, self.graph)
             backend = self._placement[node.name]
             kind = "cpu" if backend.forward_type in ("cpu", "sim_cpu") else backend.forward_type
@@ -834,6 +989,7 @@ class Session:
             self._check_feeds(feeds)
         run_op = self._op_executor()
         trace_on = tracer.enabled
+        lazy_ensure = self._lazy_ensure if self._lazy_active else None
         sanitizer = self.sanitizer
         sanitize_on = sanitizer.enabled
         start_wall = time.perf_counter()
@@ -867,6 +1023,8 @@ class Session:
                     sanitizer.hb_recv(("session.parallel", id(self)))
                 if deadline is not None:
                     deadline.check(node.name)
+                if lazy_ensure is not None:
+                    lazy_ensure(node)
                 execution = self._executions[node.name]
                 with lock:  # producers write env under this lock
                     if sanitize_on:
@@ -1027,10 +1185,13 @@ class Session:
         for backend in {id(b): b for b in self._placement.values()}.values():
             backend.on_execute_begin()
 
+        lazy_ensure = self._lazy_ensure if self._lazy_active else None
         for node in self._order:
             if deadline is not None:
                 deadline.check(node.name)
             backend = self._placement[node.name]
+            if lazy_ensure is not None:
+                lazy_ensure(node)
             execution = self._executions[node.name]
             runner = execution.runner
             inputs = []

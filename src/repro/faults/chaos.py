@@ -1,6 +1,6 @@
 """The chaos self-test: a seeded fault storm the engine must survive.
 
-``run_chaos_storm`` drives five phases — four over a small CNN, one over
+``run_chaos_storm`` drives six phases — four over a small CNN, two over
 the autoregressive generation stack — each activating a different slice
 of the fault-point catalog, and checks three things:
 
@@ -39,6 +39,12 @@ Phases (repeated with per-round seeds until ``target_faults`` is met):
   LRU eviction or preemption+requeue, and completed requests must emit
   exactly the fault-free gold tokens (alloc faults may move memory
   around, never change arithmetic).
+* **prefix** — the same alloc faults, but over prompts sharing a long
+  prefix served copy-on-write from retired slabs.  Faults during the
+  extra share/materialize allocations may evict COW parents (the trie
+  falls back to a cold prefill) or release half-built children — tokens
+  must still equal the *cold* fault-free gold, and under ``sanitize``
+  every shared page must be provably released exactly once.
 
 Determinism: all request loops are single-threaded, breakers run with
 ``cooldown_s=0`` (every post-open call probes, so no wall-clock-dependent
@@ -369,13 +375,14 @@ def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report, sanitizer
     _finish_phase(result, plan, report)
 
 
-def _generation_config(plan: Optional[FaultPlan], sanitizer=False):
-    """The generation phase's engine config (gold and storm share it)."""
+def _generation_config(plan: Optional[FaultPlan], sanitizer=False, prefix=False):
+    """The generation phases' engine config (gold and storm share it)."""
     from ..genai import GenerationConfig
 
     return GenerationConfig(
         vocab=64, max_seq=24, d_model=16, heads=2, layers=1, seed=11,
         max_batch=2, page_tokens=4, capacity_tokens=64, smallest_bucket=8,
+        prefix_cache=prefix,
         session=SessionConfig(breaker_cooldown_s=0.0),
         metrics=get_metrics(), faults=plan, retain_kv=True,
         sanitize=sanitizer,
@@ -421,6 +428,46 @@ def _phase_generate(prompts, gold_tokens, seed, report, sanitizer) -> None:
     _finish_phase(result, plan, report)
 
 
+def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer) -> None:
+    """Prefix storm: COW prefix sharing under flaky/fatal slab allocs.
+
+    Same fault site as the generate phase (``kvcache.alloc``), but the
+    engine serves the prompts' long shared prefix copy-on-write from
+    retired slabs, so faults also land inside ``share``/``materialize``
+    allocations.  A fault there may evict a COW parent (the trie prunes
+    it and the request falls back to cold prefill) or abort a half-built
+    child — either way completed requests must emit the *cold*
+    fault-free gold tokens, and the refcounted pages must all come back.
+    """
+    from ..genai import GenerationEngine, GenRequest, SamplingParams
+
+    plan = FaultPlan([
+        FaultRule("kvcache.alloc", "transient", times=3),
+        FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
+    ], seed=seed)
+    result = PhaseResult("prefix")
+    engine = GenerationEngine(_generation_config(plan, sanitizer, prefix=True))
+    params = SamplingParams(max_tokens=8)
+    requests = [
+        GenRequest(f"pfx-{i}", prompt, params) for i, prompt in enumerate(prompts)
+    ]
+    try:
+        outcomes = engine.generate(requests)
+    except Exception:
+        result.requests += len(requests)
+        result.crashes += 1
+    else:
+        for outcome, gold in zip(outcomes, gold_tokens):
+            result.requests += 1
+            if outcome.finish_reason == "error":
+                result.failed += 1  # typed, isolated to this request
+            elif outcome.tokens != gold:
+                result.mismatched += 1
+    finally:
+        engine.close()
+    _finish_phase(result, plan, report)
+
+
 def run_chaos_storm(
     graph: Optional[Graph] = None,
     seed: int = 0,
@@ -428,7 +475,7 @@ def run_chaos_storm(
     max_rounds: int = 50,
     sanitize: bool = False,
 ) -> ChaosReport:
-    """Run the four-phase fault storm until ``target_faults`` have fired.
+    """Run the six-phase fault storm until ``target_faults`` have fired.
 
     Installs a fresh process-wide metrics registry (and a disabled
     process-wide fault plan, so gold runs stay clean even under
@@ -517,6 +564,21 @@ def run_chaos_storm(
             for r in gold_engine.generate(prompts, SamplingParams(max_tokens=8))
         ]
 
+        # Phase F: prompts sharing a 10-token prefix, and their *cold*
+        # fault-free gold — the COW prefix cache must be invisible in the
+        # tokens even while alloc faults evict its parents mid-storm.
+        shared = [int(t) for t in rng.integers(0, 64, size=10)]
+        prefix_prompts = [
+            shared + [int(t) for t in rng.integers(0, 64, size=int(extra))]
+            for extra in rng.integers(2, 5, size=6)
+        ]
+        gold_prefix = [
+            r.tokens
+            for r in gold_engine.generate(
+                prefix_prompts, SamplingParams(max_tokens=8)
+            )
+        ]
+
         while report.injected < target_faults and report.rounds < max_rounds:
             base = seed + report.rounds * 1000
             _phase_cache(graph, feeds, gold, base + 1, tmp, report, sanitizer)
@@ -529,6 +591,9 @@ def run_chaos_storm(
                 sanitizer,
             )
             _phase_generate(prompts, gold_tokens, base + 5, report, sanitizer)
+            _phase_prefix(
+                prefix_prompts, gold_prefix, base + 6, report, sanitizer
+            )
             report.rounds += 1
             metrics = get_metrics()
             report.injected = int(metrics.value("faults.injected"))

@@ -29,6 +29,7 @@ from .decode import DecodeRunner, batch_buckets, bucket_for_batch
 from .engine import GenerationConfig, GenerationEngine
 from .kvcache import KVCacheAllocator, KVCacheConfig, KVCacheOOM, KVSlab
 from .prefill import PrefillRunner, bucket_for_length, cached_session, length_buckets
+from .prefix import PrefixCache
 from .sampling import Sampler, SamplingParams, greedy
 from .scheduler import ContinuousBatchScheduler, GenRequest, GenResult
 
@@ -44,6 +45,7 @@ __all__ = [
     "batch_buckets",
     "bucket_for_batch",
     "cached_session",
+    "PrefixCache",
     "Sampler",
     "SamplingParams",
     "greedy",

@@ -25,6 +25,7 @@ from ..serving.cache import PreInferenceCache
 from .decode import DecodeRunner
 from .kvcache import KVCacheAllocator, KVCacheConfig
 from .prefill import PrefillRunner
+from .prefix import PrefixCache
 from .sampling import SamplingParams
 from .scheduler import ContinuousBatchScheduler, GenRequest, GenResult
 
@@ -54,6 +55,13 @@ class GenerationConfig:
     prefill_pool: int = 1
     smallest_bucket: int = 8
     retain_kv: bool = True
+    #: Serve common prompt prefixes from retired sequences' KV slabs
+    #: (copy-on-write) instead of re-prefilling.  Opt-in; requires
+    #: ``retain_kv`` to have anything to match against.  Token outputs
+    #: are bit-identical with the cache on or off.
+    prefix_cache: bool = False
+    #: Shortest prefix worth sharing; shorter matches re-prefill.
+    min_prefix_tokens: int = 4
 
     session: SessionConfig = field(default_factory=SessionConfig)
     use_cache: bool = False
@@ -138,6 +146,10 @@ class GenerationEngine:
             faults=self.faults,
             retries=config.retries,
         )
+        self.prefix_cache = (
+            PrefixCache(min_prefix=config.min_prefix_tokens)
+            if config.prefix_cache else None
+        )
         self.scheduler = ContinuousBatchScheduler(
             self.prefill,
             self.decode,
@@ -148,6 +160,7 @@ class GenerationEngine:
             metrics=self.metrics,
             tracer=self.tracer,
             sanitizer=self.sanitizer,
+            prefix_cache=self.prefix_cache,
         )
 
     # -- graph variants (one weight set, many shapes) ------------------------
@@ -205,6 +218,9 @@ class GenerationEngine:
             "request_errors": float(self.metrics.value("genai.request_errors")),
             "evictions": float(self.metrics.value("kvcache.evictions")),
             "decode_sessions": float(len(self.decode.prepared)),
+            "prefix_hits": float(self.metrics.value("genai.prefix_hits")),
+            "prefix_hit_tokens": float(self.metrics.value("genai.prefix_hit_tokens")),
+            "cow_materializes": float(self.metrics.value("kvcache.cow_materializes")),
         }
 
     def close(self) -> None:

@@ -151,6 +151,11 @@ class KVSlab:
     generation: int = 0
     sanitizer: Optional[Sanitizer] = field(default=None, repr=False)
     scope: str = ""
+    #: Copy-on-write child: this slab aliases a parent's pages (prefix
+    #: sharing).  Its views are read-only; any write path must go through
+    #: :meth:`KVCacheAllocator.materialize` first (``grow`` does this
+    #: automatically, and the scheduler grows before every decode step).
+    shared: bool = False
 
     @property
     def lifecycle_key(self) -> str:
@@ -181,7 +186,13 @@ class KVSlab:
         plane = cfg.heads * self.capacity * cfg.d_head * 4      # bytes per K or V
         start = self.offset_bytes + (2 * layer + which) * plane
         flat = self.buffer[start : start + plane].view(np.float32)
-        return flat.reshape(cfg.heads, self.capacity, cfg.d_head)
+        view = flat.reshape(cfg.heads, self.capacity, cfg.d_head)
+        if self.shared:
+            # Hard guard: writing through a COW child would corrupt the
+            # parent (and every sibling) silently.  NumPy turns such a
+            # write into an immediate ValueError instead.
+            view.flags.writeable = False
+        return view
 
     def k(self, layer: int) -> np.ndarray:
         return self._view(layer, 0)
@@ -232,6 +243,13 @@ class KVCacheAllocator:
         self._pages = ExtentFreeList(config.total_pages)
         self._live: Dict[str, KVSlab] = {}
         self._retired: "OrderedDict[str, KVSlab]" = OrderedDict()  # LRU order
+        #: Reference count per shared extent, keyed by ``page_start``.
+        #: Absent means 1 (sole owner).  ``share`` increments; every
+        #: free site goes through ``_drop_ref``, which returns the pages
+        #: to the free list only when the last reference drops — so
+        #: evicting a retired parent while children still alias its
+        #: prefix leaves the pages alive.  Guarded by ``_lock``.
+        self._extent_refs: Dict[int, int] = {}
         self._lock = threading.RLock()
 
     # -- allocation ----------------------------------------------------------
@@ -302,7 +320,13 @@ class KVCacheAllocator:
         the next bucket, copies the ``length`` written rows layer by
         layer, and frees the old pages — the sequence never re-plans its
         graph, it just moves to the next prepared bucket.
+
+        A *shared* (COW) slab always materializes here, even when the
+        bucket still fits: growth precedes every decode step, and decode
+        writes the next row — this is the copy-on-write barrier.
         """
+        if slab.shared:
+            return self.materialize(slab, max(tokens, slab.length))
         if tokens <= slab.capacity:
             return slab
         with self.sanitizer.locked(self._lock, "kvcache.lock"):
@@ -318,13 +342,118 @@ class KVCacheAllocator:
                 bigger.k(layer)[:, :length] = slab.k(layer)[:, :length]
                 bigger.v(layer)[:, :length] = slab.v(layer)[:, :length]
             bigger.length = length
-            self._pages.free(slab.page_start, slab.pages)
+            self._drop_ref(slab.page_start, slab.pages)
             slab.freed = True
             if self.sanitizer.enabled:
                 self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
                 self.sanitizer.probe(self, "tables", "w")
             self._update_gauges()
             return bigger
+
+    # -- copy-on-write prefix sharing ----------------------------------------
+    def share(self, parent: KVSlab, seq_id: str, prefix_tokens: int) -> KVSlab:
+        """Alias ``parent``'s pages as a read-only COW child slab.
+
+        The child starts at ``length == prefix_tokens`` — those rows are
+        the shared prompt prefix, served from the parent's pages without
+        a copy.  The parent's extent gains a reference, so freeing or
+        evicting the parent leaves the pages alive until the last child
+        materializes.  The child is carved under its own lifecycle key
+        (kind ``"kv-cow"``), so the sanitizer tracks its whole
+        share→materialize→free arc independently of the parent's.
+
+        Raises:
+            KVCacheUseAfterFree: ``parent`` was already freed.
+            ValueError: ``prefix_tokens`` exceeds the parent's written
+                rows, or ``seq_id`` already owns a slab.
+        """
+        with self.sanitizer.locked(self._lock, "kvcache.lock"):
+            if parent.freed:
+                if self.sanitizer.enabled:
+                    self.sanitizer.use_extent(
+                        self.scope, parent.lifecycle_key, parent.generation
+                    )
+                raise KVCacheUseAfterFree(
+                    f"cannot share freed slab {parent.seq_id!r} with {seq_id!r}"
+                )
+            if not 0 < prefix_tokens <= parent.length:
+                raise ValueError(
+                    f"prefix of {prefix_tokens} tokens outside the parent's "
+                    f"{parent.length} written rows"
+                )
+            if seq_id in self._live:
+                raise ValueError(f"sequence {seq_id!r} already owns a slab")
+            child = KVSlab(
+                seq_id, parent.page_start, parent.pages, parent.capacity,
+                self.config, self._buffer, shared=True,
+            )
+            child.length = prefix_tokens
+            self._extent_refs[parent.page_start] = (
+                self._extent_refs.get(parent.page_start, 1) + 1
+            )
+            if self.sanitizer.enabled:
+                child.sanitizer = self.sanitizer
+                child.scope = self.scope
+                child.generation = self.sanitizer.carve(
+                    self.scope, child.lifecycle_key,
+                    parent.page_start, parent.pages, kind="kv-cow",
+                )
+                self.sanitizer.probe(self, "tables", "w")
+            self._live[seq_id] = child
+            self.metrics.counter("kvcache.prefix_shares").inc()
+            self._update_gauges()
+            return child
+
+    def materialize(self, slab: KVSlab, tokens: int = 0) -> KVSlab:
+        """Give a COW child its own pages (the copy-on-write fault).
+
+        Allocates a private slab holding ``max(tokens, length)``, copies
+        the shared prefix rows out of the parent extent, and drops the
+        child's reference on it — the parent's pages free only when the
+        last reference is gone.  Non-shared slabs pass through untouched.
+
+        Raises:
+            KVCacheOOM: no room even after eviction; the caller still
+                owns the original shared slab.
+        """
+        if not slab.shared:
+            return slab
+        with self.sanitizer.locked(self._lock, "kvcache.lock"):
+            length = slab.length
+            self._forget(slab.seq_id)
+            try:
+                own = self.alloc(slab.seq_id, max(tokens, length, 1))
+            except KVCacheOOM:
+                self._live[slab.seq_id] = slab
+                raise
+            # Copy while the shared views are still valid; the eviction
+            # ladder inside alloc() cannot have freed the parent extent,
+            # because this child's reference pins it.
+            for layer in range(self.config.layers):
+                own.k(layer)[:, :length] = slab.k(layer)[:, :length]
+                own.v(layer)[:, :length] = slab.v(layer)[:, :length]
+            own.length = length
+            slab.freed = True
+            if self.sanitizer.enabled:
+                self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
+                self.sanitizer.probe(self, "tables", "w")
+            self._drop_ref(slab.page_start, slab.pages)
+            self.metrics.counter("kvcache.cow_materializes").inc()
+            self._update_gauges()
+            return own
+
+    def _drop_ref(self, page_start: int, pages: int) -> None:
+        """Release one reference on an extent; free it on the last drop.
+
+        Called with the lock held.  Extents never shared are implicitly
+        at refcount 1 and free immediately.
+        """
+        refs = self._extent_refs.get(page_start, 1)
+        if refs > 1:
+            self._extent_refs[page_start] = refs - 1
+            return
+        self._extent_refs.pop(page_start, None)
+        self._pages.free(page_start, pages)
 
     # -- release / eviction --------------------------------------------------
     def release(self, slab: KVSlab, evictable: bool = False) -> None:
@@ -340,7 +469,7 @@ class KVCacheAllocator:
                 if self.sanitizer.enabled:
                     self.sanitizer.retire_extent(self.scope, slab.lifecycle_key)
             else:
-                self._pages.free(slab.page_start, slab.pages)
+                self._drop_ref(slab.page_start, slab.pages)
                 slab.freed = True
                 if self.sanitizer.enabled:
                     self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
@@ -358,7 +487,7 @@ class KVCacheAllocator:
         if not self._retired:
             return False
         _, slab = self._retired.popitem(last=False)
-        self._pages.free(slab.page_start, slab.pages)
+        self._drop_ref(slab.page_start, slab.pages)
         slab.freed = True
         if self.sanitizer.enabled:
             self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
@@ -417,7 +546,12 @@ class KVCacheAllocator:
         planner's output.
         """
         with self._lock:
-            slabs = list(self._live.values()) + list(self._retired.values())
+            # COW children alias a parent extent: including one would be
+            # a false mem-overlap (the aliasing is the whole point).
+            slabs = [
+                s for s in list(self._live.values()) + list(self._retired.values())
+                if not s.shared
+            ]
             offsets = {s.seq_id: s.offset_bytes for s in slabs}
             lifetimes = {
                 s.seq_id: TensorLifetime(s.seq_id, s.nbytes, 0, 0) for s in slabs

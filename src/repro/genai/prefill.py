@@ -21,7 +21,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..core.session import Session, SessionConfig
+from ..core.memory import MemoryPlan
+from ..core.session import Session, SessionArtifacts, SessionConfig
 from ..faults.errors import TransientFault
 from ..faults.plan import FaultPlan, get_fault_plan
 from ..faults.resilience import retry_transient
@@ -61,6 +62,7 @@ def cached_session(
     tracer: Tracer,
     faults: FaultPlan,
     retries: int = 3,
+    donor: Optional[MemoryPlan] = None,
 ) -> Session:
     """Build one session, warmed through the pre-inference cache.
 
@@ -68,6 +70,11 @@ def cached_session(
     artifacts up by (graph, config) key, apply on hit, persist on miss,
     and degrade to cacheless on persistent cache IO faults
     (``fallback.cache``) — the cache can never take down preparation.
+
+    ``donor`` optionally seeds the session with an adjacent bucket's
+    memory plan: on a cache miss the session tries
+    :func:`repro.core.memory.adapt_plan` (re-proven by memcheck) before
+    planning from scratch, so sibling buckets share one arena layout.
     """
 
     def cache_io(fn, label: str):
@@ -88,6 +95,11 @@ def cached_session(
             artifacts = cached.apply()
             hit = True
         tracer.instant("cache.hit" if hit else "cache.miss", "genai", key=key)
+    if donor is not None:
+        if artifacts is None:
+            artifacts = SessionArtifacts(plan_donor=donor)
+        elif artifacts.plan_donor is None:
+            artifacts.plan_donor = donor
     session = Session(graph, config, artifacts=artifacts)
     if cache is not None and not hit:
         cache_io(
@@ -125,16 +137,33 @@ class PrefillRunner:
         self.faults = faults if faults is not None else get_fault_plan()
         self.retries = retries
         self._pools: Dict[int, SessionPool] = {}
+        # Largest memory plan built by any bucket so far: donated to the
+        # next bucket's sessions so adjacent buckets share one arena
+        # layout instead of re-planning per bucket.
+        self._donor_plan: Optional[MemoryPlan] = None
+
+    def _offer_donor(self, plan: Optional[MemoryPlan]) -> None:
+        if plan is None:
+            return
+        if self._donor_plan is None or plan.arena_bytes > self._donor_plan.arena_bytes:
+            self._donor_plan = plan
 
     def _pool(self, bucket: int) -> SessionPool:
         pool = self._pools.get(bucket)
         if pool is None:
             graph = self.build_graph(bucket)
             config = replace(self.session_config, faults=self.faults)
+
+            def factory(graph=graph, config=config) -> Session:
+                session = cached_session(
+                    graph, config, self.cache, self.tracer, self.faults,
+                    self.retries, donor=self._donor_plan,
+                )
+                self._offer_donor(session.memory_plan)
+                return session
+
             pool = SessionPool(
-                lambda: cached_session(
-                    graph, config, self.cache, self.tracer, self.faults, self.retries
-                ),
+                factory,
                 self.pool_size,
                 metrics=self.metrics,
                 tracer=self.tracer,
@@ -145,8 +174,14 @@ class PrefillRunner:
         return pool
 
     def warm(self) -> None:
-        """Prepare every bucket up front (the Figure-3 prepare phase)."""
-        for bucket in self.buckets:
+        """Prepare every bucket up front (the Figure-3 prepare phase).
+
+        Largest bucket first: its memory plan becomes the donor every
+        smaller bucket adapts (same tensors, same liveness intervals,
+        smaller sizes), so the whole bucket ladder shares one arena
+        layout and plans memory exactly once.
+        """
+        for bucket in reversed(self.buckets):
             self._pool(bucket)
 
     def run(self, prompt: List[int], slab: KVSlab) -> np.ndarray:

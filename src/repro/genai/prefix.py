@@ -1,0 +1,126 @@
+"""KV prefix cache: a token-id trie over retired sequences' slabs.
+
+Serving workloads repeat prompt prefixes constantly — few-shot headers,
+system prompts, chat history — and every repeat re-prefills K/V rows that
+are a *deterministic function of the token prefix* (causal attention
+never looks right, so rows ``[:p]`` depend only on tokens ``[:p]``).
+MNN-LLM's biggest serving win is exploiting that: serve the common
+prefix's rows from a finished sequence's retained slab and decode only
+the suffix.
+
+The trie maps token-id paths to retired :class:`~.kvcache.KVSlab`\\ s.  A
+slab covering ``m`` tokens is registered at *every* depth ``1..m`` along
+its path, so a new prompt sharing any prefix length finds the deepest
+usable entry in one walk.  Matches are shared copy-on-write through
+:meth:`~.kvcache.KVCacheAllocator.share`; a registered slab that was
+since evicted (``freed``) is skipped and pruned lazily.
+
+Bit-identity is the contract, not an aspiration: the shared rows are
+byte-for-byte the rows prefill would have written (same tokens, same
+deterministic kernels), and decode-equals-full is already proven at
+every position by the genai test suite — so a prefix-hit generation is
+token-identical to a cold one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .kvcache import KVSlab
+
+__all__ = ["PrefixCache"]
+
+
+class _Node:
+    """One trie node: children by next token id, plus the best slab here."""
+
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_Node"] = {}
+        self.entry: Optional[KVSlab] = None
+
+
+class PrefixCache:
+    """Token-id trie from prompt prefixes to retired KV slabs.
+
+    Not thread-safe by itself: the continuous-batching scheduler (its
+    only caller) is single-threaded by contract, and the allocator calls
+    it delegates to take the allocator lock.
+
+    Args:
+        min_prefix: shortest prefix worth sharing — below this the COW
+            bookkeeping costs more than re-prefilling a few tokens.
+        max_entries: bound on registered slabs; inserting past it drops
+            the oldest registration (its slab stays retired in the
+            allocator's LRU, it just stops being prefix-discoverable).
+    """
+
+    def __init__(self, min_prefix: int = 4, max_entries: int = 128) -> None:
+        if min_prefix < 1:
+            raise ValueError(f"min_prefix must be >= 1, got {min_prefix}")
+        self.min_prefix = min_prefix
+        self.max_entries = max_entries
+        self._root = _Node()
+        self._order: List[Tuple[Tuple[int, ...], KVSlab]] = []
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def insert(self, tokens: Sequence[int], slab: KVSlab) -> None:
+        """Register ``slab`` as covering ``tokens[:slab.length]``.
+
+        The slab is recorded at every node along the path, so prompts
+        sharing only part of it still find the entry at their divergence
+        depth.  Later registrations overwrite earlier ones at shared
+        nodes (fresher slabs are less likely to have been evicted).
+        """
+        path = list(tokens)[: slab.length]
+        if len(path) < self.min_prefix or slab.freed:
+            return
+        node = self._root
+        for token in path:
+            node = node.children.setdefault(int(token), _Node())
+            node.entry = slab
+        self._order.append((tuple(path), slab))
+        while len(self._order) > self.max_entries:
+            old_path, old_slab = self._order.pop(0)
+            self._remove(old_path, old_slab)
+
+    def match(self, prompt: Sequence[int]) -> Optional[Tuple[KVSlab, int]]:
+        """Deepest live slab covering a prefix of ``prompt``.
+
+        Returns ``(slab, depth)`` with ``min_prefix <= depth <=
+        len(prompt) - 1`` — never the whole prompt, because the caller
+        must decode at least the last token to get sampling logits —
+        or ``None``.  Freed (evicted) entries are skipped and unlinked
+        lazily during the walk.
+        """
+        node = self._root
+        best: Optional[Tuple[KVSlab, int]] = None
+        limit = len(prompt) - 1
+        for depth, token in enumerate(prompt, start=1):
+            if depth > limit:
+                break
+            node = node.children.get(int(token))
+            if node is None:
+                break
+            entry = node.entry
+            if entry is not None and entry.freed:
+                node.entry = entry = None
+            if entry is not None and depth >= self.min_prefix:
+                # Only rows actually written in the donor are reusable.
+                usable = min(depth, entry.length)
+                if usable >= self.min_prefix:
+                    best = (entry, min(usable, limit))
+        return best
+
+    def _remove(self, path: Tuple[int, ...], slab: KVSlab) -> None:
+        """Unlink one registration (only where it is still the entry)."""
+        node = self._root
+        for token in path:
+            node = node.children.get(token)
+            if node is None:
+                return
+            if node.entry is slab:
+                node.entry = None

@@ -37,8 +37,9 @@ from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracer import Tracer, get_tracer
 from ..sanitize import Sanitizer, get_sanitizer
 from .decode import DecodeRunner
-from .kvcache import KVCacheAllocator, KVCacheOOM, KVSlab
+from .kvcache import KVCacheAllocator, KVCacheOOM, KVCacheUseAfterFree, KVSlab
 from .prefill import PrefillRunner
+from .prefix import PrefixCache
 from .sampling import Sampler, SamplingParams
 
 __all__ = ["GenRequest", "GenResult", "ContinuousBatchScheduler"]
@@ -107,6 +108,7 @@ class ContinuousBatchScheduler:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         sanitizer: Optional[Sanitizer] = None,
+        prefix_cache: Optional[PrefixCache] = None,
     ) -> None:
         self.prefill = prefill
         self.decode = decode
@@ -115,6 +117,11 @@ class ContinuousBatchScheduler:
         self.max_seq = max_seq
         self.retain_kv = retain_kv
         self.max_preemptions = max_preemptions
+        #: When set, finished sequences register their retired slabs by
+        #: token path and admission serves matching prompt prefixes from
+        #: them copy-on-write instead of re-prefilling (requires
+        #: ``retain_kv`` for entries to outlive their sequence).
+        self.prefix_cache = prefix_cache
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
@@ -130,6 +137,12 @@ class ContinuousBatchScheduler:
 
     def _retire(self, results: Dict[str, GenResult], seq: _Sequence) -> None:
         self.allocator.release(seq.slab, evictable=self.retain_kv)
+        if self.prefix_cache is not None and self.retain_kv:
+            # The retired slab's rows cover prompt + generated tokens;
+            # register the written ones so later prompts sharing the
+            # prefix can alias them copy-on-write.
+            path = list(seq.request.prompt) + seq.tokens
+            self.prefix_cache.insert(path[: seq.slab.length], seq.slab)
         self.tracer.instant(
             "genai.batch_leave", "genai",
             request=seq.request.request_id, reason=seq.done_reason,
@@ -143,6 +156,10 @@ class ContinuousBatchScheduler:
     def _admit(self, request: GenRequest, batch_size: int) -> Optional[_Sequence]:
         """Stake the request a slab and prefill it; None when memory says wait."""
         prompt = list(request.prompt)
+        if self.prefix_cache is not None:
+            seq = self._admit_with_prefix(request, prompt, batch_size)
+            if seq is not None:
+                return seq
         slab = self.allocator.alloc(request.request_id, len(prompt) + 1)
         self.tracer.instant(
             "genai.batch_join", "genai",
@@ -152,6 +169,59 @@ class ContinuousBatchScheduler:
         seq = _Sequence(request, Sampler(request.params), slab, budget)
         try:
             logits = self.prefill.run(prompt, slab)
+        except Exception:
+            self.allocator.release(slab)
+            raise
+        seq.take(seq.sampler.sample(logits))
+        return seq
+
+    def _admit_with_prefix(
+        self, request: GenRequest, prompt: List[int], batch_size: int
+    ) -> Optional[_Sequence]:
+        """Admit via the KV prefix cache; ``None`` falls back to prefill.
+
+        On a trie hit the matched slab's prefix rows are shared
+        copy-on-write, materialized into private pages (the grow call is
+        the write barrier), and only the prompt's suffix is decoded
+        token by token.  K/V rows are a deterministic function of the
+        token prefix and decode-equals-full is the proven bit-identity
+        contract, so the resulting tokens equal a cold generation's
+        exactly.  A racing eviction of the matched slab just falls back.
+
+        Raises:
+            KVCacheOOM: no room to materialize; the caller's admission
+                handling queues the request, same as a cold alloc OOM.
+        """
+        match = self.prefix_cache.match(prompt)
+        if match is None:
+            return None
+        parent, plen = match
+        try:
+            slab = self.allocator.share(parent, request.request_id, plen)
+        except (KVCacheUseAfterFree, ValueError):
+            return None  # evicted or already-owned: recompute instead
+        try:
+            slab = self.allocator.grow(slab, len(prompt) + 1)
+        except KVCacheOOM:
+            self.allocator.release(slab)
+            raise
+        self.tracer.instant(
+            "genai.batch_join", "genai",
+            request=request.request_id, prompt_tokens=len(prompt), batch=batch_size,
+        )
+        self.tracer.instant(
+            "genai.prefix_hit", "genai",
+            request=request.request_id, prefix_tokens=plen,
+            prompt_tokens=len(prompt),
+        )
+        self.metrics.counter("genai.prefix_hits").inc()
+        self.metrics.counter("genai.prefix_hit_tokens").inc(plen)
+        budget = min(request.params.max_tokens, self.max_seq - len(prompt))
+        seq = _Sequence(request, Sampler(request.params), slab, budget)
+        try:
+            logits = None
+            for i in range(plen, len(prompt)):
+                logits = self.decode.step([prompt[i]], [slab])[0]
         except Exception:
             self.allocator.release(slab)
             raise

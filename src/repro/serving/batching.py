@@ -142,7 +142,17 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._pending: Dict[Tuple, List[_Pending]] = {}
+        #: Fill deadline per bucket, fixed at its *first* request's
+        #: arrival — the dispatcher picks the earliest-deadline bucket,
+        #: so no bucket's wait restarts and none starves behind a busy
+        #: sibling.  Guarded by ``_lock``.
+        self._deadlines: Dict[Tuple, float] = {}
         self._sessions: Dict[Tuple, Session] = {}
+        # Largest memory plan any bucket session has built: offered to
+        # sibling sessions before resize so adjacent shape buckets adapt
+        # one shared arena layout instead of re-planning (dispatcher-
+        # thread-only, like the sessions themselves).
+        self._donor_plan = None
         self._running = True
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-microbatcher", daemon=True
@@ -167,7 +177,15 @@ class MicroBatcher:
                 raise RuntimeError("MicroBatcher is closed")
             if self.sanitizer.enabled:
                 self.sanitizer.probe(self, "pending", "w")
-            self._pending.setdefault(_signature(feeds), []).append(item)
+            sig = _signature(feeds)
+            bucket = self._pending.setdefault(sig, [])
+            if not bucket:
+                # First request of a (re)opened bucket starts its fill
+                # clock; later arrivals never extend it.
+                self._deadlines[sig] = (
+                    time.monotonic() + self.timeout_ms / 1000.0
+                )
+            bucket.append(item)
             self._cond.notify_all()
         return item.future
 
@@ -197,6 +215,14 @@ class MicroBatcher:
 
         Called with the lock held.  Returns ``None`` when closed and
         drained.
+
+        Earliest-deadline-first over the fill deadlines recorded at each
+        bucket's first-request arrival: a bucket created while the
+        dispatcher waited on (or ran) another one keeps its original
+        deadline, so a lone request waits at most ``timeout_ms`` from
+        *arrival* and a busy bucket cannot starve its siblings.  Any
+        bucket opened during the wait has a strictly later deadline, so
+        the chosen bucket stays the earliest until it dispatches.
         """
         while True:
             if not self._pending:
@@ -206,9 +232,9 @@ class MicroBatcher:
                 continue
             if self.sanitizer.enabled:
                 self.sanitizer.probe(self, "pending", "r")
-            sig = next(iter(self._pending))
+            sig = min(self._pending, key=lambda s: self._deadlines.get(s, 0.0))
             if self._running and self.timeout_ms > 0:
-                deadline = time.monotonic() + self.timeout_ms / 1000.0
+                deadline = self._deadlines.get(sig, time.monotonic())
                 while (
                     sum(i.batch_dim for i in self._pending.get(sig, ()))
                     < self.max_batch
@@ -220,6 +246,7 @@ class MicroBatcher:
             if self.sanitizer.enabled:
                 self.sanitizer.probe(self, "pending", "w")
             items = self._pending.pop(sig, [])
+            self._deadlines.pop(sig, None)
             if not items:
                 continue
             # Cap at max_batch samples; the rest go back to the queue.
@@ -232,7 +259,13 @@ class MicroBatcher:
             if not taken:  # one oversized request: run it alone
                 taken.append(items.pop(0))
             if items:
+                # Leftovers reopen the bucket with a fresh deadline —
+                # behind every other waiting bucket, never ahead (an
+                # already-expired deadline must not keep winning).
                 self._pending.setdefault(sig, []).extend(items)
+                self._deadlines[sig] = (
+                    time.monotonic() + self.timeout_ms / 1000.0
+                )
             return sig, taken
 
     def _dispatch_loop(self) -> None:
@@ -298,6 +331,14 @@ class MicroBatcher:
                 for item, result in zip(half, results):
                     item.future.set_result(result)
 
+    def _harvest_donor(self, session: Session) -> None:
+        """Keep the largest plan any bucket session built as the donor."""
+        plan = session.memory_plan
+        if plan is None:
+            return
+        if self._donor_plan is None or plan.arena_bytes > self._donor_plan.arena_bytes:
+            self._donor_plan = plan
+
     def _run_batch(
         self, sig: Tuple, items: List[_Pending]
     ) -> List[Dict[str, np.ndarray]]:
@@ -314,6 +355,7 @@ class MicroBatcher:
                 # Bucket sessions are owned by the dispatcher thread; no
                 # other thread ever touches them.
                 session = self._sessions[sig] = self._factory()  # sanitize: single-thread
+                self._harvest_donor(session)
             with tracer.span("batch.assemble", "serving"):
                 if self.faults.enabled:
                     self.faults.fire(
@@ -333,9 +375,11 @@ class MicroBatcher:
             }
             wanted = {name: tuple(arr.shape) for name, arr in feeds.items()}
             if current != wanted:
+                session.offer_plan_donor(self._donor_plan)
                 with tracer.span("batch.resize", "serving"):
                     session.resize(wanted)
                 self.stats.record_resize()
+                self._harvest_donor(session)
                 batch_span.set(resized=True)
             outputs = session.run(feeds)
             self.stats.record_batch(len(items), total)

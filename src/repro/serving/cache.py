@@ -79,7 +79,11 @@ class PreInferenceArtifacts:
     """
 
     backend_kind: Optional[str] = None
-    schemes: Dict[str, SchemeDecision] = field(default_factory=dict)
+    #: ``None`` means *absent* (never captured — the warm session must
+    #: re-run the scheme search); ``{}`` means *captured and empty* (a
+    #: conv-free graph needs no schemes, and that is full coverage).  The
+    #: distinction survives JSON (``null`` vs ``{}``) and ``apply()``.
+    schemes: Optional[Dict[str, SchemeDecision]] = None
     memory_plan: Optional[MemoryPlan] = None
     winograd: List[Dict[str, Any]] = field(default_factory=list)
     cold_prepare_ms: float = 0.0
@@ -90,7 +94,7 @@ class PreInferenceArtifacts:
         base = session.export_artifacts()
         return cls(
             backend_kind=base.backend_kind,
-            schemes=base.schemes or {},
+            schemes=dict(base.schemes) if base.schemes is not None else None,
             memory_plan=base.memory_plan,
             winograd=winograd_mod.transforms_to_json(
                 winograd_mod.transform_cache_entries()
@@ -112,7 +116,7 @@ class PreInferenceArtifacts:
             )
         return SessionArtifacts(
             backend_kind=self.backend_kind,
-            schemes=dict(self.schemes) or None,
+            schemes=dict(self.schemes) if self.schemes is not None else None,
             memory_plan=self.memory_plan,
         )
 
@@ -120,7 +124,10 @@ class PreInferenceArtifacts:
         return {
             "version": CACHE_VERSION,
             "backend_kind": self.backend_kind,
-            "schemes": {name: d.to_json() for name, d in self.schemes.items()},
+            "schemes": (
+                None if self.schemes is None
+                else {name: d.to_json() for name, d in self.schemes.items()}
+            ),
             "memory_plan": (
                 self.memory_plan.to_json() if self.memory_plan is not None else None
             ),
@@ -133,12 +140,16 @@ class PreInferenceArtifacts:
         if data.get("version") != CACHE_VERSION:
             raise ValueError(f"cache entry version {data.get('version')!r} != {CACHE_VERSION}")
         plan = data.get("memory_plan")
+        raw_schemes = data.get("schemes")
         return cls(
             backend_kind=data.get("backend_kind"),
-            schemes={
-                str(name): SchemeDecision.from_json(d)
-                for name, d in dict(data.get("schemes", {})).items()
-            },
+            schemes=(
+                None if raw_schemes is None
+                else {
+                    str(name): SchemeDecision.from_json(d)
+                    for name, d in dict(raw_schemes).items()
+                }
+            ),
             memory_plan=MemoryPlan.from_json(plan) if plan is not None else None,
             winograd=list(data.get("winograd", [])),
             cold_prepare_ms=float(data.get("cold_prepare_ms", 0.0)),
@@ -176,8 +187,10 @@ class PreInferenceCache:
 
     Failure semantics (the resilience contract): a *missing* entry is a
     miss; an *unreadable* entry (truncated JSON, wrong signature, torn
-    write) is also a miss but additionally counts in ``cache.corrupt`` —
-    the cache degrades to recompute, never errors.  An active
+    write) is also a miss but additionally counts in ``cache.corrupt``
+    and is unlinked on the spot (``cache.quarantined``), so later loads
+    miss cleanly instead of re-parsing the same carcass — the cache
+    degrades to recompute, never errors.  An active
     :class:`~repro.faults.FaultPlan` can inject ``transient`` IO errors
     (retried by the engine), ``corrupt`` reads and ``torn`` writes at the
     ``cache.load`` / ``cache.store`` fault points.
@@ -257,8 +270,17 @@ class PreInferenceCache:
             # Present but unreadable: truncated/torn/stale entry.  Purely
             # observational (outside the fault reconciliation equation —
             # an injected *torn* write was already accounted at the
-            # store-side fire).
+            # store-side fire).  Unlink it so every later load is a clean
+            # miss instead of re-parsing the same carcass: leaving it in
+            # place made *each* warm process pay a parse-and-fail and
+            # re-count ``cache.corrupt``, and a store that never came
+            # (read-only consumers) left the corruption permanent.
             self.metrics.counter("cache.corrupt").inc()
+            try:
+                path.unlink()
+                self.metrics.counter("cache.quarantined").inc()
+            except OSError:
+                pass  # raced with a healing store or no permission
             return None
 
     def store(self, key: str, artifacts: PreInferenceArtifacts) -> Path:

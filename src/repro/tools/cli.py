@@ -506,11 +506,16 @@ def cmd_generate(args) -> int:
         max_seq=args.max_seq, d_model=args.d_model, heads=args.heads,
         layers=args.layers, seed=args.seed, max_batch=args.batch,
         page_tokens=args.page_tokens, trace=tracer,
+        prefix_cache=args.prefix_cache,
     )
     engine = GenerationEngine(config)
     rng = np.random.default_rng(args.seed)
+    shared = (
+        [int(t) for t in rng.integers(0, config.vocab, size=args.shared_prefix)]
+        if args.shared_prefix > 0 else []
+    )
     prompts = [
-        [int(t) for t in rng.integers(0, config.vocab, size=int(n))]
+        shared + [int(t) for t in rng.integers(0, config.vocab, size=int(n))]
         for n in rng.integers(2, max(3, args.max_seq // 4), size=args.prompts)
     ]
     params = SamplingParams(
@@ -532,6 +537,10 @@ def cmd_generate(args) -> int:
     print(f"kv arena:   {stats['kv_free_pages']:.0f} pages free, "
           f"{stats['evictions']:.0f} evictions, "
           f"{stats['decode_sessions']:.0f} decode sessions prepared")
+    if args.prefix_cache:
+        print(f"prefix:     {stats['prefix_hits']:.0f} hits, "
+              f"{stats['prefix_hit_tokens']:.0f} tokens served from shared "
+              f"KV, {stats['cow_materializes']:.0f} COW materializes")
 
     if args.selftest:
         failures = 0
@@ -758,6 +767,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="0 = greedy (the bit-identity selftest mode)")
     p.add_argument("--top-k", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prefix-cache", action="store_true",
+                   help="serve shared prompt prefixes copy-on-write from "
+                        "retired KV slabs (tokens stay bit-identical)")
+    p.add_argument("--shared-prefix", type=int, default=0, metavar="N",
+                   help="prepend one shared random N-token prefix to every "
+                        "prompt (makes --prefix-cache hits observable)")
     p.add_argument("--selftest", action="store_true",
                    help="greedy: verify bit-identity vs full recompute; "
                         "sampled: verify reseeded replay reproduces tokens")
