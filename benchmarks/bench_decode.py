@@ -117,7 +117,10 @@ def test_continuous_batching_vs_serial_decode(report_table):
     params = SamplingParams(max_tokens=MAX_TOKENS)
 
     serial = GenerationEngine(_config(max_batch=1))
-    continuous = GenerationEngine(_config(max_batch=SEATS))
+    # Request tracking on: the timed engine also observes the SLO
+    # histograms (queue-wait/TTFT/TPOT) and samples the KV/arena counter
+    # tracks, both persisted into the BENCH record below.
+    continuous = GenerationEngine(_config(max_batch=SEATS, requests=True))
 
     gold = serial.generate(prompts, params)       # also warms serial
     batched = continuous.generate(prompts, params)  # also warms continuous
@@ -138,6 +141,14 @@ def test_continuous_batching_vs_serial_decode(report_table):
     continuous_tps = tokens / (t_continuous.median_ms / 1000.0)
     speedup = continuous_tps / serial_tps
 
+    snapshot = continuous.metrics.snapshot()
+    assert "slo.ttft_ms" in snapshot["histograms"]
+    assert "slo.tpot_ms" in snapshot["histograms"]
+    counters = continuous.sampler.series()
+    assert counters.get("res.kv.page_utilization"), (
+        "resource sampler recorded no KV counter series"
+    )
+
     report_table(
         f"Decode — continuous batching vs serial ({REQUESTS} requests, "
         f"{tokens} tokens)",
@@ -154,7 +165,10 @@ def test_continuous_batching_vs_serial_decode(report_table):
                 "model": f"tiny_decoder L{LAYERS} D{D_MODEL}"},
         timing=t_continuous,
         speedup=speedup,
-        metrics=continuous.metrics.snapshot(),
+        metrics=snapshot,
+        counters=counters,
+        headline={"continuous_tokens_per_sec": {
+            "value": continuous_tps, "direction": "higher"}},
     )
     assert speedup >= 1.5, (
         f"continuous batching achieved only {speedup:.2f}x over serial decode"

@@ -34,6 +34,10 @@ def _config(prefix_cache, sanitize=False):
         max_batch=2, page_tokens=8, smallest_bucket=8,
         prefix_cache=prefix_cache, min_prefix_tokens=8,
         metrics=MetricsRegistry(), sanitize=sanitize,
+        # Track requests: SLO histograms (TTFT/TPOT) and the KV/prefix
+        # counter tracks land in this engine's private registry and are
+        # persisted into the BENCH record.
+        requests=True,
     )
 
 
@@ -80,6 +84,16 @@ def test_prefix_cache_tokens_per_sec(report_table, benchmark):
         assert stats["prefix_hits"] > 0
         no_reuse_tps = generated / (t_cold / 1000.0)
         prefix_tps = generated / (t_warm / 1000.0)
+        snapshot = prefix.metrics.snapshot()
+        assert "slo.ttft_ms" in snapshot["histograms"]
+        assert "slo.tpot_ms" in snapshot["histograms"]
+        counters = prefix.sampler.series()
+        assert counters.get("res.kv.page_utilization"), (
+            "resource sampler recorded no KV counter series"
+        )
+        assert counters.get("res.prefix.hit_rate"), (
+            "resource sampler recorded no prefix-hit-rate series"
+        )
     finally:
         no_reuse.close()
         prefix.close()
@@ -118,7 +132,10 @@ def test_prefix_cache_tokens_per_sec(report_table, benchmark):
             "no_reuse_tokens_per_sec": no_reuse_tps,
         },
         timing=warm_timing,
-        metrics=prefix.metrics.snapshot(),
+        metrics=snapshot,
+        counters=counters,
+        headline={"prefix_hit_tokens_per_sec": {
+            "value": prefix_tps, "direction": "higher"}},
     )
     # The headline acceptance criterion: reuse must actually pay.
     assert prefix_tps >= 1.3 * no_reuse_tps, (

@@ -3,7 +3,7 @@
 #
 #   ./scripts/check.sh
 #
-# Five stages, each of which must pass:
+# Eight stages, each of which must pass:
 #
 #   1. Static concurrency lint (rule family C0xx) over src/repro itself,
 #      in strict mode — warnings fail too.
@@ -21,6 +21,15 @@
 #      (lazy-prepare) cold session must come up in under 2x the warm
 #      (artifact-replay) time — the regression that motivated the
 #      incremental-prepare work.
+#   6. Prometheus self-test: a tracked generation workload is exported
+#      as text exposition and re-ingested by the validating parser; the
+#      SLO and resource families must all be present and well-formed.
+#   7. Request-timeline overhead guard: disabled request tracking must
+#      cost under 5% of a small-model run.
+#   8. Bench-regression gate: a micro-benchmark writes two consecutive
+#      BENCH records into a scratch trajectory and `cli regress` must
+#      pass it — exercising the stamp, headline extraction and the
+#      noise threshold end to end.
 #
 # Total runtime is a few minutes on a laptop.
 
@@ -31,11 +40,11 @@ export PYTHONPATH=src
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "== [1/5] static concurrency lint (C0xx, strict) =="
+echo "== [1/8] static concurrency lint (C0xx, strict) =="
 python -m repro.tools.cli sanitize --static-only --strict
 
 echo
-echo "== [2/5] strict model lint over the registered zoo =="
+echo "== [2/8] strict model lint over the registered zoo =="
 models=$(python -c "from repro.models import MODEL_REGISTRY; print(' '.join(sorted(MODEL_REGISTRY)))")
 for name in $models; do
     echo "-- $name"
@@ -44,15 +53,15 @@ for name in $models; do
 done
 
 echo
-echo "== [3/5] lint_self + sanitize pytest markers =="
+echo "== [3/8] lint_self + sanitize pytest markers =="
 python -m pytest -q -m "lint_self or sanitize"
 
 echo
-echo "== [4/5] 50-fault sanitized chaos storm =="
+echo "== [4/8] 50-fault sanitized chaos storm =="
 python -m repro.tools.cli chaos --faults 50 --sanitize
 
 echo
-echo "== [5/5] cold-start guard (incremental cold < 2x warm) =="
+echo "== [5/8] cold-start guard (incremental cold < 2x warm) =="
 python - <<'PY'
 from repro.converter import optimize
 from repro.core import SessionConfig
@@ -87,6 +96,23 @@ assert cold_ms < 2.0 * warm_ms, (
     f">= 2x the warm {warm_ms:.1f} ms"
 )
 PY
+
+echo
+echo "== [6/8] prometheus export self-test =="
+python -m repro.tools.cli metrics --prom --selftest >/dev/null
+python -m repro.tools.cli metrics --prom --selftest | tail -n 1
+
+echo
+echo "== [7/8] request-timeline overhead guard (<5% disabled) =="
+python -m pytest -q tests/test_obs_requests.py -k overhead
+
+echo
+echo "== [8/8] bench-regression gate (two-run trajectory) =="
+export REPRO_BENCH_DIR="$tmpdir/bench"
+python -m pytest -q benchmarks/bench_prefix_cache.py
+python -m pytest -q benchmarks/bench_prefix_cache.py
+python -m repro.tools.cli regress "$REPRO_BENCH_DIR"/BENCH_*.json
+unset REPRO_BENCH_DIR
 
 echo
 echo "check.sh: all gates passed"

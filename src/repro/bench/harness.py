@@ -11,13 +11,17 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.devices.host import host_fingerprint
+
 __all__ = [
+    "BENCH_SCHEMA",
     "TimingResult",
     "time_callable",
     "format_table",
@@ -25,6 +29,11 @@ __all__ = [
     "bench_record",
     "write_bench_result",
 ]
+
+#: Bumped when the BENCH record layout changes shape.  Schema 2 added the
+#: provenance stamp (schema / git commit / host fingerprint) that the
+#: regression gate keys comparability on.
+BENCH_SCHEMA = 2
 
 
 @dataclass
@@ -107,6 +116,27 @@ def print_table(headers, rows, title=None) -> None:
 
 # -- machine-readable bench results -----------------------------------------
 
+_GIT_COMMIT: Optional[str] = None
+
+
+def _git_commit() -> str:
+    """The repo's HEAD commit, cached per process; "unknown" off-repo."""
+    global _GIT_COMMIT
+    if _GIT_COMMIT is None:
+        try:
+            _GIT_COMMIT = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except Exception:
+            _GIT_COMMIT = "unknown"
+    return _GIT_COMMIT
+
+
 def _jsonable(value: object) -> object:
     """Best-effort coercion to a JSON-serializable value."""
     if isinstance(value, TimingResult):
@@ -137,9 +167,20 @@ def bench_record(
     ``name`` (the bench id), ``config`` (the knobs that shaped the run),
     ``timing`` (wall-clock stats from :class:`TimingResult`), ``metrics``
     (a :meth:`repro.obs.MetricsRegistry.snapshot`), plus any bench-specific
-    ``extra`` keys.
+    ``extra`` keys.  Every record carries a provenance ``stamp`` — schema
+    version, git commit, and the measuring host's fingerprint — so the
+    regression gate (:mod:`repro.obs.regress`) can refuse to compare
+    numbers from different machines or record layouts.
     """
-    record: Dict[str, object] = {"name": name, "config": _jsonable(config or {})}
+    record: Dict[str, object] = {
+        "name": name,
+        "config": _jsonable(config or {}),
+        "stamp": {
+            "schema": BENCH_SCHEMA,
+            "git_commit": _git_commit(),
+            "host": host_fingerprint().as_dict(),
+        },
+    }
     if timing is not None:
         record["timing"] = timing.as_dict()
     if metrics is not None:

@@ -293,7 +293,9 @@ def select_graph_schemes(
     if workers > 1 and len(jobs) > 1:
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="prepare-scheme"
+        ) as pool:
             picked = pool.map(lambda j: select_conv_scheme(**j[1]), jobs)
             return {name: d for (name, _), d in zip(jobs, picked)}
     return {name: select_conv_scheme(**kwargs) for name, kwargs in jobs}

@@ -1081,7 +1081,11 @@ class Session:
                 failed.set()
                 done.set()
 
-        with concurrent.futures.ThreadPoolExecutor(max_workers=self.config.threads) as pool:
+        # Named workers so short-lived executor threads land on labeled
+        # "exec-worker" lanes in the Chrome trace, not ThreadPoolExecutor-N.
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.threads, thread_name_prefix="exec-worker"
+        ) as pool:
             initial = [n for n in self._order if pending[n.name] == 0]
             if not initial and self._order:
                 raise GraphError("no runnable node; graph inputs unresolved")

@@ -9,8 +9,11 @@ from .specs import (
     GpuApi,
 )
 from .catalog import DEVICES, get_device
+from .host import HostFingerprint, host_fingerprint
 
 __all__ = [
+    "HostFingerprint",
+    "host_fingerprint",
     "DEFAULT_CPU_FLOPS",
     "DEFAULT_GPU_FLOPS",
     "GPU_FLOPS_TABLE",

@@ -1,0 +1,66 @@
+"""Host fingerprinting for benchmark provenance.
+
+The device catalog (:mod:`repro.devices.catalog`) describes the *paper's*
+phones; this module describes the machine actually running the
+benchmarks.  Every ``BENCH_*.json`` record is stamped with the host
+fingerprint so the regression gate (:mod:`repro.obs.regress`) can refuse
+to compare wall-clock numbers measured on different machines — the
+classic way a "regression" turns out to be a laptop-vs-CI artifact.
+
+The fingerprint is intentionally coarse (platform, machine, CPU count,
+python major.minor): stable across reboots and virtualenv rebuilds of
+the same box, different across genuinely different hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["HostFingerprint", "host_fingerprint"]
+
+
+@dataclass(frozen=True)
+class HostFingerprint:
+    """Coarse identity of the benchmarking host."""
+
+    system: str
+    machine: str
+    cpu_count: int
+    python: str
+
+    @property
+    def key(self) -> str:
+        """Short stable id, e.g. ``linux-x86_64-c8-py3.11``."""
+        return (
+            f"{self.system.lower()}-{self.machine.lower()}"
+            f"-c{self.cpu_count}-py{self.python}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "machine": self.machine,
+            "cpu_count": self.cpu_count,
+            "python": self.python,
+            "key": self.key,
+        }
+
+
+_CACHED: Optional[HostFingerprint] = None
+
+
+def host_fingerprint() -> HostFingerprint:
+    """The current host's fingerprint (computed once per process)."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = HostFingerprint(
+            system=platform.system() or "unknown",
+            machine=platform.machine() or "unknown",
+            cpu_count=os.cpu_count() or 1,
+            python=f"{sys.version_info.major}.{sys.version_info.minor}",
+        )
+    return _CACHED

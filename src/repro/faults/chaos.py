@@ -71,8 +71,10 @@ from ..core.session import Session, SessionConfig
 from ..ir.graph import Graph, GraphBuilder
 from ..ir.ops import Op
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.recorder import FlightRecorder
+from ..obs.requests import RequestTracker
 from ..sanitize import Sanitizer
-from .errors import ResilienceError
+from .errors import DeadlineExceeded, ResilienceError
 from .plan import FaultPlan, FaultRule, set_fault_plan
 
 __all__ = ["PhaseResult", "ChaosReport", "run_chaos_storm", "default_chaos_graph"]
@@ -148,6 +150,13 @@ class ChaosReport:
     races: int = 0
     lock_cycles: int = 0
     leaks: int = 0
+    #: Flight-recorder wiring (``run_chaos_storm(postmortem_dir=...)``):
+    #: how many deadline-probe requests tripped :class:`DeadlineExceeded`
+    #: and how many postmortem artifacts the recorder dumped.  Purely
+    #: additive — ``ok`` does not depend on them, so reports built
+    #: without the recorder are unaffected.
+    deadline_trips: int = 0
+    dumps: int = 0
     site_counts: Dict[str, int] = field(default_factory=dict)
     events: List[Tuple[str, str]] = field(default_factory=list)
     phases: List[PhaseResult] = field(default_factory=list)
@@ -205,6 +214,11 @@ class ChaosReport:
                 f"  sanitize   {self.races} races, {self.lock_cycles} lock "
                 f"cycles, {self.leaks} lifecycle findings"
             )
+        if self.dumps or self.deadline_trips:
+            lines.append(
+                f"  recorder   {self.dumps} postmortems dumped, "
+                f"{self.deadline_trips} deadline probe trips"
+            )
         lines += [
             f"  requests   {self.requests - self.failed} served bit-identical, "
             f"{self.failed} failed alone (typed), {self.mismatched} mismatched, "
@@ -249,7 +263,9 @@ def _finish_phase(result: PhaseResult, plan: FaultPlan, report: ChaosReport) -> 
     report.phases.append(result)
 
 
-def _phase_cache(graph, feeds, gold, seed, cache_dir, report, sanitizer) -> None:
+def _phase_cache(
+    graph, feeds, gold, seed, cache_dir, report, sanitizer, tracker
+) -> None:
     """Cache storm: engine warm-ups under IO faults and torn entries."""
     from ..serving.engine import Engine, EngineConfig
 
@@ -265,6 +281,7 @@ def _phase_cache(graph, feeds, gold, seed, cache_dir, report, sanitizer) -> None
             session=SessionConfig(breaker_cooldown_s=0.0),
             pool_size=2, use_cache=True, cache_dir=cache_dir,
             faults=plan, metrics=get_metrics(), sanitize=sanitizer,
+            requests=tracker,
         ))
         with engine:
             result.requests += 1
@@ -280,7 +297,9 @@ def _phase_cache(graph, feeds, gold, seed, cache_dir, report, sanitizer) -> None
     _finish_phase(result, plan, report)
 
 
-def _phase_pool_dispatch(graph, feeds, gold, seed, report, sanitizer) -> None:
+def _phase_pool_dispatch(
+    graph, feeds, gold, seed, report, sanitizer, tracker
+) -> None:
     """Pool checkout + backend dispatch + kernel faults, serial requests."""
     from ..serving.engine import Engine, EngineConfig
 
@@ -294,6 +313,7 @@ def _phase_pool_dispatch(graph, feeds, gold, seed, report, sanitizer) -> None:
         session=SessionConfig(breaker_cooldown_s=0.0),
         pool_size=2, use_cache=False,
         faults=plan, metrics=get_metrics(), sanitize=sanitizer,
+        requests=tracker,
     ))
     with engine:
         for _ in range(12):
@@ -375,8 +395,14 @@ def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report, sanitizer
     _finish_phase(result, plan, report)
 
 
-def _generation_config(plan: Optional[FaultPlan], sanitizer=False, prefix=False):
-    """The generation phases' engine config (gold and storm share it)."""
+def _generation_config(
+    plan: Optional[FaultPlan], sanitizer=False, prefix=False, tracker=None
+):
+    """The generation phases' engine config (gold and storm share it).
+
+    Gold runs never get the tracker — like the sanitizer, it observes
+    the storm, and gold defines expected output only.
+    """
     from ..genai import GenerationConfig
 
     return GenerationConfig(
@@ -385,11 +411,11 @@ def _generation_config(plan: Optional[FaultPlan], sanitizer=False, prefix=False)
         prefix_cache=prefix,
         session=SessionConfig(breaker_cooldown_s=0.0),
         metrics=get_metrics(), faults=plan, retain_kv=True,
-        sanitize=sanitizer,
+        sanitize=sanitizer, requests=tracker,
     )
 
 
-def _phase_generate(prompts, gold_tokens, seed, report, sanitizer) -> None:
+def _phase_generate(prompts, gold_tokens, seed, report, sanitizer, tracker) -> None:
     """Generation storm: flaky and OOM-ing KV-slab allocations.
 
     Transients are retried; fatals degrade to LRU eviction of retired
@@ -404,7 +430,7 @@ def _phase_generate(prompts, gold_tokens, seed, report, sanitizer) -> None:
         FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
     ], seed=seed)
     result = PhaseResult("generate")
-    engine = GenerationEngine(_generation_config(plan, sanitizer))
+    engine = GenerationEngine(_generation_config(plan, sanitizer, tracker=tracker))
     params = SamplingParams(max_tokens=8)
     requests = [
         GenRequest(f"gen-{i}", prompt, params) for i, prompt in enumerate(prompts)
@@ -428,7 +454,7 @@ def _phase_generate(prompts, gold_tokens, seed, report, sanitizer) -> None:
     _finish_phase(result, plan, report)
 
 
-def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer) -> None:
+def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer, tracker) -> None:
     """Prefix storm: COW prefix sharing under flaky/fatal slab allocs.
 
     Same fault site as the generate phase (``kvcache.alloc``), but the
@@ -446,7 +472,9 @@ def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer) -> None:
         FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
     ], seed=seed)
     result = PhaseResult("prefix")
-    engine = GenerationEngine(_generation_config(plan, sanitizer, prefix=True))
+    engine = GenerationEngine(
+        _generation_config(plan, sanitizer, prefix=True, tracker=tracker)
+    )
     params = SamplingParams(max_tokens=8)
     requests = [
         GenRequest(f"pfx-{i}", prompt, params) for i, prompt in enumerate(prompts)
@@ -468,12 +496,48 @@ def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer) -> None:
     _finish_phase(result, plan, report)
 
 
+def _probe_deadline(graph, feeds, tracker: RequestTracker) -> int:
+    """Deadline probe: a stalled checkout under a tight budget must trip
+    :class:`DeadlineExceeded` and leave a postmortem in the recorder.
+
+    Delay faults increment ``faults.injected`` but have no absorbing
+    resilience counter (nothing retries or falls back — the request just
+    runs out of budget), so the probe runs under a temporarily-installed
+    private registry to keep the storm's reconciliation equation closed.
+    The tracker carries its own registry reference, so the probe's SLO
+    observations and the postmortem artifact still land with the storm's.
+    """
+    from ..serving.engine import Engine, EngineConfig
+
+    plan = FaultPlan(
+        [FaultRule("pool.checkout", "delay", delay_ms=30.0)], seed=0
+    )
+    probe_metrics = MetricsRegistry()
+    prev = set_metrics(probe_metrics)
+    trips = 0
+    try:
+        engine = Engine(graph, EngineConfig(
+            session=SessionConfig(breaker_cooldown_s=0.0),
+            pool_size=1, use_cache=False, deadline_ms=5.0,
+            faults=plan, metrics=probe_metrics, requests=tracker,
+        ))
+        with engine:
+            try:
+                engine.infer(feeds)
+            except DeadlineExceeded:
+                trips += 1
+    finally:
+        set_metrics(prev)
+    return trips
+
+
 def run_chaos_storm(
     graph: Optional[Graph] = None,
     seed: int = 0,
     target_faults: int = 200,
     max_rounds: int = 50,
     sanitize: bool = False,
+    postmortem_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Run the six-phase fault storm until ``target_faults`` have fired.
 
@@ -486,6 +550,14 @@ def run_chaos_storm(
     uninstrumented — they define expected *output*, not expected
     interleavings); the report then also carries race / lock-cycle /
     lifecycle tallies and ``ok`` requires all three to be zero.
+
+    ``postmortem_dir`` threads one deterministic
+    :class:`repro.obs.FlightRecorder`-backed request tracker through
+    every storm engine: isolated faults, ``KVCacheOOM`` admission
+    failures and a dedicated deadline probe each dump a postmortem JSON
+    into the directory.  Two same-seed storms produce byte-identical
+    artifacts (the replay test's contract), and a fault-free workload
+    dumps nothing.
     """
     if graph is None:
         graph = default_chaos_graph()
@@ -494,6 +566,15 @@ def run_chaos_storm(
     prev_metrics = set_metrics(MetricsRegistry())
     prev_plan = set_fault_plan(FaultPlan())
     sanitizer = Sanitizer(enabled=True, metrics=get_metrics()) if sanitize else False
+    tracker: Optional[RequestTracker] = None
+    if postmortem_dir is not None:
+        tracker = RequestTracker(
+            metrics=get_metrics(),
+            recorder=FlightRecorder(
+                out_dir=postmortem_dir, deterministic=True,
+                metrics=get_metrics(),
+            ),
+        )
     tmp = tempfile.mkdtemp(prefix="repro-chaos-")
     try:
         rng = np.random.default_rng(seed)
@@ -581,8 +662,12 @@ def run_chaos_storm(
 
         while report.injected < target_faults and report.rounds < max_rounds:
             base = seed + report.rounds * 1000
-            _phase_cache(graph, feeds, gold, base + 1, tmp, report, sanitizer)
-            _phase_pool_dispatch(graph, feeds, gold, base + 2, report, sanitizer)
+            _phase_cache(
+                graph, feeds, gold, base + 1, tmp, report, sanitizer, tracker
+            )
+            _phase_pool_dispatch(
+                graph, feeds, gold, base + 2, report, sanitizer, tracker
+            )
             _phase_batch(
                 graph, batch_rounds, golds_by_input, base + 3, report, sanitizer
             )
@@ -590,13 +675,22 @@ def run_chaos_storm(
                 graph, feeds, gold_direct, base + 4, wino_overrides, report,
                 sanitizer,
             )
-            _phase_generate(prompts, gold_tokens, base + 5, report, sanitizer)
+            _phase_generate(
+                prompts, gold_tokens, base + 5, report, sanitizer, tracker
+            )
             _phase_prefix(
-                prefix_prompts, gold_prefix, base + 6, report, sanitizer
+                prefix_prompts, gold_prefix, base + 6, report, sanitizer, tracker
             )
             report.rounds += 1
             metrics = get_metrics()
             report.injected = int(metrics.value("faults.injected"))
+
+        if tracker is not None:
+            # The probe swaps in a private registry (see _probe_deadline),
+            # so it runs after the rounds and before the tallies read the
+            # storm registry — its delay fault never enters the equation.
+            report.deadline_trips = _probe_deadline(graph, feeds, tracker)
+            report.dumps = len(tracker.recorder.dumps)
 
         metrics = get_metrics()
         report.injected = int(metrics.value("faults.injected"))

@@ -19,6 +19,8 @@ from ..faults.plan import FaultPlan, get_fault_plan
 from ..ir.graph import Graph
 from ..models.text import tiny_decoder
 from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.requests import RequestTracker, resolve_request_tracker
+from ..obs.resources import ResourceSampler
 from ..obs.tracer import Tracer, get_tracer
 from ..sanitize import Sanitizer, resolve_sanitizer
 from ..serving.cache import PreInferenceCache
@@ -75,6 +77,13 @@ class GenerationConfig:
     #: worker session, so races/lock cycles/KV lifecycle bugs across the
     #: whole generation stack land in a single report.
     sanitize: Union[bool, Sanitizer] = False
+    #: Request-level observability: a :class:`repro.obs.RequestTracker`
+    #: (attach a :class:`repro.obs.FlightRecorder` to it for postmortem
+    #: dumps), ``True`` for a fresh tracker observing SLO histograms
+    #: (queue wait / TTFT / TPOT / tokens-per-sec) into this engine's
+    #: registry, or ``None`` for the process-wide tracker (disabled by
+    #: default).
+    requests: Union[bool, RequestTracker, None] = None
 
 
 class GenerationEngine:
@@ -150,6 +159,24 @@ class GenerationEngine:
             PrefixCache(min_prefix=config.min_prefix_tokens)
             if config.prefix_cache else None
         )
+        self.requests = resolve_request_tracker(config.requests, self.metrics)
+        # KV/arena counter tracks for Perfetto and BENCH series, sampled
+        # by the scheduler at every decode-step boundary; only built when
+        # a tracker or tracer is actually watching.
+        self.sampler: Optional[ResourceSampler] = None
+        if self.requests.enabled or self.tracer.enabled:
+            self.sampler = ResourceSampler(
+                sources={
+                    "res.kv.page_utilization": self.allocator.page_utilization,
+                    "res.kv.token_utilization": self.allocator.token_utilization,
+                    "res.kv.free_pages": (
+                        lambda: float(self.allocator.free_pages)
+                    ),
+                    "res.prefix.hit_rate": self._prefix_hit_rate,
+                },
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         self.scheduler = ContinuousBatchScheduler(
             self.prefill,
             self.decode,
@@ -161,7 +188,14 @@ class GenerationEngine:
             tracer=self.tracer,
             sanitizer=self.sanitizer,
             prefix_cache=self.prefix_cache,
+            requests=self.requests,
+            sampler=self.sampler,
         )
+
+    def _prefix_hit_rate(self) -> float:
+        served = self.metrics.value("genai.requests")
+        hits = self.metrics.value("genai.prefix_hits")
+        return hits / served if served else 0.0
 
     # -- graph variants (one weight set, many shapes) ------------------------
     def _model_kwargs(self) -> Dict[str, int]:
@@ -229,3 +263,16 @@ class GenerationEngine:
         # Leak check last: any slab still *live* here was allocated and
         # never released.  Findings land in self.sanitizer.report().
         self.allocator.close()
+        if self.sanitizer.enabled and self.requests.enabled:
+            report = self.sanitizer.report()
+            findings = {
+                "races": len(report.races),
+                "lock_cycles": len(report.lock_cycles),
+                "lifecycle": len(report.lifecycle),
+            }
+            if any(findings.values()):
+                # A dirty sanitizer report is a postmortem trigger like
+                # any fault: dump counts (not finding text, which embeds
+                # run-varying object ids) so the artifact stays
+                # deterministic.
+                self.requests.dump("sanitizer", findings=findings)

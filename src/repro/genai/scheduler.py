@@ -34,6 +34,8 @@ import numpy as np
 
 from ..faults.errors import ResilienceError
 from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.requests import RequestTracker
+from ..obs.resources import ResourceSampler
 from ..obs.tracer import Tracer, get_tracer
 from ..sanitize import Sanitizer, get_sanitizer
 from .decode import DecodeRunner
@@ -109,6 +111,8 @@ class ContinuousBatchScheduler:
         tracer: Optional[Tracer] = None,
         sanitizer: Optional[Sanitizer] = None,
         prefix_cache: Optional[PrefixCache] = None,
+        requests: Optional[RequestTracker] = None,
+        sampler: Optional[ResourceSampler] = None,
     ) -> None:
         self.prefill = prefill
         self.decode = decode
@@ -125,15 +129,34 @@ class ContinuousBatchScheduler:
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.sanitizer = sanitizer if sanitizer is not None else get_sanitizer()
+        #: Request-timeline tracker; ``None``/disabled costs one check
+        #: per stamp site.  Timelines live in ``_timelines`` only for
+        #: the duration of one ``run()`` (the loop is single-threaded).
+        self.requests = requests
+        self.sampler = sampler
+        self._timelines: Dict[str, object] = {}
+
+    def _tl(self, request_id: str):
+        """The request's live timeline, or ``None`` when not tracking."""
+        return self._timelines.get(request_id)
 
     # -- lifecycle helpers ---------------------------------------------------
     def _fail(self, results: Dict[str, GenResult], request: GenRequest,
-              message: str, tokens: Optional[List[int]] = None, steps: int = 0) -> None:
+              message: str, tokens: Optional[List[int]] = None, steps: int = 0,
+              trigger: Optional[str] = None) -> None:
         results[request.request_id] = GenResult(
             request.request_id, list(request.prompt), tokens or [],
             "error", steps=steps, error=message,
         )
         self.metrics.counter("genai.request_errors").inc()
+        timeline = self._tl(request.request_id)
+        if timeline is not None:
+            timeline.event("error", message=message)
+            timeline.finish("error")
+            if trigger is not None:
+                # The "page the on-call" failures (KV OOM, exhausted
+                # preemption, prefill faults) flush the flight recorder.
+                self.requests.dump(trigger, request.request_id, detail=message)
 
     def _retire(self, results: Dict[str, GenResult], seq: _Sequence) -> None:
         self.allocator.release(seq.slab, evictable=self.retain_kv)
@@ -147,24 +170,37 @@ class ContinuousBatchScheduler:
             "genai.batch_leave", "genai",
             request=seq.request.request_id, reason=seq.done_reason,
         )
+        timeline = self._tl(seq.request.request_id)
+        if timeline is not None:
+            timeline.finish(seq.done_reason or "length", steps=seq.steps)
         results[seq.request.request_id] = GenResult(
             seq.request.request_id, list(seq.request.prompt), seq.tokens,
             seq.done_reason or "length", steps=seq.steps,
         )
         self.metrics.counter("genai.requests").inc()
 
+    def _evictions(self) -> float:
+        return self.metrics.value("kvcache.evictions")
+
     def _admit(self, request: GenRequest, batch_size: int) -> Optional[_Sequence]:
         """Stake the request a slab and prefill it; None when memory says wait."""
         prompt = list(request.prompt)
+        timeline = self._tl(request.request_id)
         if self.prefix_cache is not None:
             seq = self._admit_with_prefix(request, prompt, batch_size)
             if seq is not None:
                 return seq
+        evictions_before = self._evictions() if timeline is not None else 0
         slab = self.allocator.alloc(request.request_id, len(prompt) + 1)
         self.tracer.instant(
             "genai.batch_join", "genai",
             request=request.request_id, prompt_tokens=len(prompt), batch=batch_size,
         )
+        if timeline is not None:
+            evicted = self._evictions() - evictions_before
+            if evicted:
+                timeline.event("kv_eviction", evictions=int(evicted), at="alloc")
+            timeline.admitted(batch=batch_size, prompt_tokens=len(prompt))
         budget = min(request.params.max_tokens, self.max_seq - len(prompt))
         seq = _Sequence(request, Sampler(request.params), slab, budget)
         try:
@@ -173,6 +209,8 @@ class ContinuousBatchScheduler:
             self.allocator.release(slab)
             raise
         seq.take(seq.sampler.sample(logits))
+        if timeline is not None:
+            timeline.token()  # prefill's sample is the first token (TTFT)
         return seq
 
     def _admit_with_prefix(
@@ -216,6 +254,12 @@ class ContinuousBatchScheduler:
         )
         self.metrics.counter("genai.prefix_hits").inc()
         self.metrics.counter("genai.prefix_hit_tokens").inc(plen)
+        timeline = self._tl(request.request_id)
+        if timeline is not None:
+            timeline.event(
+                "prefix_hit", prefix_tokens=plen, prompt_tokens=len(prompt)
+            )
+            timeline.admitted(batch=batch_size, prompt_tokens=len(prompt))
         budget = min(request.params.max_tokens, self.max_seq - len(prompt))
         seq = _Sequence(request, Sampler(request.params), slab, budget)
         try:
@@ -226,6 +270,8 @@ class ContinuousBatchScheduler:
             self.allocator.release(slab)
             raise
         seq.take(seq.sampler.sample(logits))
+        if timeline is not None:
+            timeline.token()
         return seq
 
     # -- the loop ------------------------------------------------------------
@@ -238,6 +284,18 @@ class ContinuousBatchScheduler:
         order = [r.request_id for r in requests]
         if len(set(order)) != len(order):
             raise ValueError("duplicate request_id in batch")
+        tracker = self.requests
+        if tracker is not None and tracker.enabled:
+            # Every request's queue-wait clock starts now: entering the
+            # scheduler's admission queue is the "enqueued" milestone.
+            self._timelines = {
+                r.request_id: tracker.start(
+                    r.request_id, "generate", prompt_tokens=len(r.prompt)
+                )
+                for r in requests
+            }
+        else:
+            self._timelines = {}
         if self.sanitizer.enabled:
             # The loop below is deliberately single-threaded; concurrent
             # run() calls on one scheduler would interleave allocator and
@@ -265,12 +323,18 @@ class ContinuousBatchScheduler:
                     if not running:
                         # Nothing will ever free pages: fail, don't hang.
                         waiting.popleft()
-                        self._fail(results, request, f"kv admission failed: {exc}")
+                        self._fail(
+                            results, request, f"kv admission failed: {exc}",
+                            trigger="KVCacheOOM",
+                        )
                         continue
                     break  # wait for a leaver to return pages
                 except ResilienceError as exc:
                     waiting.popleft()
-                    self._fail(results, request, f"prefill failed: {exc}")
+                    self._fail(
+                        results, request, f"prefill failed: {exc}",
+                        trigger=type(exc).__name__,
+                    )
                     continue
                 waiting.popleft()
                 if seq.done_reason is not None:
@@ -281,6 +345,15 @@ class ContinuousBatchScheduler:
             if not running:
                 continue
             self.metrics.histogram("genai.batch_size").observe(len(running))
+            if self.sampler is not None:
+                # One resource sample per token boundary: KV/arena
+                # utilization plus the batch occupancy counter track.
+                self.sampler.sample(
+                    {
+                        "res.batch.occupancy": len(running),
+                        "res.batch.waiting": len(waiting),
+                    }
+                )
 
             # 2. Make room for each sequence's next K/V row (bucket growth).
             #    A sequence whose growth hits OOM *stalls* — it keeps its
@@ -288,6 +361,8 @@ class ContinuousBatchScheduler:
             #    rather than failing outright.
             stalled: List[_Sequence] = []
             for seq in list(running):
+                timeline = self._tl(seq.request.request_id)
+                evictions_before = self._evictions() if timeline is not None else 0
                 try:
                     seq.slab = self.allocator.grow(seq.slab, seq.slab.length + 1)
                 except KVCacheOOM:
@@ -298,7 +373,15 @@ class ContinuousBatchScheduler:
                     self._fail(
                         results, seq.request, f"kv growth failed: {exc}",
                         tokens=seq.tokens, steps=seq.steps,
+                        trigger=type(exc).__name__,
                     )
+                else:
+                    if timeline is not None:
+                        evicted = self._evictions() - evictions_before
+                        if evicted:
+                            timeline.event(
+                                "kv_eviction", evictions=int(evicted), at="grow"
+                            )
             if stalled and len(stalled) == len(running):
                 # Every live sequence is memory-stalled: nobody will ever
                 # leave, so preempt one (the youngest — least sunk work)
@@ -311,11 +394,18 @@ class ContinuousBatchScheduler:
                 self.metrics.counter("genai.preemptions").inc()
                 rid = victim.request.request_id
                 preempts[rid] = preempts.get(rid, 0) + 1
+                timeline = self._tl(rid)
+                if timeline is not None:
+                    timeline.event(
+                        "preempted", count=preempts[rid],
+                        tokens_done=len(victim.tokens),
+                    )
                 if preempts[rid] > self.max_preemptions:
                     self._fail(
                         results, victim.request,
                         f"preempted {preempts[rid]} times: kv arena exhausted",
                         tokens=victim.tokens, steps=victim.steps,
+                        trigger="PreemptionLimit",
                     )
                 else:
                     waiting.appendleft(victim.request)
@@ -335,6 +425,10 @@ class ContinuousBatchScheduler:
                 for seq, row in zip(group, logits):
                     seq.steps += 1
                     seq.take(seq.sampler.sample(row))
+                    if self._timelines:
+                        timeline = self._tl(seq.request.request_id)
+                        if timeline is not None:
+                            timeline.token()  # inter-arrival gap -> TPOT
 
             # 4. Leave at the boundary; seats reopen for step 1.
             for seq in [s for s in running if s.done_reason is not None]:

@@ -2,11 +2,16 @@
 
 The Chrome trace-event format (``{"traceEvents": [...]}``) loads directly
 into Perfetto or ``chrome://tracing``; every span becomes a complete
-(``"ph": "X"``) event and every :meth:`Tracer.instant` a point
-(``"ph": "i"``) event.  Real thread idents are remapped to small stable
-lane numbers (main thread first, then by first appearance) and labelled
-with ``thread_name`` metadata (``"ph": "M"``) so parallel-branch
-execution shows as genuinely overlapping lanes.
+(``"ph": "X"``) event, every :meth:`Tracer.instant` a point
+(``"ph": "i"``) event, and every :meth:`Tracer.counter` sample a counter
+(``"ph": "C"``) event that Perfetto renders as a live counter track
+(KV utilization, batch occupancy) under the span lanes.  Real thread
+idents are remapped to small stable lane numbers (main thread first,
+then by first appearance) and labelled with ``thread_name`` metadata
+(``"ph": "M"``) so parallel-branch execution shows as genuinely
+overlapping lanes; executor pools name their workers
+(``exec-worker``, ``prepare-scheme``) so short-lived prepare/decode
+lanes are labeled, not bare tids.
 
 Text views for terminals:
 
@@ -73,7 +78,11 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, object]]:
             "tid": lanes[span.tid],
             "ts": span.start_us,
         }
-        if span.instant:
+        if span.counter:
+            # Counter track: Perfetto draws one track per (pid, name)
+            # pair, plotting args values over time under the span lanes.
+            event["ph"] = "C"
+        elif span.instant:
             event["ph"] = "i"
             event["s"] = "t"  # thread-scoped instant
         else:

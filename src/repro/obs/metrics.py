@@ -102,6 +102,11 @@ class Histogram:
     __slots__ = ("name", "_values", "_count", "_sum", "_min", "_max", "_lock")
 
     def __init__(self, name: str, window: int = 4096) -> None:
+        # window=0 would silently decouple percentiles from count: the
+        # deque retains nothing, so percentile() reports 0.0 while
+        # count/sum keep growing — a dashboard that lies.  Refuse it.
+        if window < 1:
+            raise ValueError(f"histogram {name!r} window must be >= 1, got {window}")
         self.name = name
         self._values: Deque[float] = deque(maxlen=window)
         self._count = 0
@@ -145,7 +150,13 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile of the window (NumPy-compatible).
 
-        ``q`` is in percent (0..100).  Empty histograms report 0.0.
+        ``q`` is in percent (0..100).  Degenerate windows behave as the
+        property tests lock in: an empty histogram reports 0.0 for every
+        ``q``; a single sample reports that sample for every ``q``; when
+        fewer than ``window`` values have been observed the percentile
+        covers exactly the observed values; once observations exceed the
+        window only the most recent ``window`` values contribute (while
+        count/sum/min/max stay exact over everything).
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile q must be in [0, 100], got {q}")

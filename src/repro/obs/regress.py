@@ -1,0 +1,219 @@
+"""Bench-regression gate: compare a fresh BENCH record to its trajectory.
+
+Every benchmark appends one record per run to ``BENCH_<name>.json``
+(:mod:`repro.bench.harness`), so each file is a performance trajectory.
+This module turns the trajectory into a CI gate: the newest record is
+compared against the *median of prior comparable records* with a
+noise-tolerant threshold, and ``scripts/check.sh`` fails when a headline
+metric regresses past it.
+
+What gets compared
+------------------
+* ``timing.median_ms`` — lower is better (wall clock of the headline
+  timed section).
+* any key in the record's explicit ``headline`` map — benches declare
+  direction per metric (``{"prefix_tokens_per_sec": {"value": v,
+  "direction": "higher"}}``).
+* legacy fallbacks for un-annotated records: a top-level ``speedup``
+  and ``config`` keys ending in ``_tokens_per_sec`` (higher is better).
+
+What makes records comparable
+-----------------------------
+Records are stamped (:func:`repro.bench.harness.bench_record`) with a
+schema version, git commit and the :func:`repro.devices.host.
+host_fingerprint` of the measuring machine.  Baselines are restricted to
+records whose host key and schema match the fresh record's — wall-clock
+numbers from a different box are not a baseline, they are a different
+experiment.  Unstamped (pre-gate) records are skipped, never compared.
+
+The default threshold is deliberately loose (50%): CI boxes are noisy
+and this gate exists to catch "the new code path is 3x slower", not 3%
+jitter.  Tighten per-call when the environment warrants it.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["RegressionReport", "check_trajectory", "extract_headline"]
+
+#: Default tolerated relative slowdown before the gate fails.
+DEFAULT_THRESHOLD = 0.5
+
+
+def extract_headline(record: Dict) -> Dict[str, Tuple[float, str]]:
+    """Pull ``{metric: (value, direction)}`` out of one BENCH record.
+
+    ``direction`` is ``"lower"`` or ``"higher"`` (which way is better).
+    """
+    out: Dict[str, Tuple[float, str]] = {}
+    timing = record.get("timing")
+    if isinstance(timing, dict) and isinstance(timing.get("median_ms"), (int, float)):
+        out["timing.median_ms"] = (float(timing["median_ms"]), "lower")
+
+    headline = record.get("headline")
+    if isinstance(headline, dict):
+        for name, spec in headline.items():
+            if not isinstance(spec, dict):
+                continue
+            value = spec.get("value")
+            direction = spec.get("direction", "higher")
+            if isinstance(value, (int, float)) and direction in ("lower", "higher"):
+                out[f"headline.{name}"] = (float(value), direction)
+
+    speedup = record.get("speedup")
+    if isinstance(speedup, (int, float)):
+        out["speedup"] = (float(speedup), "higher")
+    config = record.get("config")
+    if isinstance(config, dict):
+        for key, value in config.items():
+            if key.endswith("_tokens_per_sec") and isinstance(value, (int, float)):
+                out[f"config.{key}"] = (float(value), "higher")
+    return out
+
+
+def _stamp_key(record: Dict) -> Optional[Tuple[object, str]]:
+    """(schema, host key) of a stamped record, or None for legacy records."""
+    stamp = record.get("stamp")
+    if not isinstance(stamp, dict):
+        return None
+    host = stamp.get("host")
+    host_key = host.get("key") if isinstance(host, dict) else None
+    if not isinstance(host_key, str):
+        return None
+    return (stamp.get("schema"), host_key)
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of gating one trajectory file."""
+
+    name: str
+    path: str
+    ok: bool = True
+    baseline_runs: int = 0
+    compared: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "REGRESSION"
+        lines = [
+            f"[{status}] {self.name}: {len(self.compared)} metric(s) vs "
+            f"{self.baseline_runs} baseline run(s)"
+        ]
+        for metric, row in sorted(self.compared.items()):
+            lines.append(
+                f"  {metric}: fresh={row['fresh']:.4g} "
+                f"baseline={row['baseline']:.4g} ({row['direction']} is better)"
+            )
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def check_trajectory(
+    path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_history: int = 1,
+    history_window: int = 20,
+) -> RegressionReport:
+    """Gate the newest record in ``path`` against its own trajectory.
+
+    Baselines are the up-to-``history_window`` most recent *prior*
+    records whose stamp (schema + host fingerprint key) matches the
+    fresh record's; per-metric baseline is their median.  A metric
+    regresses when it is worse than baseline by more than ``threshold``
+    (relative).  Files with no stamped fresh record or fewer than
+    ``min_history`` comparable baselines pass with a note — an empty
+    gate is not a failing gate.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            history = json.load(fh)
+    except (OSError, ValueError) as exc:
+        report = RegressionReport(name=path, path=path, ok=False)
+        report.failures.append(f"unreadable trajectory: {exc}")
+        return report
+    if not isinstance(history, list) or not history:
+        report = RegressionReport(name=path, path=path)
+        report.notes.append("empty trajectory; nothing to gate")
+        return report
+
+    fresh = history[-1]
+    name = fresh.get("name", path) if isinstance(fresh, dict) else path
+    report = RegressionReport(name=str(name), path=path)
+    if not isinstance(fresh, dict):
+        report.ok = False
+        report.failures.append("newest record is not an object")
+        return report
+
+    fresh_key = _stamp_key(fresh)
+    if fresh_key is None:
+        report.notes.append("newest record is unstamped; gate skipped")
+        return report
+
+    prior = [r for r in history[:-1] if isinstance(r, dict)]
+    cross_host = sum(
+        1 for r in prior if _stamp_key(r) is not None and _stamp_key(r) != fresh_key
+    )
+    if cross_host:
+        report.notes.append(
+            f"refused {cross_host} baseline record(s) from a different "
+            "host/schema"
+        )
+    comparable = [r for r in prior if _stamp_key(r) == fresh_key]
+    comparable = comparable[-history_window:]
+    report.baseline_runs = len(comparable)
+    if len(comparable) < min_history:
+        report.notes.append(
+            f"only {len(comparable)} comparable baseline run(s) "
+            f"(< {min_history}); gate skipped"
+        )
+        return report
+
+    fresh_metrics = extract_headline(fresh)
+    if not fresh_metrics:
+        report.notes.append("no headline metrics in newest record")
+        return report
+
+    for metric, (value, direction) in sorted(fresh_metrics.items()):
+        samples = [
+            extract_headline(r)[metric][0]
+            for r in comparable
+            if metric in extract_headline(r)
+        ]
+        if not samples:
+            continue
+        baseline = statistics.median(samples)
+        report.compared[metric] = {
+            "fresh": value,
+            "baseline": baseline,
+            "direction": direction,  # type: ignore[dict-item]
+        }
+        if direction == "lower":
+            limit = baseline * (1.0 + threshold)
+            if value > limit and value - baseline > 1e-9:
+                report.ok = False
+                report.failures.append(
+                    f"{metric}: {value:.4g} > {limit:.4g} "
+                    f"(baseline {baseline:.4g} +{threshold:.0%})"
+                )
+        else:
+            limit = baseline * (1.0 - threshold)
+            if value < limit and baseline - value > 1e-9:
+                report.ok = False
+                report.failures.append(
+                    f"{metric}: {value:.4g} < {limit:.4g} "
+                    f"(baseline {baseline:.4g} -{threshold:.0%})"
+                )
+    if not report.compared:
+        report.notes.append("no overlapping headline metrics with baselines")
+    return report

@@ -1,0 +1,128 @@
+"""Periodic resource sampling: counter tracks for Perfetto and BENCH.
+
+A :class:`ResourceSampler` polls a set of named sources — callables
+returning the current value of a resource counter (KV-slab page/token
+utilization, free pages, pool idle seats, batch occupancy, prefix-cache
+hit rate) — and fans each sample out three ways:
+
+* a Chrome-trace counter ("C") event via ``Tracer.counter`` so Perfetto
+  renders live counter tracks under the span lanes,
+* a gauge in the metrics registry (so ``cli metrics --prom`` exports the
+  latest value), and
+* a bounded in-memory history, exported by :meth:`series` as parallel
+  lists for the ``BENCH_*.json`` trajectories.
+
+Sampling is driven either explicitly (``sample()`` at natural ticks —
+the continuous-batching scheduler calls it once per decode step) or by a
+background thread (``start(interval_ms)`` / ``stop()``) for the serving
+engine, where there is no single loop to hook.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .metrics import MetricsRegistry, get_metrics
+from .tracer import Tracer, get_tracer
+
+__all__ = ["ResourceSampler"]
+
+
+class ResourceSampler:
+    """Samples named resource counters into traces, gauges and history."""
+
+    def __init__(
+        self,
+        sources: Optional[Dict[str, Callable[[], float]]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_samples: int = 4096,
+    ) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.sources: Dict[str, Callable[[], float]] = dict(sources or {})
+        self._tracer = tracer
+        self._metrics = metrics
+        self._history: Dict[str, Deque[float]] = {}
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.samples = 0
+
+    def add_source(self, name: str, fn: Callable[[], float]) -> None:
+        with self._lock:
+            self.sources[name] = fn
+
+    def _tracer_or_default(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_metrics()
+
+    # -- sampling -----------------------------------------------------------
+    def sample(self, extra: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+        """Take one sample of every source (plus ad-hoc ``extra`` values).
+
+        Sources that raise are skipped for that tick — a closing engine
+        must not take the sampler thread down with it.
+        """
+        with self._lock:
+            sources = list(self.sources.items())
+        values: Dict[str, float] = {}
+        for name, fn in sources:
+            try:
+                values[name] = float(fn())
+            except Exception:
+                continue
+        for name, value in (extra or {}).items():
+            values[name] = float(value)
+
+        tracer = self._tracer_or_default()
+        registry = self._registry()
+        for name, value in values.items():
+            if tracer.enabled:
+                tracer.counter(name, value)
+            registry.gauge(name).set(value)
+        with self._lock:
+            for name, value in values.items():
+                history = self._history.get(name)
+                if history is None:
+                    history = self._history[name] = deque(maxlen=self._max_samples)
+                history.append(value)
+            self.samples += 1
+        return values
+
+    def series(self) -> Dict[str, List[float]]:
+        """Per-counter sample history, oldest first (for BENCH records)."""
+        with self._lock:
+            return {name: list(h) for name, h in sorted(self._history.items())}
+
+    # -- background mode ----------------------------------------------------
+    def start(self, interval_ms: float = 100.0) -> None:
+        """Sample on a background thread every ``interval_ms`` until stop()."""
+
+        def _loop() -> None:
+            while not self._stop.wait(interval_ms / 1000.0):
+                self.sample()
+
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            thread = threading.Thread(
+                target=_loop, name="resource-sampler", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        # Join outside the lock: the sampler loop takes it in sample().
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            self._stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)

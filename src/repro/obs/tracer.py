@@ -57,6 +57,7 @@ class Span:
     tid: int
     depth: int = 0
     instant: bool = False
+    counter: bool = False
     args: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -172,13 +173,43 @@ class Tracer:
         now = time.perf_counter()
         self._record(name, category, now, now, self._state().depth, True, args)
 
+    def counter(self, name: str, value: float, category: str = "resource") -> None:
+        """Record a counter sample (Chrome-trace "C" event).
+
+        Perfetto renders one counter track per counter name, drawn under
+        the span lanes — KV utilization, pool idle seats, batch
+        occupancy over time.  Samples carry a single ``value`` arg.
+        """
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        self._record(
+            name, category, now, now, 0, True, {"value": float(value)},
+            counter=True,
+        )
+
+    def name_thread(self, name: str, tid: Optional[int] = None) -> None:
+        """Register a display name for a thread's trace lane.
+
+        Spans auto-capture ``threading.current_thread().name`` at record
+        time; this override is for threads whose Python-level name is
+        uninformative or that never record spans themselves (a lane that
+        only receives counter samples, say).
+        """
+        if tid is None:
+            tid = threading.get_ident()
+        with self._lock:
+            self._thread_names[tid] = name
+
     def _state(self):
         tls = self._tls
         if not hasattr(tls, "depth"):
             tls.depth = 0
         return tls
 
-    def _record(self, name, category, start_s, end_s, depth, instant, args) -> None:
+    def _record(
+        self, name, category, start_s, end_s, depth, instant, args, counter=False
+    ) -> None:
         tid = threading.get_ident()
         span = Span(
             name=name,
@@ -188,6 +219,7 @@ class Tracer:
             tid=tid,
             depth=depth,
             instant=instant,
+            counter=counter,
             args=args,
         )
         thread_name = threading.current_thread().name

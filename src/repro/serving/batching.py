@@ -93,6 +93,9 @@ class BatchStats:
 class _Pending:
     feeds: Dict[str, np.ndarray]
     batch_dim: int
+    #: Request timeline (repro.obs.requests.RequestTimeline) riding along
+    #: so the dispatcher can stamp admission when the batch assembles.
+    timeline: Optional[object] = None
     future: "Future[Dict[str, np.ndarray]]" = field(default_factory=Future)
 
 
@@ -160,8 +163,16 @@ class MicroBatcher:
         self._thread.start()
 
     # -- client side --------------------------------------------------------
-    def submit(self, feeds: Dict[str, np.ndarray]) -> "Future[Dict[str, np.ndarray]]":
-        """Enqueue one request; the future resolves to its output dict."""
+    def submit(
+        self, feeds: Dict[str, np.ndarray], timeline: Optional[object] = None
+    ) -> "Future[Dict[str, np.ndarray]]":
+        """Enqueue one request; the future resolves to its output dict.
+
+        ``timeline`` (a :class:`repro.obs.requests.RequestTimeline`)
+        propagates the caller's request identity into batch assembly:
+        the dispatcher stamps admission — with the batch composition —
+        the moment the request's micro-batch dispatches.
+        """
         if not feeds:
             raise GraphError("empty feed dict")
         dims = {int(np.asarray(v).shape[0]) if np.asarray(v).ndim else 0
@@ -171,7 +182,7 @@ class MicroBatcher:
                 f"batching requires every input to share one leading batch "
                 f"dimension; got leading dims {sorted(dims)}"
             )
-        item = _Pending(feeds=dict(feeds), batch_dim=dims.pop())
+        item = _Pending(feeds=dict(feeds), batch_dim=dims.pop(), timeline=timeline)
         with self.sanitizer.locked(self._cond, "batcher.cond"):
             if not self._running:
                 raise RuntimeError("MicroBatcher is closed")
@@ -367,6 +378,9 @@ class MicroBatcher:
                     )
                     for name in items[0].feeds
                 }
+            for item in items:
+                if item.timeline is not None:
+                    item.timeline.admitted(requests=len(items), samples=total)
             # Resize the bucket session once per new micro-batch size; the
             # pre-inference rerun is amortized across every later batch of
             # that size.

@@ -39,6 +39,8 @@ from ..faults import (
 from ..faults.resilience import Deadline
 from ..ir.graph import Graph
 from ..obs.metrics import MetricsRegistry
+from ..obs.requests import RequestTracker, resolve_request_tracker
+from ..obs.resources import ResourceSampler
 from ..obs.tracer import Tracer, get_tracer
 from ..sanitize import Sanitizer, resolve_sanitizer
 from .batching import MicroBatcher
@@ -79,6 +81,13 @@ class EngineConfig:
             :meth:`Engine.infer`; ``None`` means no deadline.
         retries: extra attempts for transient failures (cache IO, pool
             checkout) before escalating.
+        requests: request-level observability.  A
+            :class:`repro.obs.RequestTracker` (used as-is — attach a
+            :class:`repro.obs.FlightRecorder` to it for postmortem
+            dumps), ``True`` for a fresh tracker observing SLO
+            histograms into this engine's registry, or ``None`` for the
+            process-wide tracker (disabled by default, so the per-
+            request cost is one attribute check).
         sanitize: a :class:`repro.sanitize.Sanitizer` (or ``True`` for a
             fresh one) spanning the whole serving stack: pool checkout
             handoffs, batcher lock discipline, cache entries and — unless
@@ -99,6 +108,7 @@ class EngineConfig:
     deadline_ms: Optional[float] = None
     retries: int = 3
     sanitize: Union[bool, Sanitizer] = False
+    requests: Union[bool, RequestTracker, None] = None
 
 
 class EngineStats:
@@ -219,6 +229,23 @@ class Engine:
             )
             if self.config.batching else None
         )
+        self.requests = resolve_request_tracker(self.config.requests, self.metrics)
+        # Resource counter tracks (pool idle seats, in-flight requests,
+        # cache hit rate) are only worth their samples when someone is
+        # watching — a request tracker or an enabled tracer.
+        self.sampler: Optional[ResourceSampler] = None
+        if self.requests.enabled or self.tracer.enabled:
+            self.sampler = ResourceSampler(
+                sources={
+                    "res.pool.idle": lambda: self.metrics.gauge("pool.idle").value,
+                    "res.engine.inflight": lambda: self.metrics.gauge(
+                        "engine.inflight"
+                    ).value,
+                    "res.engine.cache_hit_rate": lambda: self.stats.hit_rate,
+                },
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
 
     # -- session creation (the cache-warmed factory) -------------------------
     def _create_session(self) -> Session:
@@ -314,28 +341,76 @@ class Engine:
         if deadline_ms is None:
             deadline_ms = self.config.deadline_ms
         deadline = Deadline.from_ms(deadline_ms)
+        tracker = self.requests
+        timeline = None
+        if tracker.enabled:
+            timeline = tracker.start(
+                tracker.next_id(),
+                "infer",
+                batched=self.batcher is not None,
+                deadline_ms=deadline_ms,
+            )
+        if self.sampler is not None:
+            self.metrics.gauge("engine.inflight").add(1)
         try:
             with self.tracer.span("engine.infer", "serving",
                                   batched=self.batcher is not None):
                 if self.batcher is not None:
-                    future = self.batcher.submit(feeds)
+                    future = self.batcher.submit(feeds, timeline=timeline)
                     if deadline is None:
-                        return future.result()
-                    try:
-                        return future.result(timeout=deadline.remaining_s())
-                    except (TimeoutError, _FuturesTimeout):
-                        raise DeadlineExceeded(
-                            deadline.budget_ms, deadline.elapsed_ms(),
-                            "batch.wait",
-                        ) from None
-                with self.pool.acquire(deadline=deadline) as session:
-                    return session.run(feeds, deadline=deadline)
+                        out = future.result()
+                    else:
+                        try:
+                            out = future.result(timeout=deadline.remaining_s())
+                        except (TimeoutError, _FuturesTimeout):
+                            raise DeadlineExceeded(
+                                deadline.budget_ms, deadline.elapsed_ms(),
+                                "batch.wait",
+                            ) from None
+                else:
+                    with self.pool.acquire(deadline=deadline) as session:
+                        if timeline is not None:
+                            timeline.admitted(path="pool")
+                        out = session.run(feeds, deadline=deadline)
+            if timeline is not None:
+                timeline.finish("ok")
+            return out
+        except DeadlineExceeded as exc:
+            if timeline is not None:
+                timeline.event(
+                    "deadline_exceeded", where=exc.where,
+                    budget_ms=exc.budget_ms, elapsed_ms=exc.elapsed_ms,
+                )
+                timeline.finish("deadline")
+                tracker.dump(
+                    "DeadlineExceeded", timeline.request_id, detail=exc.where
+                )
+            raise
         except InjectedFault as exc:
             # The fault beat every resilience layer: this one request
             # fails alone, counted exactly once across the layers it
             # crossed (mark_isolated deduplicates via the exception).
             mark_isolated(exc)
+            if timeline is not None:
+                timeline.event(
+                    "fault_isolated",
+                    kind=type(exc).__name__,
+                    site=str(getattr(exc, "site", "")),
+                )
+                timeline.finish("fault")
+                tracker.dump(
+                    type(exc).__name__, timeline.request_id,
+                    detail=str(getattr(exc, "site", "")),
+                )
             raise
+        except Exception:
+            if timeline is not None:
+                timeline.finish("error")
+            raise
+        finally:
+            if self.sampler is not None:
+                self.metrics.gauge("engine.inflight").add(-1)
+                self.sampler.sample()
 
     def infer_many(
         self,
@@ -349,7 +424,9 @@ class Engine:
         """
         if clients < 1:
             raise ValueError(f"clients must be >= 1, got {clients}")
-        with ThreadPoolExecutor(max_workers=clients) as pool:
+        with ThreadPoolExecutor(
+            max_workers=clients, thread_name_prefix="serve-client"
+        ) as pool:
             return list(pool.map(self.infer, requests))
 
     # -- lifecycle ----------------------------------------------------------

@@ -12,7 +12,7 @@ Usage::
     python -m repro.tools.cli fp16 model.rmnn -o half.rmnn
     python -m repro.tools.cli benchmark model.rmnn --threads 4 --repeats 10
     python -m repro.tools.cli trace model.rmnn -o trace.json [--runs 3]
-    python -m repro.tools.cli metrics model.rmnn [--runs 10] [-o metrics.json]
+    python -m repro.tools.cli metrics [model.rmnn] [--runs 10] [--prom] [--selftest]
     python -m repro.tools.cli warm model.rmnn [--cache-dir DIR]
     python -m repro.tools.cli serve model.rmnn --requests 64 --clients 4 [--selftest]
     python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
@@ -20,6 +20,7 @@ Usage::
     python -m repro.tools.cli schemes model.rmnn
     python -m repro.tools.cli chaos [model.rmnn] --seed 0 --faults 200 [--sanitize]
     python -m repro.tools.cli sanitize [--static-only] [--faults 50]
+    python -m repro.tools.cli regress BENCH_decode.json [--threshold 0.5]
 
 Every command returns 0 on success and prints human-readable output; the
 module-level :func:`main` takes an argv list for testability.
@@ -236,34 +237,97 @@ def cmd_trace(args) -> int:
     return 0
 
 
+#: Prometheus families the no-model metrics selftest must export — the
+#: request-tracking generation workload populates every one of them.
+_PROM_SELFTEST_FAMILIES = (
+    "repro_slo_requests_total",
+    "repro_slo_queue_wait_ms",
+    "repro_slo_ttft_ms",
+    "repro_slo_tpot_ms",
+    "repro_slo_tokens_per_sec",
+    "repro_res_kv_page_utilization",
+)
+
+
 def cmd_metrics(args) -> int:
-    """Run a model and print/export the metrics registry snapshot."""
+    """Run a workload and print/export the metrics registry snapshot.
+
+    With a model: N plain session runs.  Without one: a tiny
+    request-tracked generation workload, so the SLO histograms
+    (queue-wait/TTFT/TPOT/tokens-per-sec) and resource gauges populate —
+    this is the ``check.sh`` Prometheus selftest path.  ``--prom``
+    exports the registry in Prometheus text exposition format;
+    ``--selftest`` re-parses that export through the validating parser
+    and (on the generation workload) requires the SLO families.
+    """
     import json as _json
 
-    from ..core import Session, SessionConfig
     from ..obs import MetricsRegistry, set_metrics
 
     registry = MetricsRegistry()
     previous = set_metrics(registry)
     try:
-        graph = _load(args.model)
-        session = Session(
-            graph, SessionConfig(threads=args.threads, sanitize=args.sanitize)
-        )
-        feeds = _random_feeds(graph)
-        for _ in range(args.runs):
-            session.run(feeds)
-        if args.sanitize:
-            # Flush lock-cycle detection so sanitize.* counters are final.
-            session.sanitizer.report()
+        if args.model:
+            from ..core import Session, SessionConfig
+
+            graph = _load(args.model)
+            session = Session(
+                graph, SessionConfig(threads=args.threads, sanitize=args.sanitize)
+            )
+            feeds = _random_feeds(graph)
+            for _ in range(args.runs):
+                session.run(feeds)
+            if args.sanitize:
+                # Flush lock-cycle detection so sanitize.* counters are final.
+                session.sanitizer.report()
+            workload = f"{args.runs} runs of {graph.name}"
+        else:
+            from ..genai import GenerationConfig, GenerationEngine, SamplingParams
+
+            engine = GenerationEngine(GenerationConfig(
+                vocab=64, max_seq=24, d_model=16, heads=2, layers=1,
+                max_batch=2, page_tokens=4, metrics=registry,
+                requests=True, sanitize=args.sanitize,
+            ))
+            rng = np.random.default_rng(0)
+            prompts = [
+                [int(t) for t in rng.integers(0, 64, size=4)] for _ in range(4)
+            ]
+            try:
+                engine.generate(prompts, SamplingParams(max_tokens=6))
+            finally:
+                engine.close()
+            workload = f"{len(prompts)}-request tracked generation"
     finally:
         set_metrics(previous)
-    print(f"metrics after {args.runs} runs of {graph.name}:")
+    print(f"metrics after {workload}:")
     print(registry.describe())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             _json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
         print(f"wrote {args.output}")
+    if args.prom or args.selftest:
+        from ..obs import parse_prometheus, to_prometheus
+
+        text = to_prometheus(registry)
+        if args.prom:
+            print(text, end="")
+        if args.selftest:
+            try:
+                families = parse_prometheus(text)
+            except ValueError as exc:
+                print(f"prom selftest FAILED: {exc}", file=sys.stderr)
+                return 1
+            missing = (
+                [f for f in _PROM_SELFTEST_FAMILIES if f not in families]
+                if not args.model else []
+            )
+            if missing:
+                print(f"prom selftest FAILED: missing SLO families "
+                      f"{', '.join(missing)}", file=sys.stderr)
+                return 1
+            print(f"prom selftest: ok — {len(families)} families parsed"
+                  + ("" if args.model else ", SLO histograms present"))
     return 0
 
 
@@ -442,7 +506,7 @@ def cmd_chaos(args) -> int:
     graph = _load(args.model) if args.model else None
     report = run_chaos_storm(
         graph=graph, seed=args.seed, target_faults=args.faults,
-        sanitize=args.sanitize,
+        sanitize=args.sanitize, postmortem_dir=args.postmortem_dir,
     )
     print(report.describe())
     if args.events:
@@ -594,6 +658,21 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_regress(args) -> int:
+    """Bench-regression gate: newest BENCH record vs its own trajectory."""
+    from ..obs.regress import check_trajectory
+
+    rc = 0
+    for path in args.files:
+        report = check_trajectory(
+            path, threshold=args.threshold, min_history=args.min_history
+        )
+        print(report.describe())
+        if not report.ok:
+            rc = 1
+    return rc
+
+
 def cmd_schemes(args) -> int:
     from ..core import select_graph_schemes
 
@@ -677,7 +756,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("metrics", help="print the metrics snapshot for N runs")
-    p.add_argument("model")
+    p.add_argument("model", nargs="?", default=None,
+                   help=".rmnn model (default: a tiny request-tracked "
+                        "generation workload that populates the SLO "
+                        "histograms)")
     p.add_argument("--runs", type=int, default=10)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("-o", "--output", default=None,
@@ -685,6 +767,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="run with the concurrency sanitizer live; the "
                         "snapshot then includes the sanitize.* counters")
+    p.add_argument("--prom", action="store_true",
+                   help="also export the registry in Prometheus text "
+                        "exposition format")
+    p.add_argument("--selftest", action="store_true",
+                   help="re-parse the Prometheus export through the "
+                        "validating parser (and require the SLO families "
+                        "on the generation workload)")
     p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("warm", help="populate the pre-inference cache")
@@ -734,7 +823,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="storm with the race/lock-order/lifecycle "
                         "sanitizer live; any finding fails the storm")
+    p.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                   help="attach a deterministic flight recorder: isolated "
+                        "faults, KV OOMs and the deadline probe dump "
+                        "replayable postmortem JSON into DIR")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("regress", help="bench-regression gate over "
+                                       "BENCH_*.json trajectories")
+    p.add_argument("files", nargs="+", metavar="BENCH_JSON",
+                   help="trajectory files (repro.bench appends one stamped "
+                        "record per run)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="tolerated relative regression before failing "
+                        "(default 0.5 = 50%%)")
+    p.add_argument("--min-history", type=int, default=1,
+                   help="minimum comparable baseline runs; fewer skips the "
+                        "gate with a note")
+    p.set_defaults(fn=cmd_regress)
 
     p = sub.add_parser("sanitize", help="concurrency lint (C0xx) + sanitized "
                                         "dynamic self-check")

@@ -223,6 +223,31 @@ class TestChromeTraceExport:
                         )
                         assert nested, (a["name"], b["name"])
 
+    def test_worker_lanes_carry_executor_names(self):
+        """Short-lived executor threads must land on labelled lanes: the
+        parallel path names its workers ``exec-worker`` so the trace
+        shows "exec-worker_0", not "ThreadPoolExecutor-3_0"."""
+        events = chrome_trace_events(self._traced())
+        names = [
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        ]
+        workers = [n for n in names if n.startswith("exec-worker")]
+        assert len(workers) >= 2, names
+        assert not any("ThreadPoolExecutor" in n for n in names), names
+
+    def test_prepare_scheme_lanes_carry_executor_names(self):
+        """The pre-inference scheme search fans out on named threads."""
+        tracer = Tracer()
+        session = Session(
+            branchy_net(),
+            SessionConfig(trace=tracer, threads=4),
+        )
+        session.run(branchy_feed())
+        names = set(tracer.thread_names.values())
+        # the fan-out only spawns when there are enough candidates; the
+        # invariant that matters is no anonymous executor lane ever leaks
+        assert not any("ThreadPoolExecutor" in n for n in names), names
+
     def test_save_round_trips(self, tmp_path):
         tracer = self._traced()
         path = save_chrome_trace(tracer, str(tmp_path / "trace.json"))

@@ -5,6 +5,8 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_metrics, set_metrics
 
@@ -99,6 +101,67 @@ class TestHistogram:
         assert h.count == 100                 # aggregates exact
         assert h.sum == pytest.approx(sum(range(100)))
         assert h.summary()["min"] == 0.0      # min survives eviction
+
+
+_FINITE = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestHistogramProperties:
+    """Property tests: the percentile interpolation must agree with
+    np.percentile (default linear interpolation) whenever the window
+    holds every observation, and degenerate windows must stay honest —
+    exact aggregates over all observations, percentiles over the tail.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(_FINITE, min_size=1, max_size=200),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_matches_numpy_when_window_covers_count(self, values, q):
+        h = Histogram("h", window=len(values))
+        for v in values:
+            h.observe(v)
+        expected = float(np.percentile(values, q))
+        assert h.percentile(q) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(_FINITE, min_size=2, max_size=200),
+        window=st.integers(min_value=1, max_value=50),
+    )
+    def test_overflowing_window_keeps_aggregates_exact(self, values, window):
+        h = Histogram("h", window=window)
+        for v in values:
+            h.observe(v)
+        # Aggregates never forget, regardless of window size.
+        assert h.count == len(values)
+        assert h.sum == pytest.approx(sum(values), rel=1e-9, abs=1e-9)
+        assert h.summary()["min"] == min(values)
+        assert h.summary()["max"] == max(values)
+        # Percentiles cover exactly the most recent `window` observations.
+        tail = values[-window:]
+        assert h.values == tail
+        for q in (0, 50, 100):
+            assert h.percentile(q) == pytest.approx(
+                float(np.percentile(tail, q)), rel=1e-9, abs=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=_FINITE, q=st.floats(min_value=0.0, max_value=100.0))
+    def test_single_sample_every_percentile_is_that_sample(self, value, q):
+        h = Histogram("h")
+        h.observe(value)
+        assert h.percentile(q) == pytest.approx(value)
+
+    def test_window_of_one_tracks_only_the_last_value(self):
+        h = Histogram("h", window=1)
+        for v in (5.0, 1.0, 9.0):
+            h.observe(v)
+        assert h.percentile(50) == 9.0 == h.percentile(0) == h.percentile(100)
+        assert h.count == 3 and h.summary()["min"] == 1.0
 
 
 class TestMetricsRegistry:

@@ -1,0 +1,162 @@
+"""Bench-regression gate and BENCH provenance stamps
+(see repro.obs.regress / repro.bench.harness / repro.devices.host)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BENCH_SCHEMA, TimingResult, bench_record
+from repro.devices.host import HostFingerprint, host_fingerprint
+from repro.obs.regress import check_trajectory, extract_headline
+
+
+def _stamp(host_key=None, schema=BENCH_SCHEMA):
+    host = host_fingerprint().as_dict()
+    if host_key is not None:
+        host["key"] = host_key
+    return {"schema": schema, "git_commit": "deadbeef", "host": host}
+
+
+def _rec(median_ms=None, stamp=True, **extra):
+    record = {"name": "demo", **extra}
+    if median_ms is not None:
+        record["timing"] = {"median_ms": median_ms}
+    if stamp:
+        record["stamp"] = _stamp() if stamp is True else stamp
+    return record
+
+
+def _write(tmp_path, records, name="BENCH_demo.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(records))
+    return str(path)
+
+
+class TestHostFingerprint:
+    def test_fingerprint_is_cached_and_keyed(self):
+        fp = host_fingerprint()
+        assert fp is host_fingerprint()
+        assert isinstance(fp, HostFingerprint)
+        parts = fp.key.split("-")
+        assert len(parts) >= 4 and parts[-1].startswith("py")
+        assert fp.as_dict()["key"] == fp.key
+
+    def test_bench_record_carries_the_stamp(self):
+        record = bench_record(
+            "demo", config={"x": 1}, timing=TimingResult([1.0, 2.0])
+        )
+        stamp = record["stamp"]
+        assert stamp["schema"] == BENCH_SCHEMA
+        assert stamp["host"]["key"] == host_fingerprint().key
+        assert isinstance(stamp["git_commit"], str) and stamp["git_commit"]
+
+
+class TestExtractHeadline:
+    def test_all_sources(self):
+        metrics = extract_headline({
+            "timing": {"median_ms": 12.0},
+            "headline": {"tps": {"value": 100.0, "direction": "higher"}},
+            "speedup": 2.0,
+            "config": {"prefix_hit_tokens_per_sec": 50.0, "prompts": 8},
+        })
+        assert metrics == {
+            "timing.median_ms": (12.0, "lower"),
+            "headline.tps": (100.0, "higher"),
+            "speedup": (2.0, "higher"),
+            "config.prefix_hit_tokens_per_sec": (50.0, "higher"),
+        }
+
+    def test_malformed_entries_ignored(self):
+        assert extract_headline({
+            "timing": {"median_ms": "fast"},
+            "headline": {"x": {"value": 1.0, "direction": "sideways"}},
+        }) == {}
+
+
+class TestGate:
+    def test_stable_trajectory_passes(self, tmp_path):
+        path = _write(tmp_path, [_rec(10.0), _rec(11.0), _rec(10.5)])
+        report = check_trajectory(path)
+        assert report.ok
+        assert report.baseline_runs == 2
+        assert report.compared["timing.median_ms"]["baseline"] == 10.5
+
+    def test_latency_regression_fails(self, tmp_path):
+        path = _write(tmp_path, [_rec(10.0), _rec(10.0), _rec(40.0)])
+        report = check_trajectory(path, threshold=0.5)
+        assert not report.ok
+        assert "timing.median_ms" in report.failures[0]
+        assert "REGRESSION" in report.describe()
+
+    def test_throughput_regression_fails(self, tmp_path):
+        fast = _rec(headline={"tps": {"value": 100.0, "direction": "higher"}})
+        slow = _rec(headline={"tps": {"value": 10.0, "direction": "higher"}})
+        path = _write(tmp_path, [fast, fast, slow])
+        report = check_trajectory(path, threshold=0.5)
+        assert not report.ok
+
+    def test_threshold_tolerates_noise(self, tmp_path):
+        path = _write(tmp_path, [_rec(10.0), _rec(13.0)])
+        assert check_trajectory(path, threshold=0.5).ok
+        assert not check_trajectory(path, threshold=0.2).ok
+
+    def test_cross_host_baselines_refused(self, tmp_path):
+        other = _rec(10.0, stamp=_stamp(host_key="other-box"))
+        fresh = _rec(40.0)
+        path = _write(tmp_path, [other, other, fresh])
+        report = check_trajectory(path)
+        assert report.ok  # no comparable baselines -> gate skipped, not failed
+        assert report.baseline_runs == 0
+        assert any("different" in note for note in report.notes)
+
+    def test_schema_change_refused(self, tmp_path):
+        old = _rec(10.0, stamp=_stamp(schema=BENCH_SCHEMA - 1))
+        path = _write(tmp_path, [old, old, _rec(40.0)])
+        report = check_trajectory(path)
+        assert report.ok and report.baseline_runs == 0
+
+    def test_unstamped_fresh_record_skips(self, tmp_path):
+        path = _write(tmp_path, [_rec(10.0), _rec(40.0, stamp=False)])
+        report = check_trajectory(path)
+        assert report.ok
+        assert any("unstamped" in note for note in report.notes)
+
+    def test_min_history_skips_thin_trajectories(self, tmp_path):
+        path = _write(tmp_path, [_rec(10.0), _rec(40.0)])
+        assert not check_trajectory(path, min_history=1).ok
+        report = check_trajectory(path, min_history=2)
+        assert report.ok
+        assert any("gate skipped" in note for note in report.notes)
+
+    def test_unreadable_file_fails(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        assert not check_trajectory(str(path)).ok
+        assert not check_trajectory(str(tmp_path / "missing.json")).ok
+
+    def test_empty_trajectory_passes_with_note(self, tmp_path):
+        report = check_trajectory(_write(tmp_path, []))
+        assert report.ok and report.notes
+
+    def test_threshold_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            check_trajectory(_write(tmp_path, []), threshold=0.0)
+
+
+class TestCliRegress:
+    def test_exit_codes(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        good = _write(tmp_path, [_rec(10.0), _rec(10.5)], "BENCH_good.json")
+        bad = _write(tmp_path, [_rec(10.0), _rec(99.0)], "BENCH_bad.json")
+        assert main(["regress", good]) == 0
+        assert main(["regress", good, bad]) == 1
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "[REGRESSION]" in out
+
+    def test_loose_threshold_lets_noise_pass(self, tmp_path):
+        from repro.tools.cli import main
+
+        noisy = _write(tmp_path, [_rec(10.0), _rec(13.0)], "BENCH_noisy.json")
+        assert main(["regress", noisy, "--threshold", "0.5"]) == 0
+        assert main(["regress", noisy, "--threshold", "0.1"]) == 1
