@@ -191,6 +191,70 @@ def _genai_storm():
     yield
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _cluster_storm():
+    """One seeded router-level chaos storm per benchmark session.
+
+    A 2-worker generation cluster takes ``worker.crash`` faults at the
+    router's dispatch point: one worker killed before starting, one
+    mid-decode.  The router must absorb both — transparent replay on
+    the ring's next live worker, supervisor replacement of every corpse
+    — with zero untyped errors and every completed generation
+    bit-identical to a local, in-process fault-free engine.
+    """
+    from repro.cluster import Cluster, ClusterConfig, WorkerLost
+    from repro.faults import FaultPlan, FaultRule
+    from repro.genai import GenerationConfig, GenerationEngine, SamplingParams
+    from repro.obs import MetricsRegistry
+
+    import numpy as np
+
+    genai = dict(vocab=32, max_seq=16, d_model=16, heads=2, layers=1, seed=8,
+                 max_batch=2, page_tokens=4, capacity_tokens=48)
+    rng = np.random.default_rng(9)
+    prompts = [[int(t) for t in rng.integers(0, 32, size=int(n))]
+               for n in rng.integers(2, 6, size=4)]
+    gold_engine = GenerationEngine(GenerationConfig(**genai))
+    gold = [r.tokens
+            for r in gold_engine.generate(prompts, SamplingParams(max_tokens=4))]
+    gold_engine.close()
+
+    plan = FaultPlan([
+        FaultRule("worker.crash", "transient", times=1),
+        FaultRule("worker.crash", "fatal", times=1, skip=1),
+    ], seed=9)
+    metrics = MetricsRegistry()
+    cluster = Cluster(config=ClusterConfig(
+        workers=2, genai=genai, metrics=metrics, faults=plan,
+    ))
+    try:
+        for i, prompt in enumerate(prompts):
+            try:
+                out = cluster.generate(prompt, {"max_tokens": 4},
+                                       session_key=f"bench-{i}")
+            except WorkerLost:
+                continue  # typed, isolated — acceptable under "error" paths
+            if out.tokens != gold[i]:
+                pytest.fail(
+                    f"router storm moved tokens for prompt {i}: "
+                    f"{out.tokens} != {gold[i]} — a worker crash must "
+                    f"never change surviving outputs",
+                    pytrace=False,
+                )
+        if plan.injected == 0:
+            pytest.fail("router storm injected no worker.crash faults",
+                        pytrace=False)
+        if metrics.value("cluster.replacements") < 1:
+            pytest.fail(
+                "router storm killed workers but the supervisor recorded "
+                "no replacements — supervision has rotted",
+                pytrace=False,
+            )
+    finally:
+        cluster.close()
+    yield
+
+
 @pytest.fixture
 def report_table(request):
     """Record a (title, headers, rows) table for the terminal summary.

@@ -8,7 +8,12 @@ from .harness import (
     time_callable,
     write_bench_result,
 )
-from .loadgen import LoadgenReport, run_single_stream
+from .loadgen import (
+    ClosedLoopReport,
+    LoadgenReport,
+    run_closed_loop,
+    run_single_stream,
+)
 
 __all__ = [
     "TimingResult",
@@ -17,6 +22,8 @@ __all__ = [
     "print_table",
     "time_callable",
     "write_bench_result",
+    "ClosedLoopReport",
     "LoadgenReport",
+    "run_closed_loop",
     "run_single_stream",
 ]

@@ -1,20 +1,35 @@
 """A minimal MLPerf-style load generator (paper Table 7 / Appendix A).
 
-Implements the single-stream scenario: queries are issued back-to-back,
-each query's latency is recorded, and the report mirrors the MLPerf fields
-the paper lists — QPS with/without loadgen overhead, min/max/mean latency
-and percentiles in nanoseconds.
+Implements two scenarios:
+
+* **single-stream** (:func:`run_single_stream`): queries issued
+  back-to-back from one thread; the report mirrors the MLPerf fields
+  the paper lists — QPS with/without loadgen overhead, min/max/mean
+  latency and percentiles in nanoseconds.
+* **closed-loop** (:func:`run_closed_loop`): N concurrent client
+  threads, each issuing its next query the moment the previous one
+  resolves — the server/offline-style driver the cluster tier is
+  benchmarked with.  Typed shed errors (``Backpressure``/``Overloaded``)
+  are counted as *shed*, not failures: an admission controller refusing
+  load is a result, not a bug, and the shed rate is a headline column
+  of ``BENCH_cluster_scaling``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple, Type
 
 import numpy as np
 
-__all__ = ["LoadgenReport", "run_single_stream"]
+__all__ = [
+    "ClosedLoopReport",
+    "LoadgenReport",
+    "run_closed_loop",
+    "run_single_stream",
+]
 
 
 @dataclass
@@ -85,4 +100,113 @@ def run_single_stream(
         mean_latency_ns=int(arr.mean()),
         p50_latency_ns=int(np.percentile(arr, 50)),
         p90_latency_ns=int(np.percentile(arr, 90)),
+    )
+
+
+@dataclass
+class ClosedLoopReport:
+    """Concurrent closed-loop statistics (latencies in milliseconds)."""
+
+    clients: int
+    completed: int
+    shed: int
+    errors: int
+    wall_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    @property
+    def issued(self) -> int:
+        return self.completed + self.shed + self.errors
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of issued queries refused by admission control."""
+        return self.shed / self.issued if self.issued else 0.0
+
+    def rows(self) -> List[tuple]:
+        return [
+            ("clients", self.clients),
+            ("completed", self.completed),
+            ("shed", self.shed),
+            ("errors", self.errors),
+            ("QPS", round(self.qps, 2)),
+            ("shed rate", round(self.shed_rate, 4)),
+            ("Mean latency (ms)", round(self.mean_ms, 3)),
+            ("50.00 percentile latency (ms)", round(self.p50_ms, 3)),
+            ("99.00 percentile latency (ms)", round(self.p99_ms, 3)),
+        ]
+
+
+def run_closed_loop(
+    issue_query: Callable[[int, int], object],
+    clients: int = 16,
+    queries_per_client: int = 8,
+    shed_errors: Tuple[Type[BaseException], ...] = (),
+    warmup: int = 1,
+) -> ClosedLoopReport:
+    """Drive ``issue_query`` from ``clients`` concurrent closed-loop threads.
+
+    Each client thread calls ``issue_query(client, i)``
+    ``queries_per_client`` times back-to-back.  Exceptions matching
+    ``shed_errors`` count as shed (admission control working as
+    designed); any other exception counts as an error — both are
+    latency-excluded.  QPS is completed queries over total wall time.
+
+    Raises:
+        ValueError: if ``clients`` or ``queries_per_client`` < 1.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if queries_per_client < 1:
+        raise ValueError("queries_per_client must be >= 1")
+    for i in range(warmup):
+        issue_query(-1, i)
+
+    lock = threading.Lock()
+    latencies_ms: List[float] = []
+    shed = [0]
+    errors = [0]
+
+    def client(c: int) -> None:
+        for i in range(queries_per_client):
+            start = time.perf_counter()
+            try:
+                issue_query(c, i)
+            except shed_errors:
+                with lock:
+                    shed[0] += 1
+            except Exception:
+                with lock:
+                    errors[0] += 1
+            else:
+                dt_ms = (time.perf_counter() - start) * 1e3
+                with lock:
+                    latencies_ms.append(dt_ms)
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"loadgen-{c}")
+        for c in range(clients)
+    ]
+    bench_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - bench_start
+
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    done = len(latencies_ms)
+    return ClosedLoopReport(
+        clients=clients,
+        completed=done,
+        shed=shed[0],
+        errors=errors[0],
+        wall_s=wall_s,
+        qps=done / wall_s if wall_s > 0 else float("inf"),
+        p50_ms=float(np.percentile(arr, 50)) if done else 0.0,
+        p99_ms=float(np.percentile(arr, 99)) if done else 0.0,
+        mean_ms=float(arr.mean()) if done else 0.0,
     )

@@ -1,0 +1,328 @@
+r"""Worker supervision: spawn, heartbeat, detect, replace.
+
+The :class:`Supervisor` owns the process lifecycle of every worker slot
+so the router never has to reason about half-dead children.  Its state
+machine per slot (DESIGN §14):
+
+::
+
+    SPAWNING --ready--> UP --crash/hang--> DOWN --respawn--> SPAWNING
+        \--slow-start/crash-at-start--> (retry, bounded) --> SPAWNING
+
+* **Crash** detection is ``Process.is_alive()`` going false (also
+  surfaced synchronously to the router as a broken pipe mid-RPC — both
+  paths funnel into the idempotent :meth:`report_down`).
+* **Hang** detection is a stale heartbeat: each worker stamps
+  ``time.monotonic()`` into a shared ``Value`` from a daemon thread; a
+  stamp older than ``hang_timeout_s`` gets the worker SIGKILLed and
+  replaced.  Hangs are counted separately from crashes.
+* **Slow start** is a worker that does not report ready within
+  ``start_timeout_s``; it is killed and respawned up to
+  ``start_retries`` times before the slot is declared failed.
+
+Epochs make replacement unambiguous: every spawn of a slot gets a fresh
+monotonically-increasing epoch, ``report_down(slot, epoch)`` is a no-op
+for any epoch but the current one (a racing crash report about an
+already-replaced worker cannot kill its successor), and per-epoch
+shared-memory segment names mean a replacement never aliases its
+predecessor's mappings.
+
+Health is exported as per-slot gauges — ``cluster.worker.<slot>.up``
+and ``.restarts`` — in whatever registry the router passes in, which
+the existing Prometheus exposition picks up unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+import multiprocessing
+
+from .worker import worker_main
+
+__all__ = ["Supervisor", "WorkerHandle", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class WorkerHandle:
+    """One live (or just-deceased) worker process for a slot."""
+
+    __slots__ = ("slot", "epoch", "proc", "conn", "hb", "up")
+
+    def __init__(self, slot: int, epoch: int, proc, conn, hb) -> None:
+        self.slot = slot
+        self.epoch = epoch
+        self.proc = proc
+        self.conn = conn
+        self.hb = hb
+        self.up = True
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+
+class Supervisor:
+    """Keeps ``slots`` worker processes alive, replacing any that die."""
+
+    def __init__(
+        self,
+        spawn_cfg: Callable[[int, int], Dict[str, object]],
+        slots: int,
+        *,
+        metrics=None,
+        heartbeat_interval_s: float = 0.05,
+        hang_timeout_s: float = 5.0,
+        start_timeout_s: float = 60.0,
+        start_retries: int = 2,
+        on_down: Optional[Callable[[int, int, str], None]] = None,
+        on_up: Optional[Callable[[int, "WorkerHandle"], None]] = None,
+    ) -> None:
+        if not fork_available():  # pragma: no cover - POSIX-only repo
+            raise RuntimeError(
+                "repro.cluster requires the 'fork' start method "
+                "(POSIX); it is unavailable on this platform"
+            )
+        self.spawn_cfg = spawn_cfg
+        self.slots = int(slots)
+        self.metrics = metrics
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.hang_timeout_s = float(hang_timeout_s)
+        self.start_timeout_s = float(start_timeout_s)
+        self.start_retries = int(start_retries)
+        self.on_down = on_down
+        self.on_up = on_up
+        self._ctx = multiprocessing.get_context("fork")
+        self._lock = threading.Lock()
+        self._handles: Dict[int, WorkerHandle] = {}
+        self._epochs: Dict[int, int] = {slot: 0 for slot in range(self.slots)}
+        self._pending: List[int] = []  # slots awaiting respawn
+        self._failed: set = set()  # slots the supervisor gave up on
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- metrics helpers -----------------------------------------------------
+    def _gauge(self, slot: int, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(f"cluster.worker.{slot}.{name}").set(value)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every slot (synchronously) and start the monitor."""
+        for slot in range(self.slots):
+            self._spawn(slot)
+        self._monitor = threading.Thread(  # sanitize: single-thread (start)
+            target=self._monitor_loop, name="cluster-supervisor", daemon=True
+        )
+        self._monitor.start()
+
+    def stop(self, join_timeout_s: float = 5.0) -> None:
+        """Stop monitoring, ask workers to exit, escalate to SIGKILL."""
+        self._stopping.set()
+        self._wake.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=join_timeout_s)
+        with self._lock:
+            handles = list(self._handles.values())
+        for h in handles:
+            try:
+                h.conn.send({"kind": "stop"})
+            except Exception:
+                pass
+        for h in handles:
+            h.proc.join(timeout=join_timeout_s)
+            if h.proc.is_alive():
+                h.proc.kill()
+                h.proc.join(timeout=join_timeout_s)
+            try:
+                h.conn.close()
+            except Exception:
+                pass
+            self._gauge(h.slot, "up", 0)
+
+    # -- queries -------------------------------------------------------------
+    def handle(self, slot: int) -> Optional[WorkerHandle]:
+        """The current handle for ``slot`` if it is up, else ``None``."""
+        with self._lock:
+            h = self._handles.get(slot)
+            return h if h is not None and h.up else None
+
+    def is_up(self, slot: int) -> bool:
+        return self.handle(slot) is not None
+
+    def slot_failed(self, slot: int) -> bool:
+        """Whether the supervisor gave up respawning ``slot`` (start
+        retries exhausted); requests parked there must fail, not wait."""
+        with self._lock:
+            return slot in self._failed
+
+    def live_slots(self) -> List[int]:
+        with self._lock:
+            return [s for s, h in self._handles.items() if h.up]
+
+    def restarts(self, slot: int) -> int:
+        """Completed restarts for ``slot`` (0 for a never-replaced worker)."""
+        with self._lock:
+            return self._epochs.get(slot, 0) - 1 if self._epochs.get(slot) else 0
+
+    # -- fault reporting -----------------------------------------------------
+    def report_down(self, slot: int, epoch: int, reason: str = "crash") -> bool:
+        """Mark ``slot``'s worker of ``epoch`` dead; schedule a replacement.
+
+        Idempotent and epoch-guarded: duplicate reports, or reports about
+        a worker that has already been replaced, are no-ops.  Returns
+        whether this call was the one that took the worker down.
+        """
+        with self._lock:
+            h = self._handles.get(slot)
+            if h is None or not h.up or h.epoch != epoch:
+                return False
+            h.up = False
+            if slot not in self._pending:
+                self._pending.append(slot)
+        self._gauge(slot, "up", 0)
+        self._count(f"cluster.down.{reason}")
+        if self.on_down is not None:
+            try:
+                self.on_down(slot, epoch, reason)
+            except Exception:
+                pass
+        self._wake.set()
+        return True
+
+    def kill(self, slot: int) -> Optional[int]:
+        """SIGKILL ``slot``'s worker (test/selftest hook).
+
+        Returns the killed pid, or ``None`` if the slot was already down.
+        The monitor notices the death and replaces the worker exactly as
+        it would for an organic crash.
+        """
+        h = self.handle(slot)
+        if h is None or h.pid is None:
+            return None
+        try:
+            os.kill(h.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            return None
+        return h.pid
+
+    # -- internals -----------------------------------------------------------
+    def _spawn(self, slot: int) -> WorkerHandle:
+        """Spawn ``slot``'s worker and wait for its ready message."""
+        last_error = "unknown"
+        for attempt in range(self.start_retries + 1):
+            with self._lock:
+                self._epochs[slot] += 1
+                epoch = self._epochs[slot]
+            cfg = self.spawn_cfg(slot, epoch)
+            parent_conn, child_conn = self._ctx.Pipe()
+            hb = self._ctx.Value("d", time.monotonic())
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(slot, cfg, child_conn, hb),
+                name=f"repro-worker-{slot}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            deadline = time.monotonic() + self.start_timeout_s
+            msg = None
+            while time.monotonic() < deadline:
+                if parent_conn.poll(0.02):
+                    try:
+                        msg = parent_conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    break
+                if not proc.is_alive():
+                    break
+            if msg is not None and msg[0] == "ready":
+                handle = WorkerHandle(slot, epoch, proc, parent_conn, hb)
+                with self._lock:
+                    old = self._handles.get(slot)
+                    self._handles[slot] = handle
+                if old is not None:
+                    try:
+                        old.conn.close()
+                    except Exception:
+                        pass
+                self._gauge(slot, "up", 1)
+                self._gauge(slot, "restarts", epoch - 1)
+                if self.on_up is not None:
+                    try:
+                        self.on_up(slot, handle)
+                    except Exception:
+                        pass
+                return handle
+            # Startup failed: typed report, organic crash, or slow start.
+            if msg is not None and msg[0] == "start_failed":
+                last_error = f"{msg[2]}: {msg[3]}"
+                self._count("cluster.start_failed")
+            elif proc.is_alive():
+                last_error = f"no ready within {self.start_timeout_s:.1f}s"
+                self._count("cluster.slow_starts")
+            else:
+                last_error = f"exited with code {proc.exitcode} before ready"
+                self._count("cluster.start_crashes")
+            proc.kill()
+            proc.join(timeout=5.0)
+            try:
+                parent_conn.close()
+            except Exception:
+                pass
+        raise RuntimeError(
+            f"worker slot {slot} failed to start after "
+            f"{self.start_retries + 1} attempts: {last_error}"
+        )
+
+    def _monitor_loop(self) -> None:
+        interval = min(self.heartbeat_interval_s, 0.05)
+        while not self._stopping.is_set():
+            self._wake.wait(timeout=interval)
+            self._wake.clear()  # sanitize: monitor thread is the only clearer
+            if self._stopping.is_set():
+                return
+            with self._lock:
+                handles = list(self._handles.values())
+            now = time.monotonic()
+            for h in handles:
+                if not h.up:
+                    continue
+                if not h.proc.is_alive():
+                    self.report_down(h.slot, h.epoch, reason="crash")
+                elif now - h.hb.value > self.hang_timeout_s:
+                    # Hung: heartbeats stopped but the process lives.
+                    if h.pid is not None:
+                        try:
+                            os.kill(h.pid, signal.SIGKILL)
+                        except ProcessLookupError:
+                            pass
+                    self.report_down(h.slot, h.epoch, reason="hang")
+            while not self._stopping.is_set():
+                with self._lock:
+                    if not self._pending:
+                        break
+                    slot = self._pending.pop(0)
+                try:
+                    self._spawn(slot)
+                    self._count("cluster.replacements")
+                except RuntimeError:
+                    # Slot declared failed; leave it down. New requests
+                    # fail over via the ring's liveness filter, parked
+                    # ones get WorkerLost via slot_failed().
+                    with self._lock:
+                        self._failed.add(slot)
+                    self._count("cluster.slot_failed")

@@ -1,0 +1,230 @@
+"""The worker process: one engine, one request at a time, own everything.
+
+``worker_main`` is the ``multiprocessing.Process`` target.  Each worker
+is a full, isolated engine instance — its own
+:class:`~repro.serving.SessionPool`, arena and (in generation mode) KV
+allocator — so a worker crash loses exactly one shard's state and
+nothing else.  The contract with the router:
+
+* **Serial execution.**  The worker handles one request end to end
+  before reading the next control message; the router's per-slot queue
+  is the only queue.  This is what makes one request/response segment
+  pair per worker sufficient and the crash blast radius exactly one
+  in-flight request.
+* **Fresh process-wide state.**  The worker is forked from a router
+  that may carry live fault plans, metrics and tracers; the first thing
+  it does is install clean ones.  Workers never self-inject faults —
+  crash injection is decided (and counted) router-side, deterministic
+  under the plan seed, and delivered as a ``crash`` marker on the
+  request message.
+* **Crash markers.**  ``crash="early"`` exits before touching the
+  payload (the request was accepted, never started); ``crash="mid"``
+  does real work first — for generation it prefills and decodes half
+  the token budget, mutating the KV arena, *then* dies without replying
+  — so supervision and replay are exercised against a worker that died
+  mid-decode, not one that died conveniently idle.
+* **Deadline re-arming.**  The router serializes a deadline as
+  milliseconds-remaining at send time; the worker re-arms a fresh
+  :class:`~repro.faults.resilience.Deadline` on receipt, so the budget
+  spans the process boundary without requiring synchronized clocks.
+* **Heartbeats.**  A daemon thread stamps ``time.monotonic()`` into a
+  shared ``Value`` on a fixed interval; the supervisor treats a stale
+  stamp as a hang (the GIL is released during kernel work and sleeps,
+  so a busy worker still beats).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from ..faults.errors import ResilienceError
+from ..faults.plan import FaultPlan, set_fault_plan
+from ..faults.resilience import Deadline
+from ..obs.metrics import MetricsRegistry, set_metrics
+from .shm import ShmSegment
+
+__all__ = ["worker_main", "CRASH_EXIT_CODE"]
+
+#: Exit code for injected crashes (distinguishes them from real bugs in
+#: supervisor logs; the supervisor replaces the worker either way).
+CRASH_EXIT_CODE = 13
+
+
+class _Heartbeat(threading.Thread):
+    """Stamps the shared heartbeat value until told to play dead."""
+
+    def __init__(self, hb, interval_s: float) -> None:
+        super().__init__(name="worker-heartbeat", daemon=True)
+        self.hb = hb
+        self.interval_s = interval_s
+        self.stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self.stopped.wait(self.interval_s):
+            self.hb.value = time.monotonic()
+
+
+def _build_engines(cfg: Dict[str, object]):
+    """Construct the worker's serving and/or generation engine from cfg."""
+    engine = None
+    gen_engine = None
+    model_path = cfg.get("model_path")
+    if model_path:
+        from ..ir import load_model
+        from ..serving.engine import Engine, EngineConfig
+
+        graph = load_model(model_path)
+        engine = Engine(graph, EngineConfig(
+            pool_size=int(cfg.get("pool_size", 1)),
+            use_cache=bool(cfg.get("use_cache", False)),
+            cache_dir=cfg.get("cache_dir"),
+        ))
+    genai_cfg = cfg.get("genai")
+    if genai_cfg:
+        from ..genai import GenerationConfig, GenerationEngine
+
+        gen_engine = GenerationEngine(GenerationConfig(**genai_cfg))
+    return engine, gen_engine
+
+
+def _reply_error(conn, request_id: str, exc: BaseException) -> None:
+    extra: Dict[str, object] = {}
+    for attr in ("budget_ms", "elapsed_ms", "where", "site", "kind"):
+        value = getattr(exc, attr, None)
+        if value is not None:
+            extra[attr] = value
+    conn.send(("err", request_id, type(exc).__name__, str(exc), extra))
+
+
+def worker_main(slot: int, cfg: Dict[str, object], conn, hb) -> None:
+    """Process target: build engines, report ready, serve until ``stop``."""
+    # Forked children inherit the router's plan/metrics/tracer; replace
+    # them so worker-side accounting can never pollute the router's
+    # reconciliation equation (faults are counted where they're decided).
+    os.environ.pop("REPRO_FAULTS", None)
+    set_fault_plan(FaultPlan())
+    set_metrics(MetricsRegistry())
+
+    try:
+        engine, gen_engine = _build_engines(cfg)
+        req_seg = ShmSegment.attach(cfg["req_segment"]) if cfg.get("req_segment") else None
+        resp_seg = ShmSegment.attach(cfg["resp_segment"]) if cfg.get("resp_segment") else None
+    except Exception as exc:  # startup failure: tell the supervisor why
+        try:
+            conn.send(("start_failed", slot, type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+        return
+
+    beat = _Heartbeat(hb, float(cfg.get("heartbeat_interval_s", 0.05)) / 2.0)
+    beat.start()
+    dwell_ms = float(cfg.get("device_dwell_ms", 0.0))
+    conn.send(("ready", slot, os.getpid()))
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # router went away; exit quietly
+        kind = msg.get("kind")
+        if kind == "stop":
+            break
+        if kind == "segment":
+            # The router replaced a segment (growth or post-crash respawn
+            # never reaches here — respawned workers attach fresh).
+            seg = ShmSegment.attach(msg["name"])
+            if msg["role"] == "req":
+                if req_seg is not None:
+                    req_seg.close()
+                req_seg = seg
+            else:
+                if resp_seg is not None:
+                    resp_seg.close()
+                resp_seg = seg
+            continue
+        if kind == "hang":
+            # Test/selftest hook: stop heartbeating and stall forever;
+            # the supervisor's hang detector must kill and replace us.
+            beat.stopped.set()
+            while True:
+                time.sleep(3600.0)
+
+        request_id = msg.get("id", "?")
+        crash = msg.get("crash")
+        if crash == "early":
+            os._exit(CRASH_EXIT_CODE)
+        deadline = Deadline.from_ms(msg.get("deadline_ms"))
+        try:
+            if kind == "infer":
+                feeds = req_seg.read_tensors(msg["specs"], msg["gen"])
+                if dwell_ms > 0:
+                    # Simulated device dwell: stands in for the
+                    # accelerator wait of an offloaded backend (cf.
+                    # repro.sim's virtual-clock devices) so worker
+                    # occupancy matches an accelerator-backed deployment.
+                    time.sleep(dwell_ms / 1000.0)
+                out = engine.infer(
+                    feeds,
+                    deadline_ms=deadline.remaining_s() * 1000.0 if deadline else None,
+                )
+                if crash == "mid":
+                    os._exit(CRASH_EXIT_CODE)  # computed, never answered
+                try:
+                    specs = resp_seg.write_tensors(out, msg["gen"])
+                except ValueError:
+                    from .shm import payload_bytes
+
+                    conn.send(("grow", request_id, payload_bytes(out)))
+                    continue
+                conn.send(("ok", request_id, {"specs": specs, "gen": msg["gen"]}))
+            elif kind == "generate":
+                from ..genai import GenRequest, SamplingParams
+
+                params = SamplingParams(**msg.get("params", {}))
+                if crash == "mid":
+                    # Die mid-decode: really prefill and decode half the
+                    # budget (mutating this worker's KV arena), then exit
+                    # without replying.
+                    half = max(1, params.max_tokens // 2)
+                    partial = SamplingParams(
+                        max_tokens=half,
+                        temperature=params.temperature,
+                        top_k=params.top_k,
+                        seed=params.seed,
+                        stop_tokens=params.stop_tokens,
+                    )
+                    gen_engine.generate(
+                        [GenRequest(request_id, list(msg["prompt"]), partial)]
+                    )
+                    os._exit(CRASH_EXIT_CODE)
+                if dwell_ms > 0:
+                    time.sleep(dwell_ms / 1000.0)
+                result = gen_engine.generate(
+                    [GenRequest(request_id, list(msg["prompt"]), params)]
+                )[0]
+                conn.send(("ok", request_id, {
+                    "tokens": list(result.tokens),
+                    "finish_reason": result.finish_reason,
+                }))
+            else:
+                conn.send(("err", request_id, "ProtocolError",
+                           f"unknown message kind {kind!r}", {}))
+        except ResilienceError as exc:
+            _reply_error(conn, request_id, exc)
+        except Exception as exc:  # worker survives; request fails typed
+            _reply_error(conn, request_id, exc)
+
+    # Graceful exit: close engines (runs KV leak checks) and mappings.
+    try:
+        if gen_engine is not None:
+            gen_engine.close()
+        if engine is not None:
+            engine.close()
+    except Exception:
+        pass
+    for seg in (req_seg, resp_seg):
+        if seg is not None:
+            seg.close()

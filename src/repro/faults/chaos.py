@@ -1,8 +1,9 @@
 """The chaos self-test: a seeded fault storm the engine must survive.
 
-``run_chaos_storm`` drives six phases — four over a small CNN, two over
-the autoregressive generation stack — each activating a different slice
-of the fault-point catalog, and checks three things:
+``run_chaos_storm`` drives seven phases — four over a small CNN, two
+over the autoregressive generation stack, one over the multi-process
+cluster tier — each activating a different slice of the fault-point
+catalog, and checks three things:
 
 1. **No crashes** — every request either returns or fails alone with a
    typed :class:`~repro.faults.ResilienceError`; the engine keeps
@@ -20,6 +21,7 @@ of the fault-point catalog, and checks three things:
        faults.injected == retry.attempts + fallback.ops
                         + fallback.numeric + fallback.cache
                         + fallback.evict + faults.isolated
+                        + fallback.replay + cluster.worker_lost
 
 Phases (repeated with per-round seeds until ``target_faults`` is met):
 
@@ -45,6 +47,14 @@ Phases (repeated with per-round seeds until ``target_faults`` is met):
   falls back to a cold prefill) or release half-built children — tokens
   must still equal the *cold* fault-free gold, and under ``sanitize``
   every shared page must be provably released exactly once.
+* **cluster** — ``worker.crash`` faults at the router's dispatch point
+  kill supervised worker processes before starting (transient) or
+  mid-decode (fatal).  The router must never crash: each injected kill
+  resolves as exactly one transparent replay on the next ring-preference
+  worker (``fallback.replay``) or one typed ``WorkerLost``
+  (``cluster.worker_lost``), the supervisor replaces every dead worker,
+  and surviving generations stay bit-identical to the local fault-free
+  gold — served from a different process, through shared memory.
 
 Determinism: all request loops are single-threaded, breakers run with
 ``cooldown_s=0`` (every post-open call probes, so no wall-clock-dependent
@@ -89,6 +99,7 @@ STORM_SITES = (
     "pool.checkout",
     "batch.assemble",
     "kvcache.alloc",
+    "worker.crash",
 )
 
 
@@ -157,6 +168,15 @@ class ChaosReport:
     #: without the recorder are unaffected.
     deadline_trips: int = 0
     dumps: int = 0
+    #: Cluster-phase tallies: injected ``worker.crash`` faults resolve as
+    #: transparent replays (``fallback.replay``) or typed ``WorkerLost``
+    #: outcomes (``cluster.worker_lost``) — both absorb into the
+    #: equation.  ``replacements`` counts supervisor respawns (outside
+    #: the equation: one crash may be observed by both the monitor and
+    #: an in-flight RPC, but is replaced exactly once).
+    replays: int = 0
+    worker_lost: int = 0
+    replacements: int = 0
     site_counts: Dict[str, int] = field(default_factory=dict)
     events: List[Tuple[str, str]] = field(default_factory=list)
     phases: List[PhaseResult] = field(default_factory=list)
@@ -167,6 +187,7 @@ class ChaosReport:
         return (
             self.retries + self.fallback_ops + self.fallback_numeric
             + self.fallback_cache + self.fallback_evict + self.isolated
+            + self.replays + self.worker_lost
         )
 
     @property
@@ -205,9 +226,13 @@ class ChaosReport:
             f"+ numeric fallbacks {self.fallback_numeric} "
             f"+ cache fallbacks {self.fallback_cache} "
             f"+ evictions {self.fallback_evict} "
-            f"+ isolated {self.isolated}",
+            f"+ isolated {self.isolated} "
+            f"+ crash replays {self.replays} "
+            f"+ workers lost {self.worker_lost}",
             f"  breaker    {self.breaker_opens} opens, "
             f"{self.short_circuits} short circuits (outside the equation)",
+            f"  cluster    {self.replacements} worker replacements "
+            f"(outside the equation)",
         ]
         if self.sanitized:
             lines.append(
@@ -496,6 +521,62 @@ def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer, tracker) -> Non
     _finish_phase(result, plan, report)
 
 
+#: Worker-side generation config for the cluster phase (plain kwargs —
+#: it crosses the process boundary).  The phase's gold engine is built
+#: from the *same* dict, so "bit-identical" compares a cross-process,
+#: shared-memory-transported generation against a local in-process one.
+_CLUSTER_GENAI: Dict[str, object] = dict(
+    vocab=64, max_seq=24, d_model=16, heads=2, layers=1, seed=11,
+    max_batch=2, page_tokens=4, capacity_tokens=64, smallest_bucket=8,
+)
+
+
+def _phase_cluster(cluster, prompts, gold_tokens, seed, report) -> None:
+    """Cluster storm: supervised workers killed early and mid-decode.
+
+    The ``worker.crash`` site fires router-side at dispatch, so the
+    injection sequence is a pure function of the seed even though the
+    victims are separate processes.  Requests alternate loss policy:
+    even indices replay transparently (full re-prefill on the next live
+    ring-preference worker), odd ones fail fast with typed
+    ``WorkerLost``.  Either way the router must keep serving, the
+    supervisor must replace every corpse, and completed requests must
+    emit exactly the local fault-free gold tokens.
+    """
+    from ..cluster import WorkerLost
+
+    plan = FaultPlan([
+        FaultRule("worker.crash", "fatal", times=1),
+        FaultRule("worker.crash", "transient", p=0.5, times=2),
+    ], seed=seed)
+    result = PhaseResult("cluster")
+    # Crash injection is decided (and counted) in the router process;
+    # workers never see the plan, so one long-lived cluster can serve
+    # every round with that round's plan swapped in.
+    cluster.faults = plan
+    try:
+        for i, prompt in enumerate(prompts):
+            result.requests += 1
+            policy = "replay" if i % 2 == 0 else "error"
+            try:
+                outcome = cluster.generate(
+                    prompt, {"max_tokens": 8},
+                    session_key=f"storm-{i}", on_worker_lost=policy,
+                )
+            except WorkerLost:
+                result.failed += 1  # typed, isolated to this request
+            except Exception:
+                result.crashes += 1
+            else:
+                if outcome.finish_reason == "error":
+                    result.failed += 1
+                elif outcome.tokens != gold_tokens[i]:
+                    result.mismatched += 1
+    finally:
+        cluster.faults = FaultPlan()
+    _finish_phase(result, plan, report)
+
+
 def _probe_deadline(graph, feeds, tracker: RequestTracker) -> int:
     """Deadline probe: a stalled checkout under a tight budget must trip
     :class:`DeadlineExceeded` and leave a postmortem in the recorder.
@@ -539,7 +620,7 @@ def run_chaos_storm(
     sanitize: bool = False,
     postmortem_dir: Optional[str] = None,
 ) -> ChaosReport:
-    """Run the six-phase fault storm until ``target_faults`` have fired.
+    """Run the seven-phase fault storm until ``target_faults`` have fired.
 
     Installs a fresh process-wide metrics registry (and a disabled
     process-wide fault plan, so gold runs stay clean even under
@@ -576,6 +657,7 @@ def run_chaos_storm(
             ),
         )
     tmp = tempfile.mkdtemp(prefix="repro-chaos-")
+    cluster = None
     try:
         rng = np.random.default_rng(seed)
         in_name = graph.inputs[0]
@@ -660,6 +742,32 @@ def run_chaos_storm(
             )
         ]
 
+        # Phase G (cluster): its own prompt set, gold generated by a
+        # local engine built from the exact worker config — so the
+        # bit-identity check spans the process boundary.  One cluster
+        # serves every round (the per-round plan is swapped in at the
+        # router; workers never hold it), with the storm's sanitizer
+        # guarding the shared-memory segment lifecycle.
+        from ..cluster import Cluster, ClusterConfig
+        from ..genai import GenerationConfig, GenerationEngine as _GE
+
+        cluster_prompts = [
+            [int(t) for t in rng.integers(0, 64, size=int(length))]
+            for length in rng.integers(2, 7, size=5)
+        ]
+        cluster_gold_engine = _GE(GenerationConfig(**_CLUSTER_GENAI))
+        gold_cluster = [
+            r.tokens
+            for r in cluster_gold_engine.generate(
+                cluster_prompts, SamplingParams(max_tokens=8)
+            )
+        ]
+        cluster_gold_engine.close()
+        cluster = Cluster(config=ClusterConfig(
+            workers=2, genai=dict(_CLUSTER_GENAI), replay_budget=2,
+            metrics=get_metrics(), sanitize=sanitizer, requests=tracker,
+        ))
+
         while report.injected < target_faults and report.rounds < max_rounds:
             base = seed + report.rounds * 1000
             _phase_cache(
@@ -681,9 +789,17 @@ def run_chaos_storm(
             _phase_prefix(
                 prefix_prompts, gold_prefix, base + 6, report, sanitizer, tracker
             )
+            _phase_cluster(
+                cluster, cluster_prompts, gold_cluster, base + 7, report
+            )
             report.rounds += 1
             metrics = get_metrics()
             report.injected = int(metrics.value("faults.injected"))
+
+        # Close the cluster before the tallies (and before a sanitizer
+        # report): shutdown must unlink every shared-memory segment, and
+        # a leaked one would — correctly — fail the lifecycle check.
+        cluster.close()
 
         if tracker is not None:
             # The probe swaps in a private registry (see _probe_deadline),
@@ -700,6 +816,9 @@ def run_chaos_storm(
         report.fallback_cache = int(metrics.value("fallback.cache"))
         report.fallback_evict = int(metrics.value("fallback.evict"))
         report.isolated = int(metrics.value("faults.isolated"))
+        report.replays = int(metrics.value("fallback.replay"))
+        report.worker_lost = int(metrics.value("cluster.worker_lost"))
+        report.replacements = int(metrics.value("cluster.replacements"))
         report.breaker_opens = int(metrics.value("breaker.opens"))
         report.short_circuits = int(metrics.value("breaker.short_circuits"))
         report.cache_corrupt = int(metrics.value("cache.corrupt"))
@@ -713,6 +832,8 @@ def run_chaos_storm(
             report.leaks = int(metrics.value("sanitize.leaks"))
         return report
     finally:
+        if cluster is not None:
+            cluster.close()  # idempotent; reaps workers on error paths
         shutil.rmtree(tmp, ignore_errors=True)
         set_metrics(prev_metrics)
         set_fault_plan(prev_plan)

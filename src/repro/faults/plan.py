@@ -69,6 +69,9 @@ FAULT_SITES: Dict[str, str] = {
     "batch.assemble": "micro-batch assembly/run failure (exercises bisection)",
     "kvcache.alloc": "KV-cache slab allocation failure: flaky arena (transient) "
                      "or hard OOM (fatal, exercises eviction + retry)",
+    "worker.crash": "cluster worker process death, decided router-side at "
+                    "dispatch: killed before starting (transient) or "
+                    "mid-decode (fatal); exercises supervision + replay",
 }
 
 FAULT_KINDS: Tuple[str, ...] = ("transient", "fatal", "delay", "nan", "corrupt", "torn")

@@ -15,6 +15,7 @@ Usage::
     python -m repro.tools.cli metrics [model.rmnn] [--runs 10] [--prom] [--selftest]
     python -m repro.tools.cli warm model.rmnn [--cache-dir DIR]
     python -m repro.tools.cli serve model.rmnn --requests 64 --clients 4 [--selftest]
+    python -m repro.tools.cli cluster [model.rmnn] --workers 2 --requests 32 [--selftest]
     python -m repro.tools.cli estimate model.rmnn --device Mate20 --engine MNN
     python -m repro.tools.cli devices
     python -m repro.tools.cli schemes model.rmnn
@@ -433,6 +434,91 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Multi-process router/worker tier: load drive, or crash-recovery
+    selftest (spawn workers, SIGKILL one mid-session, assert supervised
+    replacement and bit-identical post-recovery serving)."""
+    import time as _time
+
+    from ..bench import run_closed_loop
+    from ..cluster import Backpressure, Cluster, ClusterConfig, Overloaded
+    from ..obs import MetricsRegistry, to_prometheus
+
+    if args.model:
+        graph = _load(args.model)
+    else:
+        from ..faults.chaos import default_chaos_graph
+
+        graph = default_chaos_graph()
+    feeds = _random_feeds(graph)
+    metrics = MetricsRegistry()
+    cluster = Cluster(graph, ClusterConfig(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        device_dwell_ms=args.dwell_ms,
+        metrics=metrics,
+    ))
+    try:
+        print(f"cluster:  {args.workers} supervised workers, "
+              f"queue bound {args.queue_depth}, "
+              f"dwell {args.dwell_ms:.1f} ms")
+        gold = cluster.infer(feeds)
+        if args.selftest:
+            health = cluster.health()
+            if not all(h["up"] for h in health.values()):
+                print("selftest: FAILED — not all workers came up")
+                return 1
+            print(f"selftest: all {args.workers} workers up, "
+                  f"gold response recorded")
+            pid = cluster.supervisor.kill(0)
+            print(f"selftest: SIGKILLed worker 0 (pid {pid})")
+            deadline = _time.monotonic() + 60.0
+            while _time.monotonic() < deadline:
+                if (cluster.supervisor.restarts(0) >= 1
+                        and cluster.supervisor.is_up(0)):
+                    break
+                _time.sleep(0.02)
+            else:
+                print("selftest: FAILED — supervisor never replaced worker 0")
+                return 1
+            print(f"selftest: supervisor replaced worker 0 "
+                  f"(restarts={cluster.supervisor.restarts(0)})")
+            out = cluster.infer(feeds, session_key="selftest")
+            identical = set(out) == set(gold) and all(
+                np.array_equal(out[k], gold[k]) for k in out
+            )
+            health = cluster.health()
+            if not identical:
+                print("selftest: FAILED — post-recovery output diverged")
+                return 1
+            if not all(h["up"] for h in health.values()):
+                print("selftest: FAILED — a worker is down after recovery")
+                return 1
+            print("selftest: post-recovery response bit-identical; health: "
+                  + ", ".join(
+                      f"w{s}(up={h['up']}, restarts={h['restarts']})"
+                      for s, h in sorted(health.items())
+                  ))
+            print("selftest: OK")
+            return 0
+        rep = run_closed_loop(
+            lambda c, i: cluster.infer(feeds),
+            clients=args.clients,
+            queries_per_client=max(1, args.requests // max(1, args.clients)),
+            shed_errors=(Backpressure, Overloaded),
+        )
+        for label, value in rep.rows():
+            print(f"  {label:32s} {value}")
+        for slot, h in sorted(cluster.health().items()):
+            print(f"  worker {slot}: up={h['up']} depth={h['queue_depth']} "
+                  f"restarts={h['restarts']}")
+        if args.prom:
+            print(to_prometheus(metrics))
+        return 0
+    finally:
+        cluster.close()
+
+
 def cmd_estimate(args) -> int:
     from ..baselines import ENGINES
     from ..devices import DEVICES, get_device
@@ -800,6 +886,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="record serving + execution spans to a Chrome trace")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("cluster", help="multi-process router/worker serving "
+                                       "tier (sharded, supervised, "
+                                       "crash-tolerant)")
+    p.add_argument("model", nargs="?", default=None,
+                   help=".rmnn model (default: built-in chaos CNN)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="per-worker admission bound (queued + in flight)")
+    p.add_argument("--dwell-ms", type=float, default=2.0,
+                   help="simulated per-request device dwell inside each "
+                        "worker (models an accelerator-backed deployment)")
+    p.add_argument("--selftest", action="store_true",
+                   help="spawn workers, SIGKILL one, assert the supervisor "
+                        "replaces it and serving stays bit-identical")
+    p.add_argument("--prom", action="store_true",
+                   help="also export the router registry in Prometheus "
+                        "text exposition format")
+    p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser("estimate", help="model latency on a phone (simulator)")
     p.add_argument("model")

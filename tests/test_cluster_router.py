@@ -1,0 +1,261 @@
+"""Router/worker tier end-to-end: real processes, real kills.
+
+Everything here spawns actual forked worker processes (hence the
+``cluster`` marker): cross-process serving must stay bit-identical to a
+local in-process engine, session placement must be sticky and
+deterministic, admission control must shed with the typed backpressure
+taxonomy, and a SIGKILLed worker must be replaced by the supervisor with
+the losses surfaced per the request's policy — including the satellite
+rule that a deadline expiring around a dead worker is reported as
+``DeadlineExceeded``, never ``WorkerLost``.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Backpressure,
+    Cluster,
+    ClusterConfig,
+    Overloaded,
+    WorkerLost,
+    fork_available,
+)
+from repro.faults import DeadlineExceeded, FaultPlan, FaultRule
+from repro.faults.chaos import default_chaos_graph
+from repro.genai import GenerationConfig, GenerationEngine, SamplingParams
+from repro.obs import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.requests import RequestTracker
+
+pytestmark = [
+    pytest.mark.cluster,
+    pytest.mark.skipif(not fork_available(),
+                       reason="cluster tier needs the fork start method"),
+]
+
+RNG = np.random.default_rng(17)
+
+GENAI = dict(vocab=48, max_seq=24, d_model=16, heads=2, layers=1, seed=7,
+             max_batch=2, page_tokens=4, capacity_tokens=64,
+             smallest_bucket=8)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return default_chaos_graph()
+
+
+@pytest.fixture(scope="module")
+def feeds(net):
+    return {
+        net.inputs[0]: RNG.standard_normal(
+            net.desc(net.inputs[0]).shape).astype(np.float32)
+    }
+
+
+@pytest.fixture(scope="module")
+def gold(net, feeds):
+    from repro.serving import Engine, EngineConfig
+
+    engine = Engine(net, EngineConfig(pool_size=1))
+    return engine.infer(feeds)
+
+
+def _wait_recovered(cluster, slot, timeout_s=60.0):
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < timeout_s:
+        if (cluster.supervisor.restarts(slot) >= 1
+                and cluster.supervisor.is_up(slot)):
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestBitIdentity:
+    def test_infer_matches_local_engine(self, net, feeds, gold):
+        with Cluster(net, ClusterConfig(
+                workers=2, metrics=MetricsRegistry())) as cluster:
+            out = cluster.infer(feeds)
+            assert set(out) == set(gold)
+            for name in gold:
+                np.testing.assert_array_equal(out[name], gold[name])
+
+    def test_generate_matches_local_engine(self):
+        prompts = [[1, 2, 3], [4, 5], [6, 7, 8, 9]]
+        local = GenerationEngine(GenerationConfig(**GENAI))
+        gold = [list(r.tokens)
+                for r in local.generate(prompts, SamplingParams(max_tokens=8))]
+        with Cluster(config=ClusterConfig(
+                workers=2, genai=dict(GENAI),
+                metrics=MetricsRegistry())) as cluster:
+            for i, prompt in enumerate(prompts):
+                out = cluster.generate(prompt, {"max_tokens": 8},
+                                       session_key=f"s{i}")
+                assert out.tokens == gold[i]
+                assert out.finish_reason in ("stop", "length")
+
+
+class TestAffinity:
+    def test_session_key_is_sticky(self, net, feeds, tmp_path):
+        reg = MetricsRegistry()
+        recorder = FlightRecorder(out_dir=str(tmp_path), metrics=reg)
+        tracker = RequestTracker(metrics=reg, recorder=recorder)
+        with Cluster(net, ClusterConfig(
+                workers=2, metrics=reg, requests=tracker)) as cluster:
+            for _ in range(5):
+                cluster.infer(feeds, session_key="sticky-session")
+        workers = set()
+        for rid in (f"clu-{n}" for n in range(1, 6)):
+            admitted = [e for e in recorder.events(rid) if e.name == "admitted"]
+            assert admitted, f"no admitted event for {rid}"
+            workers.add(admitted[0].args["worker"])
+        assert len(workers) == 1  # every request landed on the same slot
+
+    def test_keyless_requests_spread(self, net, feeds):
+        # Two keyless requests held in flight must occupy two workers
+        # (least-loaded placement), observable via the depth gauges.
+        reg = MetricsRegistry()
+        with Cluster(net, ClusterConfig(
+                workers=2, metrics=reg, device_dwell_ms=150.0)) as cluster:
+            f1 = cluster.submit_infer(feeds)
+            f2 = cluster.submit_infer(feeds)
+            time.sleep(0.03)
+            health = cluster.health()
+            assert [health[s]["queue_depth"] for s in (0, 1)] == [1, 1]
+            f1.result()
+            f2.result()
+
+
+class TestAdmissionControl:
+    def test_backpressure_typed_with_postmortem(self, net, feeds, tmp_path):
+        reg = MetricsRegistry()
+        recorder = FlightRecorder(out_dir=str(tmp_path), metrics=reg)
+        tracker = RequestTracker(metrics=reg, recorder=recorder)
+        with Cluster(net, ClusterConfig(
+                workers=2, max_queue_depth=1, device_dwell_ms=200.0,
+                metrics=reg, requests=tracker)) as cluster:
+            first = cluster.submit_infer(feeds, session_key="pinned")
+            with pytest.raises(Backpressure) as exc:
+                cluster.infer(feeds, session_key="pinned")
+            assert exc.value.bound == 1
+            assert exc.value.depth >= 1
+            first.result()  # the in-flight request is unaffected
+        assert reg.value("router.shed.backpressure") == 1
+        # The shed left a flight-recorder postmortem naming the error.
+        dumps = [p for p in recorder.dumps if "Backpressure" in p]
+        assert len(dumps) == 1
+        with open(dumps[0], encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["trigger"] == "Backpressure"
+        assert payload["request"] is not None
+
+    def test_overloaded_when_every_worker_full(self, net, feeds):
+        reg = MetricsRegistry()
+        with Cluster(net, ClusterConfig(
+                workers=2, max_queue_depth=1, device_dwell_ms=200.0,
+                metrics=reg)) as cluster:
+            inflight = [cluster.submit_infer(feeds) for _ in range(2)]
+            with pytest.raises(Overloaded) as exc:
+                cluster.infer(feeds)  # keyless, nowhere to go
+            assert exc.value.capacity == 2
+            for f in inflight:
+                f.result()
+        assert reg.value("router.shed.overloaded") == 1
+
+
+class TestSupervision:
+    def test_sigkill_is_recovered_bit_identical(self, net, feeds, gold):
+        with Cluster(net, ClusterConfig(
+                workers=2, metrics=MetricsRegistry())) as cluster:
+            cluster.infer(feeds)
+            cluster.supervisor.kill(0)
+            assert _wait_recovered(cluster, 0)
+            health = cluster.health()
+            assert health[0]["up"] and health[0]["restarts"] == 1
+            out = cluster.infer(feeds, session_key="post-recovery")
+            for name in gold:
+                np.testing.assert_array_equal(out[name], gold[name])
+
+
+class TestWorkerLoss:
+    def test_error_policy_surfaces_typed_loss_with_postmortem(
+            self, net, feeds, tmp_path):
+        reg = MetricsRegistry()
+        recorder = FlightRecorder(out_dir=str(tmp_path), metrics=reg)
+        tracker = RequestTracker(metrics=reg, recorder=recorder)
+        plan = FaultPlan([FaultRule("worker.crash", "transient", times=1)],
+                         seed=3)
+        with Cluster(net, ClusterConfig(
+                workers=2, metrics=reg, requests=tracker,
+                faults=plan)) as cluster:
+            with pytest.raises(WorkerLost) as exc:
+                cluster.infer(feeds, session_key="doomed",
+                              on_worker_lost="error")
+            assert exc.value.request_id.startswith("clu-")
+            assert exc.value.replays == 0
+            # The router survives and keeps serving on live workers.
+            cluster.infer(feeds, session_key="doomed", on_worker_lost="error")
+        assert plan.injected == 1
+        assert reg.value("cluster.lost") == 1
+        dumps = [p for p in recorder.dumps if "WorkerLost" in p]
+        assert len(dumps) == 1
+        with open(dumps[0], encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["trigger"] == "WorkerLost"
+
+    def test_replay_policy_is_transparent_and_bit_identical(
+            self, net, feeds, gold):
+        reg = MetricsRegistry()
+        plan = FaultPlan([FaultRule("worker.crash", "transient", times=1)],
+                         seed=3)
+        with Cluster(net, ClusterConfig(
+                workers=2, metrics=reg, faults=plan)) as cluster:
+            out = cluster.infer(feeds, session_key="survivor",
+                                on_worker_lost="replay")
+            for name in gold:
+                np.testing.assert_array_equal(out[name], gold[name])
+        assert plan.injected == 1
+        assert reg.value("cluster.replays") == 1
+
+    def test_expired_deadline_on_dead_worker_is_deadline_exceeded(
+            self, net, feeds):
+        # Satellite rule: the budget ran out; which worker was going to
+        # serve the request is an implementation detail.  A request whose
+        # deadline expires while its (only) slot is dead and awaiting a
+        # supervisor replacement must surface DeadlineExceeded, never
+        # WorkerLost — even under the replay policy, which would happily
+        # keep re-queueing it on the dead slot otherwise.
+        with Cluster(net, ClusterConfig(
+                workers=1, replay_budget=1000,
+                metrics=MetricsRegistry())) as cluster:
+            cluster.infer(feeds)  # workers warm; respawn cost is real
+            cluster.supervisor.kill(0)
+            # 8 ms is comfortably below the respawn floor (a fork plus a
+            # fresh engine build, ~20 ms+), so the budget always runs out
+            # while the slot is still down.
+            with pytest.raises(DeadlineExceeded):
+                cluster.infer(feeds, session_key="late", deadline_ms=8.0,
+                              on_worker_lost="replay")
+            assert _wait_recovered(cluster, 0)  # the slot still comes back
+
+
+class TestLifecycle:
+    def test_closed_cluster_refuses_submissions(self, net, feeds):
+        cluster = Cluster(net, ClusterConfig(
+            workers=2, metrics=MetricsRegistry()))
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            cluster.infer(feeds)
+
+    def test_health_reports_every_slot(self, net):
+        with Cluster(net, ClusterConfig(
+                workers=3, metrics=MetricsRegistry())) as cluster:
+            health = cluster.health()
+            assert sorted(health) == [0, 1, 2]
+            assert all(health[s]["up"] for s in health)
+            assert all(health[s]["queue_depth"] == 0 for s in health)

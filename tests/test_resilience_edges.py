@@ -1,0 +1,181 @@
+"""Concurrency edges of the resilience primitives.
+
+The sequential contracts (open-after-threshold, typed pool timeout) live
+in ``test_faults_resilience``; these tests drive the same primitives from
+many threads at once, because the bugs they guard against — two HALF_OPEN
+probes racing through one cool-down expiry, a checkout storm starving a
+bounded pool — only exist under contention.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Session
+from repro.faults import PoolTimeout
+from repro.faults.resilience import CircuitBreaker
+from repro.ir import GraphBuilder
+from repro.serving.pool import SessionPool
+
+
+def tiny_net(hw=8):
+    b = GraphBuilder("tiny", seed=2)
+    x = b.input("data", (1, 3, hw, hw))
+    x = b.conv(x, oc=4, kernel=3, activation="relu", name="conv1")
+    x = b.fc(b.global_avg_pool(x), units=4)
+    b.output(b.softmax(x))
+    return b.finish()
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic breakers."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _race(n_threads, fn):
+    """Run ``fn(i)`` from n threads released simultaneously; return results."""
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+
+    def run(i):
+        barrier.wait()
+        results[i] = fn(i)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+class TestHalfOpenRace:
+    def _opened_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(10.0)  # cool-down expires -> HALF_OPEN
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        return breaker, clock
+
+    def test_concurrent_allow_admits_exactly_one_probe(self):
+        # The race: many callers observe HALF_OPEN at the same expiry.
+        # Exactly one may probe the primary; everyone else must keep
+        # short-circuiting, or a still-down backend gets a thundering
+        # herd the breaker existed to prevent.
+        breaker, _ = self._opened_breaker()
+        admitted = _race(16, lambda i: breaker.allow())
+        assert admitted.count(True) == 1
+        # The admitted probe re-armed OPEN: no more probes this window.
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.allow() is False
+
+    def test_failed_probe_reopens_for_a_full_cooldown(self):
+        breaker, clock = self._opened_breaker()
+        assert breaker.allow() is True  # the probe
+        clock.advance(6.0)  # probe takes a while to fail...
+        breaker.record_failure()
+        # ...and the cool-down restarts from the *failure*, not the
+        # original open: 6s later is not probe time yet.
+        clock.advance(6.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.allow() is False
+        clock.advance(4.0)  # full 10s since the failed probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow() is True
+
+    def test_successful_probe_closes_for_all_racers(self):
+        breaker, _ = self._opened_breaker()
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert all(_race(8, lambda i: breaker.allow()))
+
+
+class TestCheckoutStorm:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        net = tiny_net()
+        return SessionPool(lambda: Session(net), size=2)
+
+    def test_storm_gets_typed_timeouts_not_hangs(self, pool):
+        # 12 threads storm a 2-session pool while both sessions are
+        # pinned: every checkout must resolve to a typed PoolTimeout —
+        # bounded backpressure — never a hang or a raw queue.Empty.
+        hold = threading.Event()
+        pinned = threading.Barrier(3)
+
+        def pin():
+            with pool.acquire():
+                pinned.wait()
+                hold.wait()
+
+        holders = [threading.Thread(target=pin) for _ in range(2)]
+        for t in holders:
+            t.start()
+        pinned.wait()  # both sessions checked out
+
+        def attempt(i):
+            try:
+                with pool.acquire(timeout=0.05):
+                    return "acquired"
+            except PoolTimeout as exc:
+                assert exc is not None
+                return "timeout"
+
+        try:
+            outcomes = _race(12, attempt)
+        finally:
+            hold.set()
+            for t in holders:
+                t.join()
+        assert outcomes.count("timeout") == 12
+
+    def test_storm_with_churn_makes_progress(self, pool):
+        # Same storm, but holders release: checkouts must drain with a
+        # mix of successes and typed timeouts, and the pool must end
+        # fully idle (no leaked checkouts under contention).
+        def attempt(i):
+            try:
+                with pool.acquire(timeout=2.0):
+                    return "acquired"
+            except PoolTimeout:
+                return "timeout"
+
+        outcomes = _race(12, attempt)
+        assert outcomes.count("acquired") == 12
+        assert pool.idle() == 2
+
+    def test_timeout_carries_pool_shape(self, pool):
+        hold = threading.Event()
+        pinned = threading.Barrier(3)
+
+        def pin():
+            with pool.acquire():
+                pinned.wait()
+                hold.wait()
+
+        holders = [threading.Thread(target=pin) for _ in range(2)]
+        for t in holders:
+            t.start()
+        pinned.wait()
+        try:
+            with pytest.raises(PoolTimeout) as exc:
+                with pool.acquire(timeout=0.01):
+                    pass
+        finally:
+            hold.set()
+            for t in holders:
+                t.join()
+        assert exc.value.size == 2
+        assert exc.value.idle == 0
+        assert exc.value.wait_s >= 0.0
