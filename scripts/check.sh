@@ -3,7 +3,7 @@
 #
 #   ./scripts/check.sh
 #
-# Nine stages, each of which must pass:
+# Ten stages, each of which must pass:
 #
 #   1. Static concurrency lint (rule family C0xx) over src/repro itself,
 #      in strict mode — warnings fail too.
@@ -34,6 +34,10 @@
 #      tier, SIGKILL a worker mid-run, and require the supervisor to
 #      replace it with the post-recovery response bit-identical to the
 #      pre-kill gold.
+#  10. Quantization self-test: per-channel int8 weights must hold the
+#      logits max-abs-error contract and pass the Q-rule lint, seeded
+#      replay over int8 weights + int8 KV must be bit-identical, and
+#      the int8 KV layout must fit >= 3x the tokens per arena byte.
 #
 # Total runtime is a few minutes on a laptop.
 
@@ -44,11 +48,11 @@ export PYTHONPATH=src
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "== [1/9] static concurrency lint (C0xx, strict) =="
+echo "== [1/10] static concurrency lint (C0xx, strict) =="
 python -m repro.tools.cli sanitize --static-only --strict
 
 echo
-echo "== [2/9] strict model lint over the registered zoo =="
+echo "== [2/10] strict model lint over the registered zoo =="
 models=$(python -c "from repro.models import MODEL_REGISTRY; print(' '.join(sorted(MODEL_REGISTRY)))")
 for name in $models; do
     echo "-- $name"
@@ -57,15 +61,15 @@ for name in $models; do
 done
 
 echo
-echo "== [3/9] lint_self + sanitize pytest markers =="
+echo "== [3/10] lint_self + sanitize pytest markers =="
 python -m pytest -q -m "lint_self or sanitize"
 
 echo
-echo "== [4/9] 50-fault sanitized chaos storm =="
+echo "== [4/10] 50-fault sanitized chaos storm =="
 python -m repro.tools.cli chaos --faults 50 --sanitize
 
 echo
-echo "== [5/9] cold-start guard (incremental cold < 2x warm) =="
+echo "== [5/10] cold-start guard (incremental cold < 2x warm) =="
 python - <<'PY'
 from repro.converter import optimize
 from repro.core import SessionConfig
@@ -102,16 +106,16 @@ assert cold_ms < 2.0 * warm_ms, (
 PY
 
 echo
-echo "== [6/9] prometheus export self-test =="
+echo "== [6/10] prometheus export self-test =="
 python -m repro.tools.cli metrics --prom --selftest >/dev/null
 python -m repro.tools.cli metrics --prom --selftest | tail -n 1
 
 echo
-echo "== [7/9] request-timeline overhead guard (<5% disabled) =="
+echo "== [7/10] request-timeline overhead guard (<5% disabled) =="
 python -m pytest -q tests/test_obs_requests.py -k overhead
 
 echo
-echo "== [8/9] bench-regression gate (two-run trajectory) =="
+echo "== [8/10] bench-regression gate (two-run trajectory) =="
 export REPRO_BENCH_DIR="$tmpdir/bench"
 python -m pytest -q benchmarks/bench_prefix_cache.py
 python -m pytest -q benchmarks/bench_prefix_cache.py
@@ -119,8 +123,12 @@ python -m repro.tools.cli regress "$REPRO_BENCH_DIR"/BENCH_*.json
 unset REPRO_BENCH_DIR
 
 echo
-echo "== [9/9] cluster supervision self-test (kill a worker, stay bit-identical) =="
+echo "== [9/10] cluster supervision self-test (kill a worker, stay bit-identical) =="
 python -m repro.tools.cli cluster --selftest
+
+echo
+echo "== [10/10] quantization self-test (accuracy, determinism, capacity) =="
+python -m repro.tools.cli quantize --selftest
 
 echo
 echo "check.sh: all gates passed"

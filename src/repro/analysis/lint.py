@@ -37,6 +37,7 @@ Usage::
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -542,6 +543,135 @@ def _quant_boundary(ctx: LintContext) -> Iterator[Diagnostic]:
                     f"Dequantize applied to {d.dtype.value} tensor {node.inputs[0]!r}",
                     node=node.name, tensor=node.inputs[0],
                 )
+
+
+# ---------------------------------------------------------------------------
+# Quantization-metadata rules (Q0xx): the scale attrs stamped by
+# repro.quant.quantize_graph are load-bearing numerics — a corrupt or
+# missing scale is a silent miscompile, so these land as typed
+# diagnostics instead of downstream garbage.
+# ---------------------------------------------------------------------------
+
+def _scale_values(raw) -> List[float]:
+    """Flatten a scale attr (scalar or sequence) to a float list.
+
+    Raises ``(TypeError, ValueError)`` on non-numeric junk — callers
+    diagnose that as its own finding.
+    """
+    if isinstance(raw, (list, tuple)):
+        return [float(v) for v in raw]
+    return [float(raw)]
+
+
+@rule("Q001", "quantization scale overflow / degenerate scale")
+def _q001_scale_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.graph.nodes:
+        for attr in ("scale", "input_scale", "weight_scales"):
+            raw = node.attrs.get(attr)
+            if raw is None:
+                continue
+            try:
+                values = _scale_values(raw)
+            except (TypeError, ValueError):
+                yield error(
+                    "Q001",
+                    f"attr {attr!r} is not numeric: {raw!r}",
+                    node=node.name,
+                    hint="scale metadata was corrupted; re-run quantization",
+                )
+                continue
+            for i, v in enumerate(values):
+                if not math.isfinite(v):
+                    yield error(
+                        "Q001",
+                        f"attr {attr!r}[{i}] is non-finite ({v!r}) — "
+                        f"dequantization would overflow every element",
+                        node=node.name,
+                    )
+                elif v <= 0.0:
+                    yield error(
+                        "Q001",
+                        f"attr {attr!r}[{i}] is {v!r}; symmetric scales must "
+                        f"be positive (zero collapses the channel, negative "
+                        f"flips its sign)",
+                        node=node.name,
+                    )
+
+
+@rule("Q002", "zero-point outside int8 range / asymmetric zero-point")
+def _q002_zero_point(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.graph.nodes:
+        if node.op_type not in (Op.QUANTIZE, Op.DEQUANTIZE):
+            continue
+        raw = node.attrs.get("zero_point")
+        if raw is None:
+            continue
+        try:
+            zp = int(raw)
+        except (TypeError, ValueError):
+            yield error(
+                "Q002",
+                f"zero_point is not an integer: {raw!r}",
+                node=node.name,
+            )
+            continue
+        if not -128 <= zp <= 127:
+            yield error(
+                "Q002",
+                f"zero_point {zp} outside the int8 range [-128, 127]",
+                node=node.name,
+            )
+        elif zp != 0:
+            yield warning(
+                "Q002",
+                f"zero_point {zp} != 0: this engine's kernels are symmetric "
+                f"(zero-point 0) and will ignore the offset",
+                node=node.name,
+            )
+
+
+#: GEMM-family ops whose int8 weights carry per-output-channel scales.
+_SCALED_WEIGHT_OPS = (Op.MATMUL, Op.CONV2D, Op.FULLY_CONNECTED)
+
+
+@rule("Q003", "int8 weights with missing or mismatched scale metadata")
+def _q003_weight_scales(ctx: LintContext) -> Iterator[Diagnostic]:
+    graph = ctx.graph
+    for node in graph.nodes:
+        if node.op_type not in _SCALED_WEIGHT_OPS or len(node.inputs) < 2:
+            continue
+        w = graph.constants.get(node.inputs[1])
+        if w is None or w.dtype.name != "int8":
+            continue
+        raw = node.attrs.get("weight_scales")
+        if raw is None:
+            yield error(
+                "Q003",
+                f"int8 weights {node.inputs[1]!r} without weight_scales "
+                f"(the int8 kernels cannot dequantize the accumulator)",
+                node=node.name, tensor=node.inputs[1],
+                hint="run repro.quant.quantize_graph to attach per-channel scales",
+            )
+            continue
+        if node.op_type == Op.MATMUL:
+            if w.ndim != 2:
+                continue  # shape rules own this
+            out_axis = 0 if node.attrs.get("transpose_b") else 1
+            oc = w.shape[out_axis]
+        else:
+            oc = w.shape[0]
+        try:
+            count = len(_scale_values(raw))
+        except (TypeError, ValueError):
+            continue  # Q001 owns non-numeric junk
+        if count != oc:
+            yield error(
+                "Q003",
+                f"weight_scales has {count} entries but {node.inputs[1]!r} "
+                f"has {oc} output channels",
+                node=node.name, tensor=node.inputs[1],
+                hint="per-channel scales must match the output-channel axis",
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -134,7 +134,12 @@ def derive_lifetimes(
     return intervals
 
 
-def check_slab_plan(plan: MemoryPlan, page_bytes: int = 0) -> MemCheckReport:
+def check_slab_plan(
+    plan: MemoryPlan,
+    page_bytes: int = 0,
+    per_token_bytes: int = 0,
+    token_capacities: Optional[Dict[str, int]] = None,
+) -> MemCheckReport:
     """Verify a *dynamic* slab plan (no graph, every slab co-live).
 
     The KV-cache allocator (:mod:`repro.genai.kvcache`) snapshots its live
@@ -147,12 +152,20 @@ def check_slab_plan(plan: MemoryPlan, page_bytes: int = 0) -> MemCheckReport:
     * every slab lies inside the arena (``mem-out-of-bounds``),
     * every offset is 64-byte aligned (``mem-misaligned``) and, when
       ``page_bytes`` is given, page-granular (``mem-unpaged``),
+    * when ``per_token_bytes`` and ``token_capacities`` (slab name ->
+      bucketed token capacity) are given, every slab's byte extent
+      actually holds its advertised capacity — payload *and*, for
+      quantized arenas, the per-row scales table (``mem-quant-extent``).
+      The same rule flags an extent more than ~2x oversized, which is
+      what an allocator still accounting fp32 bytes for an int8 arena
+      looks like,
 
     plus the usual fragmentation statistics (peak here is simply the sum
     of live slab bytes).
     """
     diags: List[Diagnostic] = []
     items: List[Tuple[str, int, int]] = []
+    capacities = token_capacities or {}
     for name, offset in plan.offsets.items():
         life = plan.lifetimes.get(name)
         if life is None:
@@ -163,6 +176,26 @@ def check_slab_plan(plan: MemoryPlan, page_bytes: int = 0) -> MemCheckReport:
             ))
             continue
         items.append((name, offset, life.nbytes))
+        if per_token_bytes and name in capacities:
+            need = capacities[name] * per_token_bytes
+            if life.nbytes < need:
+                diags.append(error(
+                    "mem-quant-extent",
+                    f"slab {name!r} holds {life.nbytes} B but its "
+                    f"{capacities[name]}-token capacity needs {need} B "
+                    f"({per_token_bytes} B/token incl. scales) — the "
+                    f"scales table would spill into the next extent",
+                    tensor=name,
+                ))
+            elif page_bytes and life.nbytes >= 2 * need + page_bytes:
+                diags.append(error(
+                    "mem-quant-extent",
+                    f"slab {name!r} holds {life.nbytes} B for a "
+                    f"{capacities[name]}-token capacity needing only "
+                    f"{need} B — capacity accounting is not using the "
+                    f"arena's storage dtype (fp bytes for an int8 arena?)",
+                    tensor=name,
+                ))
         if offset % ALIGNMENT != 0:
             diags.append(error(
                 "mem-misaligned",

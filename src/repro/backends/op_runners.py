@@ -164,6 +164,32 @@ def build_runner(node: Node, graph: Graph, scheme=None, use_strassen: bool = Tru
     elif op == Op.MATMUL:
         ta, tb = attrs["transpose_a"], attrs["transpose_b"]
         rowwise = bool(attrs.get("rowwise", False))
+        w = const_arrays.get(node.inputs[1]) if len(node.inputs) > 1 else None
+        if w is not None and w.dtype == np.int8:
+            # Quantized path: int8 weights + per-output-channel scales;
+            # activations quantize dynamically per row inside qmatmul.
+            # Exact int32 accumulation makes the batched kernel bitwise
+            # token-invariant, so the rowwise contract needs no row loop.
+            weight_scales = attrs.get("weight_scales")
+            if weight_scales is None:
+                raise BackendError(
+                    f"{node.name!r}: int8 MatMul weights need weight_scales "
+                    "(run repro.quant.quantize_graph to attach them)"
+                )
+            wq = np.ascontiguousarray(w.T if tb else w)
+            scales = np.asarray(weight_scales, dtype=np.float32)
+            if scales.shape != (wq.shape[1],):
+                raise BackendError(
+                    f"{node.name!r}: {scales.shape[0]} weight_scales for "
+                    f"{wq.shape[1]} output channels"
+                )
+
+            def fn(inputs, *, _wq=wq, _s=scales):
+                a = const_or_input(node.inputs[0], inputs)
+                a = np.swapaxes(a, -1, -2) if ta else a
+                return [K.qmatmul(a, _wq, _s)]
+
+            return OpRunner(node=node, dynamic_inputs=dynamic, fn=fn, muls=muls)
 
         def fn(inputs):
             a = const_or_input(node.inputs[0], inputs)

@@ -21,6 +21,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..ir.graph import Graph, Node
 from ..ir.ops import Op
 from .cost import winograd_tile_cost
@@ -51,6 +53,12 @@ class SchemeConfig:
             multiplier): effective cost is scaled by ``(U + U0) / U``, so a
             handful of huge tiles cannot fully utilize the micro-kernel.
             This is what makes WinoMax lose on small feature maps (Table 1).
+        int8_gemm_speedup: per-MUL throughput advantage of the int8
+            micro-kernel over fp32 (4 lanes of 4x-narrower operands).
+            Divides the *direct* scheme costs for quantized layers;
+            Winograd/Strassen stay fp-only (their float transforms would
+            forfeit exact int32 accumulation), so their entries remain at
+            fp cost in the ranking — which is exactly why direct wins.
     """
 
     winograd_candidates: Tuple[int, ...] = (1, 2, 4, 6, 8)
@@ -58,6 +66,7 @@ class SchemeConfig:
     transform_weight: float = 2.0
     sliding_weight: float = 1.0
     gemm_efficiency_u0: float = 16.0
+    int8_gemm_speedup: float = 4.0
 
 
 @dataclass(frozen=True)
@@ -182,23 +191,30 @@ def select_conv_scheme(
     dilation: Tuple[int, int] = (1, 1),
     groups: int = 1,
     config: Optional[SchemeConfig] = None,
+    quantized: bool = False,
 ) -> SchemeDecision:
     """Pick the cheapest convolution scheme for one layer (memoized).
 
     Follows Eq. 2/3 with total-cost normalization (see module docstring).
     Winograd is only legal for square kernels, stride 1, dilation 1 and
     groups 1; illegal layers fall back to sliding window (or 1x1-GEMM).
+
+    ``quantized=True`` (int8 weights) restricts the legal pool to the
+    direct schemes — sliding window and 1x1-GEMM — whose costs divide by
+    ``int8_gemm_speedup``.  Winograd flavours are still *costed* into
+    ``alternatives`` (at fp cost; their float transforms cannot run the
+    int8 contract) so reports show the ranking, but are never selected.
     """
     cfg = config or SchemeConfig()
     memo_key = (
         tuple(kernel), ic, oc, tuple(out_hw), tuple(stride),
-        tuple(dilation), groups, cfg,
+        tuple(dilation), groups, cfg, quantized,
     )
     cached = _SCHEME_MEMO.get(memo_key)
     if cached is not None:
         return cached
     decision = _search_conv_scheme(kernel, ic, oc, out_hw, stride, dilation,
-                                   groups, cfg)
+                                   groups, cfg, quantized)
     with _SCHEME_MEMO_LOCK:
         return _SCHEME_MEMO.setdefault(memo_key, decision)
 
@@ -212,11 +228,14 @@ def _search_conv_scheme(
     dilation: Tuple[int, int],
     groups: int,
     cfg: SchemeConfig,
+    quantized: bool = False,
 ) -> SchemeDecision:
     kh, kw = kernel
     oh, ow = out_hw
 
     sliding_cost = cfg.sliding_weight * oh * ow * (ic // groups) * kh * kw * oc
+    if quantized:
+        sliding_cost /= cfg.int8_gemm_speedup
     alternatives = {"sliding": sliding_cost}
 
     if kh == 1 and kw == 1 and dilation == (1, 1) and groups == 1:
@@ -224,6 +243,17 @@ def _search_conv_scheme(
         return SchemeDecision("gemm1x1", 1, sliding_cost, {**alternatives, "gemm1x1": sliding_cost})
 
     stride_dilation_ok = stride == (1, 1) and dilation == (1, 1) and groups == 1
+    if quantized:
+        # Winograd's float transforms would forfeit the exact-int32
+        # contract: cost every flavour for the report, select none.
+        if kh == kw and kh > 1 and stride_dilation_ok:
+            for n in cfg.winograd_candidates:
+                if n <= 1 or n + kh - 1 > cfg.max_tile:
+                    continue
+                alternatives[f"winograd_n{n}"] = winograd_plane_cost(
+                    n, kh, ic, oc, (oh, ow), cfg
+                )
+        return SchemeDecision("sliding", 1, sliding_cost, alternatives)
     square_legal = kh == kw and kh > 1 and stride_dilation_ok
     # Rectangular Winograd (generator extension): asymmetric kernels like
     # Inception's 1x7/7x1 get per-axis tile search instead of falling
@@ -280,6 +310,7 @@ def select_graph_schemes(
             continue
         x = graph.desc(node.inputs[0])
         y = graph.desc(node.outputs[0])
+        weights = graph.constants.get(node.inputs[1]) if len(node.inputs) > 1 else None
         jobs.append((node.name, dict(
             kernel=tuple(node.attrs["kernel"]),
             ic=x.shape[1],
@@ -289,6 +320,7 @@ def select_graph_schemes(
             dilation=tuple(node.attrs["dilation"]),
             groups=int(node.attrs["groups"]),
             config=config,
+            quantized=weights is not None and weights.dtype == np.int8,
         )))
     if workers > 1 and len(jobs) > 1:
         from concurrent.futures import ThreadPoolExecutor

@@ -421,12 +421,16 @@ def _phase_numeric(graph, feeds, gold_direct, seed, overrides, report, sanitizer
 
 
 def _generation_config(
-    plan: Optional[FaultPlan], sanitizer=False, prefix=False, tracker=None
+    plan: Optional[FaultPlan], sanitizer=False, prefix=False, tracker=None,
+    kv_dtype="float32",
 ):
     """The generation phases' engine config (gold and storm share it).
 
     Gold runs never get the tracker — like the sanitizer, it observes
-    the storm, and gold defines expected output only.
+    the storm, and gold defines expected output only.  ``kv_dtype``
+    flows to gold and storm alike: quantized decode is deterministic
+    and path-invariant, so the bit-identity contract is the same — a
+    quantized storm must match its quantized gold exactly.
     """
     from ..genai import GenerationConfig
 
@@ -436,11 +440,13 @@ def _generation_config(
         prefix_cache=prefix,
         session=SessionConfig(breaker_cooldown_s=0.0),
         metrics=get_metrics(), faults=plan, retain_kv=True,
-        sanitize=sanitizer, requests=tracker,
+        sanitize=sanitizer, requests=tracker, kv_dtype=kv_dtype,
     )
 
 
-def _phase_generate(prompts, gold_tokens, seed, report, sanitizer, tracker) -> None:
+def _phase_generate(
+    prompts, gold_tokens, seed, report, sanitizer, tracker, kv_dtype="float32"
+) -> None:
     """Generation storm: flaky and OOM-ing KV-slab allocations.
 
     Transients are retried; fatals degrade to LRU eviction of retired
@@ -455,7 +461,9 @@ def _phase_generate(prompts, gold_tokens, seed, report, sanitizer, tracker) -> N
         FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
     ], seed=seed)
     result = PhaseResult("generate")
-    engine = GenerationEngine(_generation_config(plan, sanitizer, tracker=tracker))
+    engine = GenerationEngine(_generation_config(
+        plan, sanitizer, tracker=tracker, kv_dtype=kv_dtype
+    ))
     params = SamplingParams(max_tokens=8)
     requests = [
         GenRequest(f"gen-{i}", prompt, params) for i, prompt in enumerate(prompts)
@@ -479,7 +487,9 @@ def _phase_generate(prompts, gold_tokens, seed, report, sanitizer, tracker) -> N
     _finish_phase(result, plan, report)
 
 
-def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer, tracker) -> None:
+def _phase_prefix(
+    prompts, gold_tokens, seed, report, sanitizer, tracker, kv_dtype="float32"
+) -> None:
     """Prefix storm: COW prefix sharing under flaky/fatal slab allocs.
 
     Same fault site as the generate phase (``kvcache.alloc``), but the
@@ -497,9 +507,9 @@ def _phase_prefix(prompts, gold_tokens, seed, report, sanitizer, tracker) -> Non
         FaultRule("kvcache.alloc", "fatal", p=0.5, times=3),
     ], seed=seed)
     result = PhaseResult("prefix")
-    engine = GenerationEngine(
-        _generation_config(plan, sanitizer, prefix=True, tracker=tracker)
-    )
+    engine = GenerationEngine(_generation_config(
+        plan, sanitizer, prefix=True, tracker=tracker, kv_dtype=kv_dtype
+    ))
     params = SamplingParams(max_tokens=8)
     requests = [
         GenRequest(f"pfx-{i}", prompt, params) for i, prompt in enumerate(prompts)
@@ -619,6 +629,7 @@ def run_chaos_storm(
     max_rounds: int = 50,
     sanitize: bool = False,
     postmortem_dir: Optional[str] = None,
+    kv_dtype: str = "float32",
 ) -> ChaosReport:
     """Run the seven-phase fault storm until ``target_faults`` have fired.
 
@@ -639,6 +650,13 @@ def run_chaos_storm(
     into the directory.  Two same-seed storms produce byte-identical
     artifacts (the replay test's contract), and a fault-free workload
     dumps nothing.
+
+    ``kv_dtype="int8"`` runs the generation and prefix phases (storm
+    *and* their golds) over a quantized KV cache — the bit-identity
+    contract is unchanged, because quantized rows are a pure function of
+    each fp row and every sampled logit takes the decode path.  The
+    cluster phase stays fp32 (its config crosses the process boundary
+    and its gold shares it, so it proves nothing extra about kv_dtype).
     """
     if graph is None:
         graph = default_chaos_graph()
@@ -721,7 +739,9 @@ def run_chaos_storm(
             [int(t) for t in rng.integers(0, 64, size=int(length))]
             for length in rng.integers(2, 7, size=5)
         ]
-        gold_engine = GenerationEngine(_generation_config(FaultPlan()))
+        gold_engine = GenerationEngine(
+            _generation_config(FaultPlan(), kv_dtype=kv_dtype)
+        )
         gold_tokens = [
             r.tokens
             for r in gold_engine.generate(prompts, SamplingParams(max_tokens=8))
@@ -784,10 +804,12 @@ def run_chaos_storm(
                 sanitizer,
             )
             _phase_generate(
-                prompts, gold_tokens, base + 5, report, sanitizer, tracker
+                prompts, gold_tokens, base + 5, report, sanitizer, tracker,
+                kv_dtype=kv_dtype,
             )
             _phase_prefix(
-                prefix_prompts, gold_prefix, base + 6, report, sanitizer, tracker
+                prefix_prompts, gold_prefix, base + 6, report, sanitizer, tracker,
+                kv_dtype=kv_dtype,
             )
             _phase_cluster(
                 cluster, cluster_prompts, gold_cluster, base + 7, report

@@ -144,8 +144,8 @@ class DecodeRunner:
             k_feed = np.zeros((batch, cfg.heads, capacity, cfg.d_head), np.float32)
             v_feed = np.zeros_like(k_feed)
             for i, slab in enumerate(slabs):
-                k_feed[i] = slab.k(layer)
-                v_feed[i] = slab.v(layer)
+                k_feed[i] = slab.k_read(layer)
+                v_feed[i] = slab.v_read(layer)
             feeds[f"l{layer}_k_cache"] = k_feed
             feeds[f"l{layer}_v_cache"] = v_feed
 
@@ -157,8 +157,8 @@ class DecodeRunner:
         for i, slab in enumerate(slabs):
             row = slab.length
             for layer in range(self.layers):
-                slab.k(layer)[:, row, :] = out[f"l{layer}_k"][i, :, 0, :]
-                slab.v(layer)[:, row, :] = out[f"l{layer}_v"][i, :, 0, :]
+                slab.write_k(layer, row, out[f"l{layer}_k"][i, :, 0:1, :])
+                slab.write_v(layer, row, out[f"l{layer}_v"][i, :, 0:1, :])
             slab.length = row + 1
         self.metrics.counter("genai.decode_tokens").inc(n)
         return out["logits"][:n, 0, :]

@@ -64,6 +64,19 @@ class GenerationConfig:
     prefix_cache: bool = False
     #: Shortest prefix worth sharing; shorter matches re-prefill.
     min_prefix_tokens: int = 4
+    #: KV-cache storage dtype: ``"float32"`` (verbatim rows) or
+    #: ``"int8"`` (per-row symmetric quantization, dequant-on-read —
+    #: ~3-4x more tokens per arena byte; see :mod:`repro.quant.kv`).
+    #: Quantized decode stays deterministic and seeded-replayable: the
+    #: quantized bytes are a pure function of each row, and admission
+    #: routes every sampled logit through the decode path so execution
+    #: provenance is identical on every scheduling/fault path.
+    kv_dtype: str = "float32"
+    #: Quantize the decoder's MatMul weights to int8 at build time via
+    #: :func:`repro.quant.quantize_graph` (weight-only; activations
+    #: quantize dynamically per row inside the int8 GEMM).  Orthogonal
+    #: to ``kv_dtype``.
+    quantize_weights: bool = False
 
     session: SessionConfig = field(default_factory=SessionConfig)
     use_cache: bool = False
@@ -118,6 +131,7 @@ class GenerationEngine:
             capacity_tokens=capacity,
             max_seq=config.max_seq,
             retries=config.retries,
+            kv_dtype=config.kv_dtype,
         )
         self.allocator = KVCacheAllocator(
             self.kv_config, metrics=self.metrics, faults=self.faults,
@@ -205,13 +219,26 @@ class GenerationEngine:
             heads=c.heads, layers=c.layers, seed=c.seed,
         )
 
+    def _maybe_quantize(self, graph: Graph) -> Graph:
+        if not self.config.quantize_weights:
+            return graph
+        # Both the full and decode variants are built from the same seed,
+        # so their shared weight constants quantize to identical int8
+        # bytes and scales — and because the int8 GEMM accumulates in
+        # exact int32, decode-vs-full bit-identity survives quantization.
+        from ..quant import quantize_graph
+
+        return quantize_graph(graph)
+
     def _full_graph(self, seq_len: int) -> Graph:
-        return tiny_decoder(mode="full", seq_len=seq_len, batch=1, **self._model_kwargs())
+        return self._maybe_quantize(
+            tiny_decoder(mode="full", seq_len=seq_len, batch=1, **self._model_kwargs())
+        )
 
     def _decode_graph(self, batch: int, capacity: int) -> Graph:
-        return tiny_decoder(
+        return self._maybe_quantize(tiny_decoder(
             mode="decode", batch=batch, cache_len=capacity, **self._model_kwargs()
-        )
+        ))
 
     # -- the front door ------------------------------------------------------
     def generate(
@@ -246,6 +273,7 @@ class GenerationEngine:
             "kv_page_utilization": self.allocator.page_utilization(),
             "kv_token_utilization": self.allocator.token_utilization(),
             "kv_free_pages": float(self.allocator.free_pages),
+            "kv_bytes_per_token": float(self.kv_config.per_token_bytes),
             "prefill_tokens": float(self.metrics.value("genai.prefill_tokens")),
             "decode_tokens": float(self.metrics.value("genai.decode_tokens")),
             "requests": float(self.metrics.value("genai.requests")),

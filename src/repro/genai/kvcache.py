@@ -43,6 +43,7 @@ from ..faults.errors import FatalFault, ResilienceError, TransientFault, mark_is
 from ..faults.plan import FaultPlan, get_fault_plan
 from ..faults.resilience import retry_transient
 from ..obs.metrics import MetricsRegistry, get_metrics
+from ..quant.kv import KV_DTYPES, dequantize_rows, kv_itemsize, quantize_rows
 from ..sanitize import LifecycleFinding, Sanitizer, get_sanitizer
 
 __all__ = [
@@ -85,6 +86,12 @@ class KVCacheConfig:
             resident sequences (rounded down to whole pages).
         max_seq: the longest supported sequence; the largest bucket.
         retries: extra attempts for transient allocation faults.
+        kv_dtype: storage dtype of the cached K/V rows.  ``"float32"``
+            (default) stores rows verbatim; ``"int8"`` stores each row
+            quantized per-row symmetric (one float32 scale per
+            layer/K-or-V/token row, kept in a scales table at the slab
+            tail) and dequantizes on read — see :mod:`repro.quant.kv`
+            for why the scale granularity must be the row.
     """
 
     layers: int
@@ -94,11 +101,43 @@ class KVCacheConfig:
     capacity_tokens: int = 512
     max_seq: int = 64
     retries: int = 3
+    kv_dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        kv_itemsize(self.kv_dtype)  # raises ValueError on unknown dtypes
+        if self.quantized and self.d_head % 4 != 0:
+            raise ValueError(
+                f"kv_dtype={self.kv_dtype!r} needs d_head divisible by 4 "
+                f"(the SIMD/NC4HW4 lane count; it keeps the int8 payload a "
+                f"float32 multiple so the scales table is aligned), "
+                f"got d_head={self.d_head}"
+            )
+
+    @property
+    def quantized(self) -> bool:
+        return self.kv_dtype != "float32"
+
+    @property
+    def kv_itemsize(self) -> int:
+        """Bytes per stored K/V element."""
+        return kv_itemsize(self.kv_dtype)
+
+    @property
+    def row_scale_bytes(self) -> int:
+        """Per-row scale overhead (per layer, per K-or-V) in bytes."""
+        return 4 if self.quantized else 0
 
     @property
     def per_token_bytes(self) -> int:
-        """K+V bytes one token needs across every layer (float32)."""
-        return self.layers * 2 * self.heads * self.d_head * 4
+        """K+V bytes one token needs across every layer, scales included.
+
+        This is the quantity capacity accounting runs on: int8 rows cost
+        ``heads * d_head`` payload bytes plus one float32 scale, so the
+        same arena holds ~4x the tokens of the fp32 layout (3x+ after
+        the scale overhead at small ``d_head``).
+        """
+        row = self.heads * self.d_head * self.kv_itemsize + self.row_scale_bytes
+        return self.layers * 2 * row
 
     @property
     def page_bytes(self) -> int:
@@ -133,9 +172,21 @@ class KVSlab:
     """One sequence's contiguous K/V storage inside the arena.
 
     ``k(layer)`` / ``v(layer)`` are zero-copy ``(heads, capacity, d_head)``
-    views into the arena buffer; ``length`` counts the rows actually
-    written.  Layout within the slab is ``[layer][k|v][head][token][dim]``,
-    so each view is one contiguous reshape.
+    views into the arena buffer **in the storage dtype** (float32 or
+    int8); ``length`` counts the rows actually written.  Layout within
+    the slab is ``[layer][k|v][head][token][dim]``; under
+    ``kv_dtype="int8"`` a per-row float32 scales table
+    (``[layer][k|v][token]``) follows the payload planes at the slab
+    tail.  The typed accessors are the decode/prefill API:
+
+    * :meth:`k_read` / :meth:`v_read` — float32 rows, dequantized on
+      read when quantized (zero-copy passthrough for fp32);
+    * :meth:`write_k` / :meth:`write_v` — float32 rows in, quantized on
+      write (scale stored alongside) when quantized.
+
+    The raw ``k``/``v`` views stay available on purpose: re-bucketing
+    copies (:meth:`copy_rows_from`) move int8 bytes and scales verbatim,
+    never through a requantization round-trip.
     """
 
     seq_id: str
@@ -169,7 +220,7 @@ class KVSlab:
     def nbytes(self) -> int:
         return self.pages * self.config.page_bytes
 
-    def _view(self, layer: int, which: int) -> np.ndarray:
+    def _guard(self, layer: int) -> None:
         cfg = self.config
         if self.freed:
             sanitizer = self.sanitizer
@@ -183,9 +234,20 @@ class KVSlab:
             )
         if not 0 <= layer < cfg.layers:
             raise IndexError(f"layer {layer} out of range for {cfg.layers} layers")
-        plane = cfg.heads * self.capacity * cfg.d_head * 4      # bytes per K or V
+
+    @property
+    def _plane_bytes(self) -> int:
+        """Bytes per K or V payload plane (one layer, storage dtype)."""
+        cfg = self.config
+        return cfg.heads * self.capacity * cfg.d_head * cfg.kv_itemsize
+
+    def _view(self, layer: int, which: int) -> np.ndarray:
+        cfg = self.config
+        self._guard(layer)
+        plane = self._plane_bytes
         start = self.offset_bytes + (2 * layer + which) * plane
-        flat = self.buffer[start : start + plane].view(np.float32)
+        dtype = np.int8 if cfg.quantized else np.float32
+        flat = self.buffer[start : start + plane].view(dtype)
         view = flat.reshape(cfg.heads, self.capacity, cfg.d_head)
         if self.shared:
             # Hard guard: writing through a COW child would corrupt the
@@ -194,11 +256,93 @@ class KVSlab:
             view.flags.writeable = False
         return view
 
+    def _scales_view(self, layer: int, which: int) -> np.ndarray:
+        """Float32 ``(capacity,)`` per-row scales for one K/V plane.
+
+        Lives after the last payload plane; the payload region is a
+        float32 multiple (``d_head % 4 == 0`` is enforced for int8), so
+        the table starts 4-byte aligned within the 64-byte-aligned slab.
+        """
+        cfg = self.config
+        self._guard(layer)
+        base = self.offset_bytes + 2 * cfg.layers * self._plane_bytes
+        start = base + (2 * layer + which) * self.capacity * 4
+        view = self.buffer[start : start + self.capacity * 4].view(np.float32)
+        if self.shared:
+            view.flags.writeable = False
+        return view
+
     def k(self, layer: int) -> np.ndarray:
         return self._view(layer, 0)
 
     def v(self, layer: int) -> np.ndarray:
         return self._view(layer, 1)
+
+    # -- typed accessors (the decode/prefill API) ---------------------------
+    def _read(self, layer: int, which: int) -> np.ndarray:
+        view = self._view(layer, which)
+        if not self.config.quantized:
+            return view
+        return dequantize_rows(view, self._scales_view(layer, which))
+
+    def k_read(self, layer: int) -> np.ndarray:
+        """Float32 ``(heads, capacity, d_head)`` K rows (dequant-on-read)."""
+        return self._read(layer, 0)
+
+    def v_read(self, layer: int) -> np.ndarray:
+        """Float32 ``(heads, capacity, d_head)`` V rows (dequant-on-read)."""
+        return self._read(layer, 1)
+
+    def _write(self, layer: int, which: int, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, np.float32)
+        if values.ndim != 3:
+            raise ValueError(f"expected (heads, rows, d_head) rows, got {values.shape}")
+        rows = values.shape[1]
+        view = self._view(layer, which)
+        if not self.config.quantized:
+            view[:, start : start + rows] = values
+            return
+        q, scales = quantize_rows(values)
+        view[:, start : start + rows] = q
+        self._scales_view(layer, which)[start : start + rows] = scales
+
+    def write_k(self, layer: int, start: int, values: np.ndarray) -> None:
+        """Store float32 K rows at ``start`` (quantize-on-write for int8)."""
+        self._write(layer, 0, start, values)
+
+    def write_v(self, layer: int, start: int, values: np.ndarray) -> None:
+        """Store float32 V rows at ``start`` (quantize-on-write for int8)."""
+        self._write(layer, 1, start, values)
+
+    def reset_scales(self) -> None:
+        """Zero the scales table after a fresh carve.
+
+        Recycled pages hold whatever bytes the previous owner left, and
+        scale 0.0 is the unwritten-row sentinel — zeroing here makes
+        every unwritten row dequantize to exact zeros on every path
+        (junk scales can even overflow to inf under the dequant
+        multiply).  No-op geometry for fp32 arenas; callers skip it.
+        """
+        cfg = self.config
+        base = self.offset_bytes + 2 * cfg.layers * self._plane_bytes
+        self.buffer[base : base + 2 * cfg.layers * self.capacity * 4] = 0
+
+    def copy_rows_from(self, src: "KVSlab", length: int) -> None:
+        """Copy ``src``'s first ``length`` rows verbatim (scales included).
+
+        This is the re-bucketing/materialize path: bytes move in the
+        storage dtype, so quantized rows survive any number of
+        grow/COW-materialize hops bit-identically — there is no
+        dequantize→requantize round-trip anywhere in the slab lifecycle.
+        """
+        for layer in range(self.config.layers):
+            for which in (0, 1):
+                self._view(layer, which)[:, :length] = src._view(layer, which)[:, :length]
+                if self.config.quantized:
+                    self._scales_view(layer, which)[:length] = (
+                        src._scales_view(layer, which)[:length]
+                    )
+        self.length = length
 
     @property
     def utilization(self) -> float:
@@ -302,6 +446,8 @@ class KVCacheAllocator:
                         # eviction; account it like the other fallbacks.
                         self.metrics.counter("fallback.evict").inc()
             slab = KVSlab(seq_id, start, pages, capacity, self.config, self._buffer)
+            if self.config.quantized:
+                slab.reset_scales()
             if self.sanitizer.enabled:
                 slab.sanitizer = self.sanitizer
                 slab.scope = self.scope
@@ -338,10 +484,7 @@ class KVCacheAllocator:
                 # Put the original back so the caller still owns a slab.
                 self._live[slab.seq_id] = slab
                 raise
-            for layer in range(self.config.layers):
-                bigger.k(layer)[:, :length] = slab.k(layer)[:, :length]
-                bigger.v(layer)[:, :length] = slab.v(layer)[:, :length]
-            bigger.length = length
+            bigger.copy_rows_from(slab, length)
             self._drop_ref(slab.page_start, slab.pages)
             slab.freed = True
             if self.sanitizer.enabled:
@@ -429,10 +572,7 @@ class KVCacheAllocator:
             # Copy while the shared views are still valid; the eviction
             # ladder inside alloc() cannot have freed the parent extent,
             # because this child's reference pins it.
-            for layer in range(self.config.layers):
-                own.k(layer)[:, :length] = slab.k(layer)[:, :length]
-                own.v(layer)[:, :length] = slab.v(layer)[:, :length]
-            own.length = length
+            own.copy_rows_from(slab, length)
             slab.freed = True
             if self.sanitizer.enabled:
                 self.sanitizer.free_extent(self.scope, slab.lifecycle_key)
@@ -570,4 +710,15 @@ class KVCacheAllocator:
 
         plan = self.to_memory_plan()
         plan.validate()
-        return check_slab_plan(plan, page_bytes=self.config.page_bytes)
+        with self._lock:
+            caps = {
+                s.seq_id: s.capacity
+                for s in list(self._live.values()) + list(self._retired.values())
+                if not s.shared
+            }
+        return check_slab_plan(
+            plan,
+            page_bytes=self.config.page_bytes,
+            per_token_bytes=self.config.per_token_bytes,
+            token_capacities=caps,
+        )

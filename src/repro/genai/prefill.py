@@ -205,8 +205,8 @@ class PrefillRunner:
             with self._pool(bucket).acquire() as session:
                 out = session.run({"tokens": tokens, "positions": positions})
         for layer in range(self.layers):
-            slab.k(layer)[:, :n, :] = out[f"l{layer}_k"][0, :, :n, :]
-            slab.v(layer)[:, :n, :] = out[f"l{layer}_v"][0, :, :n, :]
+            slab.write_k(layer, 0, out[f"l{layer}_k"][0, :, :n, :])
+            slab.write_v(layer, 0, out[f"l{layer}_v"][0, :, :n, :])
         slab.length = n
         self.metrics.counter("genai.prefill_tokens").inc(n)
         return out["logits"][0, n - 1]

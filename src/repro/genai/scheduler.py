@@ -204,7 +204,19 @@ class ContinuousBatchScheduler:
         budget = min(request.params.max_tokens, self.max_seq - len(prompt))
         seq = _Sequence(request, Sampler(request.params), slab, budget)
         try:
-            logits = self.prefill.run(prompt, slab)
+            if self.allocator.config.quantized:
+                # Quantized KV: the last prompt token's logits must come
+                # from a *decode* step (attention over dequantized rows),
+                # because that is what every other admission path — prefix
+                # hit, preemption replay — produces.  Prefill's internal
+                # fp attention would give the first sampled token a
+                # different distribution, and determinism across
+                # scheduling/fault paths is the contract.
+                if len(prompt) > 1:
+                    self.prefill.run(prompt[:-1], slab)
+                logits = self.decode.step([prompt[-1]], [slab])[0]
+            else:
+                logits = self.prefill.run(prompt, slab)
         except Exception:
             self.allocator.release(slab)
             raise

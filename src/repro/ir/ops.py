@@ -246,7 +246,11 @@ register_op(
         # product.  Slower, but bitwise invariant to the leading (token)
         # dimension — required by autoregressive decode, where step t must
         # reproduce row t of the full-sequence product exactly.
-        {"transpose_a": False, "transpose_b": False, "rowwise": False},
+        # weight_scales: per-output-channel scales when the rhs constant is
+        # int8 (set by repro.quant.quantize_graph); activations quantize
+        # dynamically per row, so no input_scale is needed here.
+        {"transpose_a": False, "transpose_b": False, "rowwise": False,
+         "weight_scales": None},
         _matmul_muls,
         compute_intensive=True,
     )

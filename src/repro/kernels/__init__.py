@@ -39,6 +39,7 @@ from .elementwise import (
 )
 from .misc import conv_transpose2d, fully_connected, pad_nd, reduce_mean, resize2d
 from .sequence import attention, attention_step, gelu, layer_norm, lstm_forward
+from .qgemm import QGEMM_TILE, qgemm, qmatmul, quantize_rowwise
 from .quantized import qconv2d, quantize_tensor, quantize_weights_per_channel
 
 
@@ -106,7 +107,11 @@ __all__ = [
     "gelu",
     "layer_norm",
     "lstm_forward",
+    "QGEMM_TILE",
     "qconv2d",
+    "qgemm",
+    "qmatmul",
+    "quantize_rowwise",
     "quantize_tensor",
     "quantize_weights_per_channel",
 ]

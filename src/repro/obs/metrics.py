@@ -169,7 +169,12 @@ class Histogram:
         hi = math.ceil(rank)
         if lo == hi:
             return values[lo]
-        return values[lo] + (values[hi] - values[lo]) * (rank - lo)
+        a, b, t = values[lo], values[hi], rank - lo
+        if t >= 0.5:
+            # lerp from the nearer endpoint (as numpy does): a + (b-a)*t
+            # loses catastrophically when t -> 1 and |a| dwarfs |b|
+            return b - (b - a) * (1.0 - t)
+        return a + (b - a) * t
 
     def summary(self) -> Dict[str, float]:
         """A stable, JSON-ready digest of the distribution."""

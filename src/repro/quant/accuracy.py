@@ -1,0 +1,57 @@
+"""The quantized-vs-fp accuracy contract: max-abs-error over real kernels.
+
+Quantization trades bits for bytes; this module makes the trade
+measurable and enforceable.  :func:`max_abs_error` runs the reference
+(fp) and candidate (quantized) graphs through full sessions — real
+prepared kernels, not the reference interpreter — and returns the worst
+absolute output divergence.  Tests assert it under a bound;
+``benchmarks/bench_quant.py`` records it as a headline metric so the
+regression gate catches accuracy drift, not just speed drift.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..ir.graph import Graph
+
+__all__ = ["max_abs_error"]
+
+
+def max_abs_error(
+    reference: Graph,
+    candidate: Graph,
+    feeds: Dict[str, np.ndarray],
+    outputs: Optional[Iterable[str]] = None,
+) -> float:
+    """Worst absolute divergence between two graphs' outputs on ``feeds``.
+
+    Args:
+        reference: the fp graph (ground truth).
+        candidate: typically the :func:`repro.quant.quantize_graph` copy.
+        feeds: input arrays both graphs accept.
+        outputs: output names to compare (default: all shared outputs).
+
+    Raises:
+        ValueError: the graphs share no outputs to compare.
+    """
+    from ..core.session import Session  # late: keep repro.quant import-light
+
+    ref = Session(reference).run(feeds)
+    out = Session(candidate).run(feeds)
+    names = list(outputs) if outputs is not None else sorted(set(ref) & set(out))
+    if not names:
+        raise ValueError("graphs share no outputs to compare")
+    worst = 0.0
+    for name in names:
+        a = np.asarray(ref[name], np.float32)
+        b = np.asarray(out[name], np.float32)
+        if a.shape != b.shape:
+            raise ValueError(
+                f"output {name!r} shapes diverge: {a.shape} vs {b.shape}"
+            )
+        if a.size:
+            worst = max(worst, float(np.max(np.abs(a - b))))
+    return worst

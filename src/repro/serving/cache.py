@@ -58,7 +58,9 @@ __all__ = [
 ]
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
-CACHE_VERSION = 1
+# 2: keys carry the quantization fingerprint (tensor dtypes + scale
+# digest), so a graph's int8 and fp variants can never collide.
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -173,7 +175,7 @@ def _config_fingerprint(config: SessionConfig) -> Dict[str, Any]:
         "candidate_backends": list(config.candidate_backends),
         "scheme_config": [
             list(sc.winograd_candidates), sc.max_tile, sc.transform_weight,
-            sc.sliding_weight, sc.gemm_efficiency_u0,
+            sc.sliding_weight, sc.gemm_efficiency_u0, sc.int8_gemm_speedup,
         ],
         "overrides": (
             sorted(config.scheme_overrides) if config.scheme_overrides else None
@@ -221,11 +223,21 @@ class PreInferenceCache:
         config: SessionConfig,
         input_shapes: Optional[Dict[str, Sequence[int]]] = None,
     ) -> str:
-        """Deterministic cache key for (graph, config[, resized shapes])."""
+        """Deterministic cache key for (graph, config[, resized shapes]).
+
+        Includes the quantization fingerprint (every tensor's dtype plus a
+        digest of the stamped scale attrs): ``graph_signature`` alone is
+        dtype-blind for constants, so without this a quantized graph and
+        its fp original could share a key — and a cached fp memory plan
+        replayed against int8 tensors mis-sizes every weight buffer.
+        """
+        from ..quant import quantization_fingerprint
+
         h = hashlib.sha256()
         payload = {
             "cache_version": CACHE_VERSION,
             "graph": graph_signature(graph),
+            "quant": quantization_fingerprint(graph),
             "config": _config_fingerprint(config),
             "input_shapes": (
                 {name: list(shape) for name, shape in sorted(input_shapes.items())}

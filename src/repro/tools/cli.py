@@ -144,6 +144,11 @@ def cmd_quantize(args) -> int:
     from ..converter import quantize_model, weight_bytes
     from ..ir import save_model
 
+    if args.selftest:
+        return _quantize_selftest()
+    if not args.model or not args.output:
+        print("quantize: MODEL and -o/--output are required without --selftest")
+        return 2
     graph = _load(args.model)
     feeds = [_random_feeds(graph, seed) for seed in range(args.calibration_batches)]
     quantized = quantize_model(graph, feeds)
@@ -151,6 +156,83 @@ def cmd_quantize(args) -> int:
     print(f"quantized: {weight_bytes(graph) / 2**20:.2f} MiB -> "
           f"{weight_bytes(quantized) / 2**20:.2f} MiB; wrote {args.output}")
     return 0
+
+
+def _quantize_selftest() -> int:
+    """The int8 stack's three contracts, checked end to end.
+
+    1. Accuracy: quantizing the tiny decoder's MatMul weights moves its
+       logits by at most a small bound (and the quantized graph is
+       Q-rule clean).
+    2. Determinism: two same-seed generations over int8 weights *and*
+       an int8 KV cache emit bit-identical token streams.
+    3. Capacity: the int8 KV layout holds at least 3x the tokens of the
+       fp32 layout in the same arena bytes.
+    """
+    from dataclasses import replace as _replace
+
+    from ..analysis import lint_graph
+    from ..genai import GenerationConfig, GenerationEngine, SamplingParams
+    from ..models.text import tiny_decoder
+    from ..quant import max_abs_error, quantize_graph
+
+    failures = 0
+    bound = 0.15
+
+    graph = tiny_decoder(mode="full", seq_len=16, batch=1, vocab=64,
+                         max_seq=16, d_model=32, heads=2, layers=2, seed=7)
+    quantized = quantize_graph(graph)
+    q_diags = [d for d in lint_graph(quantized) if d.rule.startswith("Q")]
+    ok = not q_diags
+    print(f"[{'ok' if ok else 'FAIL'}] quantized graph passes Q-rule lint "
+          f"({len(q_diags)} findings)")
+    failures += 0 if ok else 1
+
+    rng = np.random.default_rng(0)
+    feeds = {
+        "tokens": rng.integers(0, 64, size=(1, 16)).astype(np.int32),
+        "positions": np.arange(16, dtype=np.int32).reshape(1, 16),
+    }
+    err = max_abs_error(graph, quantized, feeds, outputs=["logits"])
+    ok = err <= bound
+    print(f"[{'ok' if ok else 'FAIL'}] logits max-abs-error {err:.4f} "
+          f"<= {bound} (per-channel int8 weights, exact int32 GEMM)")
+    failures += 0 if ok else 1
+
+    def _generate():
+        engine = GenerationEngine(GenerationConfig(
+            vocab=64, max_seq=24, d_model=16, heads=2, layers=1, seed=11,
+            max_batch=2, page_tokens=4, capacity_tokens=64,
+            smallest_bucket=8, kv_dtype="int8", quantize_weights=True,
+        ))
+        try:
+            gen = np.random.default_rng(11)
+            prompts = [
+                [int(t) for t in gen.integers(0, 64, size=int(n))]
+                for n in gen.integers(2, 7, size=4)
+            ]
+            results = engine.generate(prompts, SamplingParams(max_tokens=8))
+            return [r.tokens for r in results], engine.kv_config
+        finally:
+            engine.close()
+
+    tokens_a, kv_config = _generate()
+    tokens_b, _ = _generate()
+    ok = tokens_a == tokens_b
+    print(f"[{'ok' if ok else 'FAIL'}] seeded replay of quantized decode is "
+          f"bit-identical ({sum(len(t) for t in tokens_a)} tokens)")
+    failures += 0 if ok else 1
+
+    fp_config = _replace(kv_config, kv_dtype="float32")
+    ratio = fp_config.per_token_bytes / kv_config.per_token_bytes
+    ok = ratio >= 3.0
+    print(f"[{'ok' if ok else 'FAIL'}] int8 KV fits {ratio:.2f}x the tokens "
+          f"per arena byte ({fp_config.per_token_bytes} -> "
+          f"{kv_config.per_token_bytes} B/token; need >= 3x)")
+    failures += 0 if ok else 1
+
+    print("quantize selftest:", "ok" if failures == 0 else f"{failures} FAILED")
+    return 0 if failures == 0 else 1
 
 
 def cmd_prune(args) -> int:
@@ -593,6 +675,7 @@ def cmd_chaos(args) -> int:
     report = run_chaos_storm(
         graph=graph, seed=args.seed, target_faults=args.faults,
         sanitize=args.sanitize, postmortem_dir=args.postmortem_dir,
+        kv_dtype=args.kv_dtype,
     )
     print(report.describe())
     if args.events:
@@ -802,9 +885,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_optimize)
 
     p = sub.add_parser("quantize", help="post-training int8 quantization")
-    p.add_argument("model")
-    p.add_argument("-o", "--output", required=True)
+    p.add_argument("model", nargs="?", default=None)
+    p.add_argument("-o", "--output", default=None)
     p.add_argument("--calibration-batches", type=int, default=4)
+    p.add_argument("--selftest", action="store_true",
+                   help="check the int8 stack's contracts instead: "
+                        "accuracy bound, bit-identical seeded replay of "
+                        "quantized decode, and >=3x KV token capacity")
     p.set_defaults(fn=cmd_quantize)
 
     p = sub.add_parser("prune", help="global magnitude pruning")
@@ -934,6 +1021,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach a deterministic flight recorder: isolated "
                         "faults, KV OOMs and the deadline probe dump "
                         "replayable postmortem JSON into DIR")
+    p.add_argument("--kv-dtype", default="float32",
+                   choices=("float32", "int8"),
+                   help="KV-cache storage dtype for the generation/prefix "
+                        "phases (storm and gold alike)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("regress", help="bench-regression gate over "

@@ -1,0 +1,183 @@
+"""Converter-time int8 weight quantization (:mod:`repro.quant.convert`).
+
+The contracts under test: per-output-channel symmetric scales stamped on
+every consumer, serialization round-trip by construction, the original
+graph untouched, ineligible weights left in float, and a quantization
+fingerprint that separates the int8 variant from its fp twin everywhere
+it matters (including the pre-inference cache key).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Severity, lint_graph
+from repro.ir import DataType, GraphBuilder, GraphError, dumps, loads
+from repro.ir.ops import Op
+from repro.models.text import tiny_decoder
+from repro.quant import max_abs_error, quantization_fingerprint, quantize_graph
+
+pytestmark = pytest.mark.quant
+
+RNG = np.random.default_rng(42)
+
+
+def matmul_graph(transpose_b=False, shared_with_relu=False, k=8, m=6):
+    b = GraphBuilder("mm", seed=0)
+    x = b.input("x", (2, k))
+    w = b.constant(
+        RNG.standard_normal((m, k) if transpose_b else (k, m)).astype(np.float32),
+        name="w",
+    )
+    y = b.matmul(x, w, transpose_b=transpose_b)
+    if shared_with_relu:
+        # A second, non-GEMM consumer of the weights: disqualifying.
+        b.graph.add_node(Op.RELU, [w], ["w_relu"])
+        b.output(y, "w_relu")
+    else:
+        b.output(y)
+    return b.finish()
+
+
+class TestQuantizeGraph:
+    def test_matmul_weights_become_int8_with_per_channel_scales(self):
+        graph = matmul_graph()
+        q = quantize_graph(graph)
+        w = q.constants["w"]
+        assert w.dtype == np.int8
+        assert q.tensor_descs["w"].dtype == DataType.INT8
+        (node,) = [n for n in q.nodes if n.attrs.get("weight_scales")]
+        scales = node.attrs["weight_scales"]
+        assert len(scales) == 6  # one per output channel
+        # symmetric: scale == max_abs / 127 per column
+        expect = np.abs(graph.constants["w"]).max(axis=0) / 127.0
+        np.testing.assert_allclose(scales, expect, rtol=1e-6)
+
+    def test_transpose_b_uses_the_other_axis(self):
+        graph = matmul_graph(transpose_b=True)
+        q = quantize_graph(graph)
+        (node,) = [n for n in q.nodes if n.attrs.get("weight_scales")]
+        assert len(node.attrs["weight_scales"]) == 6
+        expect = np.abs(graph.constants["w"]).max(axis=1) / 127.0
+        np.testing.assert_allclose(node.attrs["weight_scales"], expect, rtol=1e-6)
+
+    def test_original_graph_is_untouched(self):
+        graph = matmul_graph()
+        before = graph.constants["w"].copy()
+        quantize_graph(graph)
+        assert graph.constants["w"].dtype == np.float32
+        np.testing.assert_array_equal(graph.constants["w"], before)
+        assert all(not n.attrs.get("weight_scales") for n in graph.nodes)
+
+    def test_shared_non_gemm_consumer_stays_float(self):
+        q = quantize_graph_or_none(matmul_graph(shared_with_relu=True))
+        if q is not None:  # the decoder path may still quantize others
+            assert q.constants["w"].dtype == np.float32
+
+    def test_nothing_to_quantize_raises(self):
+        b = GraphBuilder("plain", seed=0)
+        x = b.input("x", (1, 4))
+        b.output(b.relu(x))
+        with pytest.raises(GraphError):
+            quantize_graph(b.finish())
+
+    def test_survives_serialization_round_trip(self):
+        q = quantize_graph(matmul_graph())
+        back = loads(dumps(q))
+        assert back.constants["w"].dtype == np.int8
+        np.testing.assert_array_equal(back.constants["w"], q.constants["w"])
+        (node,) = [n for n in back.nodes if n.attrs.get("weight_scales")]
+        (orig,) = [n for n in q.nodes if n.attrs.get("weight_scales")]
+        assert node.attrs["weight_scales"] == orig.attrs["weight_scales"]
+
+    def test_quantized_decoder_is_q_rule_clean(self):
+        graph = tiny_decoder(mode="full", seq_len=8, batch=1, vocab=32,
+                             max_seq=8, d_model=16, heads=2, layers=1, seed=3)
+        q = quantize_graph(graph)
+        diags = [d for d in lint_graph(q) if d.rule.startswith("Q")]
+        assert diags == []
+
+    def test_accuracy_contract_on_decoder_logits(self):
+        graph = tiny_decoder(mode="full", seq_len=16, batch=1, vocab=64,
+                             max_seq=16, d_model=32, heads=2, layers=2, seed=7)
+        q = quantize_graph(graph)
+        feeds = {
+            "tokens": RNG.integers(0, 64, size=(1, 16)).astype(np.int32),
+            "positions": np.arange(16, dtype=np.int32).reshape(1, 16),
+        }
+        err = max_abs_error(graph, q, feeds, outputs=["logits"])
+        assert err <= 0.15
+
+
+def quantize_graph_or_none(graph):
+    try:
+        return quantize_graph(graph)
+    except GraphError:
+        return None
+
+
+class TestFingerprint:
+    def test_fp_and_quantized_fingerprints_differ(self):
+        graph = matmul_graph()
+        q = quantize_graph(graph)
+        assert quantization_fingerprint(graph) != quantization_fingerprint(q)
+
+    def test_fingerprint_is_deterministic(self):
+        q = quantize_graph(matmul_graph())
+        assert quantization_fingerprint(q) == quantization_fingerprint(
+            loads(dumps(q))
+        )
+
+    def test_pre_inference_cache_keys_never_collide(self):
+        # The satellite fix: graph_signature alone is dtype-blind for
+        # constants, so without the quant fingerprint a cached fp plan
+        # could be replayed against int8 tensors.
+        from repro.core.session import SessionConfig
+        from repro.serving.cache import PreInferenceCache
+
+        graph = tiny_decoder(mode="full", seq_len=8, batch=1, vocab=32,
+                             max_seq=8, d_model=16, heads=2, layers=1, seed=3)
+        q = quantize_graph(graph)
+        cache = PreInferenceCache("/tmp/unused-quant-key-test")
+        config = SessionConfig()
+        assert cache.key(graph, config) != cache.key(q, config)
+
+    def test_scale_corruption_changes_fingerprint(self):
+        q = quantize_graph(matmul_graph())
+        fp_before = quantization_fingerprint(q)
+        (node,) = [n for n in q.nodes if n.attrs.get("weight_scales")]
+        node.attrs["weight_scales"] = [s * 2 for s in node.attrs["weight_scales"]]
+        assert quantization_fingerprint(q) != fp_before
+
+
+class TestLintRules:
+    def test_q001_flags_nonfinite_and_nonpositive_scales(self):
+        q = quantize_graph(matmul_graph())
+        (node,) = [n for n in q.nodes if n.attrs.get("weight_scales")]
+        node.attrs["weight_scales"] = [float("inf"), -1.0, 0.0, 1.0, 1.0, 1.0]
+        diags = [d for d in lint_graph(q) if d.rule == "Q001"]
+        assert len(diags) == 3
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_q003_flags_missing_and_mismatched_scales(self):
+        q = quantize_graph(matmul_graph())
+        (node,) = [n for n in q.nodes if n.attrs.get("weight_scales")]
+        node.attrs["weight_scales"] = node.attrs["weight_scales"][:-1]
+        assert any(d.rule == "Q003" for d in lint_graph(q))
+        node.attrs["weight_scales"] = None
+        assert any(d.rule == "Q003" for d in lint_graph(q))
+
+    def test_q002_zero_point_rules(self):
+        b = GraphBuilder("zp", seed=0)
+        x = b.input("x", (1, 4))
+        b.graph.add_node(Op.QUANTIZE, [x], ["xq"],
+                         {"scale": 0.1, "zero_point": 300})
+        b.graph.add_node(Op.DEQUANTIZE, ["xq"], ["y"],
+                         {"scale": 0.1, "zero_point": 1})
+        b.output("y")
+        diags = [d for d in lint_graph(b.finish()) if d.rule == "Q002"]
+        assert any(d.severity is Severity.ERROR for d in diags)   # 300
+        assert any(d.severity is Severity.WARNING for d in diags)  # 1
+
+    def test_clean_fp_graph_has_no_q_findings(self):
+        diags = [d for d in lint_graph(matmul_graph()) if d.rule.startswith("Q")]
+        assert diags == []

@@ -80,3 +80,88 @@ class TestSerializationFuzz:
         data[16:20], data[mid : mid + 4] = data[mid : mid + 4], data[16:20]
         with pytest.raises(ACCEPTABLE):
             loads(bytes(data))
+
+
+def quantized_model_bytes(seed=3):
+    """A serialized *quantized* decoder: int8 constants + scale attrs."""
+    from repro.models.text import tiny_decoder
+    from repro.quant import quantize_graph
+
+    graph = tiny_decoder(mode="full", seq_len=8, batch=1, vocab=32,
+                         max_seq=8, d_model=16, heads=2, layers=1, seed=seed)
+    return dumps(quantize_graph(graph))
+
+
+QBLOB = quantized_model_bytes()
+
+
+class TestQuantizedSerializationFuzz:
+    """int8 tensors and scale metadata through the same corruption mill.
+
+    The quantized format adds two attack surfaces: int8 constant
+    payloads and the float scale lists stamped into node attrs.  Neither
+    may crash the loader; a *loaded-but-wrong* scale must surface as a
+    typed Q-rule diagnostic, not as downstream garbage.
+    """
+
+    def test_quantized_round_trip_preserves_scales(self):
+        graph = loads(QBLOB)
+        graph.validate()
+        int8_consts = [c for c in graph.constants.values() if c.dtype == np.int8]
+        assert int8_consts, "quantized model lost its int8 constants"
+        scaled = [n for n in graph.nodes if n.attrs.get("weight_scales")]
+        assert scaled, "quantized model lost its weight_scales attrs"
+        assert loads(dumps(graph)).tensor_descs == graph.tensor_descs
+
+    @given(
+        offset=st.integers(0, len(QBLOB) - 1),
+        value=st.integers(0, 255),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_quantized_byte_flip_never_crashes(self, offset, value):
+        data = bytearray(QBLOB)
+        if data[offset] == value:
+            value = (value + 1) % 256
+        data[offset] = value
+        try:
+            graph = loads(bytes(data))
+        except ACCEPTABLE:
+            return  # clean rejection
+        graph.validate()
+
+    @given(cut=st.integers(0, len(QBLOB) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_quantized_truncation_never_crashes(self, cut):
+        with pytest.raises(ACCEPTABLE):
+            loads(QBLOB[:cut])
+
+    def test_corrupt_scales_yield_typed_diagnostics(self):
+        # Sabotage the scale metadata in every way the wire can: the
+        # lint pass must convert each into a typed Q diagnostic instead
+        # of letting the kernels divide by it.
+        from repro.analysis import Severity, lint_graph
+
+        graph = loads(QBLOB)
+        scaled = [n for n in graph.nodes if n.attrs.get("weight_scales")]
+        scaled[0].attrs["weight_scales"] = [
+            float("nan")
+        ] * len(scaled[0].attrs["weight_scales"])               # Q001
+        if len(scaled) > 1:
+            scaled[1].attrs["weight_scales"] = (
+                scaled[1].attrs["weight_scales"][:-1]
+            )                                                   # Q003
+        diags = [d for d in lint_graph(graph) if d.rule.startswith("Q")]
+        assert any(d.rule == "Q001" for d in diags)
+        if len(scaled) > 1:
+            assert any(d.rule == "Q003" for d in diags)
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_missing_scales_yield_q003(self):
+        from repro.analysis import lint_graph
+
+        graph = loads(QBLOB)
+        scaled = [n for n in graph.nodes if n.attrs.get("weight_scales")]
+        for node in scaled:
+            node.attrs["weight_scales"] = None
+        diags = [d for d in lint_graph(graph) if d.rule == "Q003"]
+        assert len(diags) == len(scaled)
